@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one of the paper's tables or figures (see
+DESIGN.md §4).  Benches print the regenerated artefact (visible with
+``pytest -s``) and assert the *shape* facts the paper's narrative
+depends on, since absolute numbers depend on the simulated substrate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def bench(benchmark):
+    """pytest-benchmark wrapper with settings suited to simulation runs.
+
+    Simulation benches are deterministic and comparatively slow, so a
+    few rounds of one iteration each beat pytest-benchmark's default
+    auto-calibration.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=3, iterations=1, warmup_rounds=0)
+
+    return run

@@ -1,0 +1,47 @@
+"""Ablation: would the mobile site have closed the gap?
+
+Table 8's testers drove the *full* Facebook/Hi5 sites from handsets.
+The obvious objection is that m.facebook.com existed and was far
+lighter.  This ablation replays the Table 8 workflow against a
+mobile-site profile: page time shrinks dramatically, but the human
+steps (search, scan, join flow) remain, so PeerHood Community's
+structural advantage — zero search and zero join — survives the
+strongest-reasonable 2008 baseline.
+"""
+
+from __future__ import annotations
+
+from repro.eval.reporting import format_table
+from repro.eval.table8 import run_peerhood_column, run_sns_column
+from repro.sns.devices import NOKIA_N95
+from repro.sns.sites import FACEBOOK_2008, FACEBOOK_MOBILE_2008
+
+
+def test_ablation_mobile_site(bench):
+    def measure():
+        full = run_sns_column(FACEBOOK_2008, NOKIA_N95, seed=4, trials=3)
+        mobile = run_sns_column(FACEBOOK_MOBILE_2008, NOKIA_N95, seed=4,
+                                trials=3)
+        phc = run_peerhood_column(seed=4, trials=3)
+        return full, mobile, phc
+
+    full, mobile, phc = bench(measure)
+    print(format_table(
+        ["Column", "Search", "Join", "Members", "Profile", "Total"],
+        [[name, f"{t.search_s:.0f}", f"{t.join_s:.0f}",
+          f"{t.member_list_s:.0f}", f"{t.profile_s:.0f}",
+          f"{t.total_s:.0f}"]
+         for name, t in (("Facebook full site / N95", full),
+                         ("Facebook mobile site / N95", mobile),
+                         ("PeerHood Community", phc))],
+        title="Mobile-site ablation (seconds)"))
+
+    # The mobile site helps a lot...
+    assert mobile.total_s < full.total_s * 0.75
+    # ...but cannot remove the structural costs: search still needs
+    # typing + scanning, join still needs a round trip.
+    assert mobile.search_s > 15.0
+    assert mobile.join_s > 3.0
+    # PeerHood still wins overall, and join stays zero.
+    assert phc.total_s < mobile.total_s
+    assert phc.join_s == 0.0

@@ -1,0 +1,27 @@
+"""Ablation: semantic interest matching (the thesis' future work, §6).
+
+Without semantics, "biking" and "cycling" split into two groups
+(§5.2.6's reported weakness).  With teaching enabled, the split groups
+merge.  The bench quantifies the before/after and times the teach +
+re-match pass.
+"""
+
+from __future__ import annotations
+
+from repro.eval.ablations import run_semantics_ablation
+
+
+def test_ablation_semantics_merges_split_groups(bench):
+    result = bench(run_semantics_ablation, 21)
+    print("Semantics ablation (regenerated §5.2.6 scenario):")
+    print(f"  groups before teaching: {sorted(result.groups_before)}")
+    print(f"  biking members before:  {sorted(result.biking_members_before)}")
+    print(f"  merged members after:   {sorted(result.merged_members_after)}")
+    # Before: ben (cycling) is not in ann's biking group.
+    assert "ben" not in result.biking_members_before
+    assert set(result.biking_members_before) == {"ann", "cat"}
+    # After teaching: one merged group holds all three riders.
+    assert set(result.merged_members_after) == {"ann", "ben", "cat"}
+    # The shared 'music' group was never affected.
+    assert "music" in result.groups_before
+    assert "music" in result.groups_after

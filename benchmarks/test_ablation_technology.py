@@ -1,0 +1,33 @@
+"""Ablation: network technology choice (§5.1).
+
+The thesis argues Bluetooth/WLAN should be "primely used" because the
+"cost of data service is low".  The bench measures group-formation
+latency and monetary cost per technology and checks that claim.
+"""
+
+from __future__ import annotations
+
+from repro.eval.ablations import run_technology_ablation
+from repro.eval.reporting import format_table
+
+
+def test_ablation_technology_choice(bench):
+    rows = bench(run_technology_ablation, 3)
+    print(format_table(
+        ["Technology", "Group formation (s)", "Bytes sent", "Cost"],
+        [[row.technology, f"{row.formation_time_s:.2f}",
+          row.bytes_sent, f"{row.cost:.4f}"] for row in rows],
+        title="Technology ablation (regenerated from §5.1's claims)"))
+    by_name = {row.technology: row for row in rows}
+
+    # Local radios are free; GPRS is billed per byte.
+    assert by_name["bluetooth"].cost == 0.0
+    assert by_name["wlan"].cost == 0.0
+    assert by_name["gprs"].cost > 0.0
+    # WLAN's broadcast discovery beats Bluetooth's inquiry; the GPRS
+    # proxy path is the slowest of the three.
+    assert (by_name["wlan"].formation_time_s
+            < by_name["bluetooth"].formation_time_s
+            < by_name["gprs"].formation_time_s)
+    # Every technology does form the group eventually.
+    assert all(row.formation_time_s < 60.0 for row in rows)

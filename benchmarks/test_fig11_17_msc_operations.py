@@ -1,0 +1,45 @@
+"""Figures 11-17: the seven client-server operation MSCs.
+
+For each figure the bench re-runs the operation on the live stack,
+checks the recorded message sequence equals the paper's chart, renders
+the ASCII MSC, and times the run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.mscfigures import FIGURE_TITLES, record_figure, render_figure
+
+#: figure -> (labels exchanged with the desired server, in order).
+EXPECTED_DESIRED_SEQUENCES = {
+    11: ["PS_GETONLINEMEMBERLIST", "OK"],
+    12: ["PS_GETINTERESTLIST", "OK"],
+    13: ["PS_GETPROFILE", "OK"],
+    14: ["PS_ADDPROFILECOMMENT", "SUCCESSFULLY_WRITTEN"],
+    15: ["PS_GETTRUSTEDFRIEND", "OK"],
+    16: ["PS_CHECKTRUSTED", "OK", "PS_GETSHAREDCONTENT", "OK"],
+    17: ["PS_MSG", "SUCCESSFULLY_WRITTEN"],
+}
+
+#: Figures whose non-desired server answers NO_MEMBERS_YET in the paper.
+BROADCAST_FIGURES = {13, 14, 15, 16}
+
+
+@pytest.mark.parametrize("figure", sorted(FIGURE_TITLES))
+def test_msc_figure_sequence_and_rendering(bench, figure):
+    recorder, _result = bench(record_figure, figure, 3)
+
+    desired = [event.label for event in
+               recorder.messages_between("client:alice", "server:bob")]
+    assert desired == EXPECTED_DESIRED_SEQUENCES[figure]
+
+    if figure in BROADCAST_FIGURES:
+        other = [event.label for event in
+                 recorder.messages_between("client:alice", "server:carol")]
+        assert other[-1] == "NO_MEMBERS_YET"
+
+    art = render_figure(figure, seed=3)
+    print()
+    print(art)
+    assert FIGURE_TITLES[figure].split(":")[0] in art

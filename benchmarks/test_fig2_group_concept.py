@@ -1,0 +1,42 @@
+"""Figure 2: the dynamic group discovery concept.
+
+One central user with three distinct interests, surrounded by
+neighbours; three dynamic groups form around the centre, one per
+interest — "three closed boundaries inside the mobile environment
+represent three dynamically formed groups".
+"""
+
+from __future__ import annotations
+
+from repro.eval.testbed import Testbed
+
+
+def _figure2_neighbourhood():
+    bed = Testbed(seed=2, technologies=("bluetooth",))
+    center = bed.add_member("center", ["football", "music", "movies"])
+    bed.add_member("f1", ["football"])
+    bed.add_member("f2", ["football"])
+    bed.add_member("m1", ["music"])
+    bed.add_member("v1", ["movies"])
+    bed.add_member("v2", ["movies"])
+    bed.add_member("loner", ["knitting"])
+    bed.run(60.0)
+    groups = {name: center.app.group_members(name)
+              for name in center.app.groups()}
+    bed.stop()
+    return groups
+
+
+def test_fig2_three_groups_around_the_center(bench):
+    groups = bench(_figure2_neighbourhood)
+    print("Figure 2 (regenerated): dynamic groups around the central user")
+    for name, members in sorted(groups.items()):
+        print(f"  {name}: {members}")
+    assert set(groups) == {"football", "music", "movies"}
+    assert groups["football"] == ["center", "f1", "f2"]
+    assert groups["music"] == ["center", "m1"]
+    assert groups["movies"] == ["center", "v1", "v2"]
+    # The centre belongs to all three; the loner to none.
+    for members in groups.values():
+        assert "center" in members
+        assert "loner" not in members

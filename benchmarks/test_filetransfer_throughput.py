@@ -1,0 +1,61 @@
+"""File-transfer throughput per technology.
+
+Downloads the same shared file over Bluetooth, WLAN and GPRS and
+compares achieved goodput against each technology's nominal rate —
+connecting the Table 1/§2.4 rate figures to an end-to-end application
+behaviour (the trusted file "use" of Table 7).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.reporting import format_table
+from repro.eval.testbed import Testbed
+
+FILE_BYTES = 400_000
+
+
+def _download_over(technology: str) -> tuple[float, float]:
+    """Returns (simulated seconds, goodput bits/s) for one download."""
+    bed = Testbed(seed=91, technologies=(technology,))
+    alice = bed.add_member("alice", ["x"])
+    bob = bed.add_member("bob", ["x"])
+    bob.app.accept_trusted("alice")
+    bob.app.share_file("payload.bin", FILE_BYTES)
+    bed.run(40.0)
+    start = bed.env.now
+    progress = bed.execute(alice.app.download_file("bob", "payload.bin"),
+                           timeout=3000.0)
+    elapsed = bed.env.now - start
+    bed.stop()
+    assert progress.complete
+    return elapsed, FILE_BYTES * 8.0 / elapsed
+
+
+@pytest.mark.parametrize("technology", ["bluetooth", "wlan", "gprs"])
+def test_filetransfer_throughput(bench, technology):
+    elapsed, goodput = bench(_download_over, technology)
+    print(f"{technology}: {FILE_BYTES} bytes in {elapsed:.1f} simulated s "
+          f"-> {goodput / 1000.0:.0f} kbit/s goodput")
+    assert elapsed > 0
+    # Goodput can approach but never exceed the nominal link rate.
+    nominal = {"bluetooth": 721_000.0, "wlan": 5_500_000.0,
+               "gprs": 40_000.0}[technology]
+    assert goodput < nominal
+    # The chunked request/response protocol should still achieve a
+    # reasonable fraction of the link on local radios.
+    if technology != "gprs":
+        assert goodput > nominal * 0.25
+
+
+def test_filetransfer_rate_ordering():
+    results = {tech: _download_over(tech)
+               for tech in ("bluetooth", "wlan", "gprs")}
+    print(format_table(
+        ["Technology", "Transfer time (s)", "Goodput (kbit/s)"],
+        [[tech, f"{elapsed:.1f}", f"{goodput / 1000.0:.0f}"]
+         for tech, (elapsed, goodput) in results.items()],
+        title=f"Trusted file download of {FILE_BYTES} bytes"))
+    assert (results["wlan"][0] < results["bluetooth"][0]
+            < results["gprs"][0])

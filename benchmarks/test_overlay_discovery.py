@@ -1,0 +1,74 @@
+"""Overlay group discovery: reach vs latency across hop limits.
+
+The §6 future-work experiment: run the Figure 6 algorithm over a
+multi-hop ad-hoc overlay and measure what each extra hop buys (more
+members in the group) and costs (route discovery + relayed transfer
+latency).  Topology: a 7-device Bluetooth chain, every member sharing
+one interest, so hop limit alone controls reach.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adhoc import NeighborGraph, OverlayGroupDiscovery, RelayNode
+from repro.eval.reporting import format_table
+from repro.eval.testbed import Testbed
+from repro.mobility import Point
+from repro.radio.standards import BLUETOOTH
+
+CHAIN = 7
+
+
+def _chain_overlay(k: int):
+    bed = Testbed(seed=65, technologies=("bluetooth",))
+    members = []
+    for index in range(CHAIN):
+        members.append(bed.add_member(
+            f"n{index}", ["football"],
+            position=Point(50.0 + index * 8.0, 100.0)))
+        RelayNode(bed.env, members[-1].device.stack, BLUETOOTH)
+    bed.run(30.0)
+    graph = NeighborGraph(bed.medium, "bluetooth")
+    overlay = OverlayGroupDiscovery(bed.env, members[0].device.stack,
+                                    graph, BLUETOOTH, members[0].app.store)
+    start = bed.env.now
+    bed.execute(overlay.discover(k=k), timeout=1200.0)
+    elapsed = bed.env.now - start
+    bed.stop()
+    return overlay, elapsed
+
+
+@pytest.mark.parametrize("k", [1, 2, 4, 6])
+def test_overlay_reach_per_hop_limit(bench, k):
+    overlay, elapsed = bench(_chain_overlay, k)
+    print(f"k={k}: reach={overlay.reach()} members, "
+          f"group size={len(overlay.members_of('football'))}, "
+          f"discovery took {elapsed:.2f} simulated s")
+    # On a chain, k hops reach exactly k further members.
+    assert overlay.reach() == min(k, CHAIN - 1)
+    assert len(overlay.members_of("football")) == min(k, CHAIN - 1) + 1
+
+
+def test_overlay_reach_latency_tradeoff():
+    rows = []
+    results = {}
+    for k in (1, 2, 4, 6):
+        overlay, elapsed = _chain_overlay(k)
+        results[k] = (overlay.reach(), elapsed,
+                      overlay.mean_probe_latency())
+        rows.append([k, overlay.reach(), f"{elapsed:.2f}",
+                     f"{overlay.mean_probe_latency():.3f}"])
+    print(format_table(
+        ["k (hop limit)", "Members reached", "Total discovery (s)",
+         "Mean probe (s)"],
+        rows, title="Overlay dynamic group discovery (§6 future work)"))
+    # Reach grows monotonically with k...
+    reaches = [results[k][0] for k in (1, 2, 4, 6)]
+    assert reaches == sorted(reaches) and reaches[0] < reaches[-1]
+    # ...and so does total latency (more members + longer routes).
+    totals = [results[k][1] for k in (1, 2, 4, 6)]
+    assert totals == sorted(totals) and totals[0] < totals[-1]
+    # Per-probe latency also grows: farther members cost more per probe.
+    means = [results[k][2] for k in (1, 2, 4, 6)]
+    assert means[0] < means[-1]

@@ -1,0 +1,42 @@
+"""Neighbourhood sweeps: density and interest fragmentation.
+
+The quantitative follow-ups to Figure 2's concept picture: how crowd
+size stretches group-formation time, and how a growing interest
+vocabulary fragments one crowd into many small groups.
+"""
+
+from __future__ import annotations
+
+from repro.eval.reporting import format_table
+from repro.eval.sweeps import density_sweep, fragmentation_sweep
+
+
+def test_density_sweep(bench):
+    points = bench(density_sweep, (2, 4, 8), 1)
+    print(format_table(
+        ["Members", "Complete group at (s)", "Observer bytes"],
+        [[p.members, f"{p.complete_at_s:.1f}", p.bytes_sent]
+         for p in points],
+        title="Density sweep: time to a complete group"))
+    times = [p.complete_at_s for p in points]
+    assert times == sorted(times)
+    # More members -> more probes -> more traffic from the observer.
+    traffic = [p.bytes_sent for p in points]
+    assert traffic == sorted(traffic)
+    # Even a 8-member room completes within one scan cycle or two.
+    assert times[-1] < 60.0
+
+
+def test_fragmentation_sweep(bench):
+    points = bench(fragmentation_sweep, (2, 6, 12), 10, 1)
+    print(format_table(
+        ["Interest pool", "Groups seen", "Largest group", "Singletons"],
+        [[p.pool_size, p.groups, p.largest_group, p.singleton_groups]
+         for p in points],
+        title="Fragmentation sweep: vocabulary size vs group shape"))
+    # A tiny vocabulary concentrates everyone into big groups...
+    assert points[0].largest_group >= points[-1].largest_group
+    # ...and a big vocabulary cannot produce *more* cohesion.
+    assert points[0].groups <= points[0].pool_size
+    for point in points:
+        assert point.largest_group >= 1

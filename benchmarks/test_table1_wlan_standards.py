@@ -1,0 +1,50 @@
+"""Table 1: WLAN standards.
+
+Regenerates the standards table from the code registry and benchmarks
+a 1 MB transfer over each standard's parameterised technology, checking
+the data-rate ordering the paper tabulates.
+"""
+
+from __future__ import annotations
+
+from repro.eval.reporting import format_table
+from repro.radio.standards import wlan_standards_table
+
+
+def _regenerate_table1() -> list:
+    rows = wlan_standards_table()
+    print(format_table(
+        ["Standard", "Data Rate", "Band", "Security"],
+        [[row.standard, f"Up to {row.max_rate_mbps:g} Mbps", row.band,
+          " and ".join(row.security)] for row in rows],
+        title="Table 1: WLAN standards (regenerated)"))
+    return rows
+
+
+def test_table1_wlan_standards(bench):
+    rows = bench(_regenerate_table1)
+
+    by_name = {row.standard: row for row in rows}
+    # The paper's rate facts.
+    assert by_name["IEEE 802.11"].max_rate_mbps == 2.0
+    assert by_name["IEEE 802.11b"].max_rate_mbps == 11.0
+    assert (by_name["IEEE 802.11a"].max_rate_mbps
+            == by_name["IEEE 802.11g"].max_rate_mbps == 54.0)
+    # "Relatively shorter range than 802.11b" for 802.11a.
+    assert (by_name["IEEE 802.11a"].technology.range_m
+            < by_name["IEEE 802.11b"].technology.range_m)
+    # Faster standard -> faster 1 MB transfer, matching rate order.
+    transfer_times = {row.standard: row.technology.transfer_time(1_000_000)
+                      for row in rows}
+    assert (transfer_times["IEEE 802.11"] > transfer_times["IEEE 802.11b"]
+            > transfer_times["IEEE 802.11g"])
+
+
+def test_table1_transfer_benchmark(bench):
+    rows = wlan_standards_table()
+
+    def sweep():
+        return [row.technology.transfer_time(1_000_000) for row in rows]
+
+    times = bench(sweep)
+    assert all(t > 0 for t in times)

@@ -1,0 +1,53 @@
+"""Table 2: social networking sites and their registered users.
+
+Regenerates the census table and benchmarks the centralized database
+at census-proportional scale: group search cost grows with catalogue
+size, which is part of why §3.2 calls group management "the major
+issue in SNS".
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.eval.reporting import format_table
+from repro.sns.census import CENSUS, seed_database_from_census
+from repro.sns.database import SnsDatabase
+
+
+def _regenerate_table2():
+    print(format_table(
+        ["SNS", "URL", "Focus", "Registered Users"],
+        [[row.site, row.url, row.focus, f"{row.registered_users:,}"]
+         for row in CENSUS],
+        title="Table 2: SNSs and their registered users (regenerated)"))
+    return CENSUS
+
+
+def test_table2_census(bench):
+    census = bench(_regenerate_table2)
+    assert len(census) == 8
+    assert census[0].site == "MySpace"
+    assert census[0].registered_users == 217_000_000
+    counts = [row.registered_users for row in census]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_table2_database_scales_with_census(bench):
+    """Seed two sites at the same scale; the bigger census row yields
+    the bigger population, and search still works at both sizes."""
+    scale = 200_000
+
+    def build_and_search():
+        populations = {}
+        for row in CENSUS[:2]:  # MySpace and Facebook
+            database = SnsDatabase()
+            created = seed_database_from_census(database, row, Random(1),
+                                                scale=scale)
+            hits = database.search_groups("football")
+            populations[row.site] = (created, len(hits))
+        return populations
+
+    populations = bench(build_and_search)
+    assert populations["MySpace"][0] > populations["Facebook"][0]
+    assert populations["MySpace"][1] >= 1

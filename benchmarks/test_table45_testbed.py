@@ -1,0 +1,52 @@
+"""Tables 4 and 5: the reference implementation's test specification.
+
+Regenerates both specification tables from the catalogue and benchmarks
+building the corresponding simulated room (Appendix 1) up to a formed
+Football group.
+"""
+
+from __future__ import annotations
+
+from repro.eval.paperbed import HARDWARE_SPECS, SOFTWARE_SPECS, build_paper_testbed
+from repro.eval.reporting import format_table
+
+
+def test_table4_software_spec(bench):
+    def regenerate():
+        print(format_table(
+            ["Software Used", "Specification"],
+            [[spec.software, spec.version] for spec in SOFTWARE_SPECS],
+            title="Table 4: software specification (regenerated)"))
+        return SOFTWARE_SPECS
+
+    specs = bench(regenerate)
+    assert specs[0].software == "PeerHood"
+    assert "0.2" in specs[0].version
+
+
+def test_table5_hardware_spec(bench):
+    def regenerate():
+        print(format_table(
+            ["Hardware Used", "Processor", "Memory", "OS"],
+            [[spec.name, spec.processor, f"{spec.memory_mb:g} MB", spec.os]
+             for spec in HARDWARE_SPECS],
+            title="Table 5: hardware specification (regenerated)"))
+        return HARDWARE_SPECS
+
+    specs = bench(regenerate)
+    assert [spec.name for spec in specs] == [
+        "Desktop PC1", "Desktop PC2", "Laptop (IBM ThinkPad T40)"]
+
+
+def test_table45_room_6604_buildup(bench):
+    """Benchmark standing up the paper's room to a formed group."""
+
+    def build_and_form():
+        bed, members = build_paper_testbed(seed=4)
+        bed.run(60.0)
+        group = members["pc1"].app.group_members("football")
+        bed.stop()
+        return group
+
+    group = bench(build_and_form)
+    assert group == ["pc1", "pc2", "t40"]

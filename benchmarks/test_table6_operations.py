@@ -1,0 +1,94 @@
+"""Table 6: client requests and corresponding server functions.
+
+Benchmarks one round trip of every ``PS_*`` operation over the live
+simulated stack and verifies the dispatch map covers the whole table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.community import protocol
+from repro.eval.reporting import format_table
+from repro.eval.testbed import Testbed
+
+#: (operation, request kwargs, expected status on the desired server).
+TABLE6_CASES = [
+    (protocol.PS_GETONLINEMEMBERLIST, {}, protocol.STATUS_OK),
+    (protocol.PS_GETINTERESTLIST, {}, protocol.STATUS_OK),
+    (protocol.PS_GETINTERESTEDMEMBERLIST, {"interest": "football"},
+     protocol.STATUS_OK),
+    (protocol.PS_GETPROFILE, {"member_id": "bob", "requester": "alice"},
+     protocol.STATUS_OK),
+    (protocol.PS_ADDPROFILECOMMENT,
+     {"member_id": "bob", "requester": "alice", "comment": "nice"},
+     protocol.SUCCESSFULLY_WRITTEN),
+    (protocol.PS_CHECKMEMBERID, {"member_id": "bob"}, protocol.STATUS_OK),
+    (protocol.PS_MSG, {"receiver": "bob", "sender": "alice",
+                       "subject": "s", "body": "b"},
+     protocol.SUCCESSFULLY_WRITTEN),
+    (protocol.PS_SHAREDCONTENT, {"requester": "alice"},
+     protocol.STATUS_OK),
+    (protocol.PS_GETTRUSTEDFRIEND, {"member_id": "bob"}, protocol.STATUS_OK),
+    (protocol.PS_CHECKTRUSTED, {"member_id": "bob", "requester": "alice"},
+     protocol.STATUS_OK),
+    (protocol.PS_GETSHAREDCONTENT, {"member_id": "bob",
+                                    "requester": "alice"},
+     protocol.STATUS_OK),
+]
+
+
+@pytest.fixture(scope="module")
+def settled_bed():
+    bed = Testbed(seed=6, technologies=("bluetooth",))
+    alice = bed.add_member("alice", ["football"])
+    bob = bed.add_member("bob", ["football"])
+    bob.app.accept_trusted("alice")
+    bob.app.share_file("file.bin", 1024)
+    bed.run(30.0)
+    # Warm the connection pool so benches time the request, not setup.
+    bed.execute(alice.app.view_all_members())
+    yield bed, alice
+    bed.stop()
+
+
+def test_table6_dispatch_map_is_complete():
+    print(format_table(
+        ["Operation requested by the client", "Required fields"],
+        [[op, ", ".join(fields) or "-"]
+         for op, fields in sorted(protocol.OPERATIONS.items())],
+        title="Table 6: request vocabulary (regenerated)"))
+    table6_ops = {op for op, _, _ in TABLE6_CASES}
+    assert table6_ops <= set(protocol.OPERATIONS)
+
+
+@pytest.mark.parametrize("op,params,expected",
+                         TABLE6_CASES, ids=[c[0] for c in TABLE6_CASES])
+def test_table6_operation_roundtrip(settled_bed, bench, op, params, expected):
+    bed, alice = settled_bed
+
+    def roundtrip():
+        def request():
+            payload = yield from alice.app.client._single(
+                "bob", protocol.make_request(op, **params))
+            return payload
+
+        return bed.execute(request())
+
+    payload = bench(roundtrip)
+    assert protocol.response_status(payload) == expected
+
+
+def test_table6_virtual_roundtrip_under_bluetooth_budget(settled_bed):
+    """One pooled request-response stays well under a second of
+    virtual time on Bluetooth - the protocol is two small frames."""
+    bed, alice = settled_bed
+    start = bed.env.now
+
+    def request():
+        payload = yield from alice.app.client._single(
+            "bob", protocol.make_request(protocol.PS_GETONLINEMEMBERLIST))
+        return payload
+
+    bed.execute(request())
+    assert bed.env.now - start < 1.0

@@ -1,0 +1,79 @@
+"""Table 7: features of the reference implementation.
+
+Runs every feature row of the table once on a four-device
+neighbourhood and benchmarks the complete feature tour.
+"""
+
+from __future__ import annotations
+
+from repro.community import protocol
+from repro.eval.testbed import Testbed
+
+
+def _feature_tour() -> dict[str, bool]:
+    done: dict[str, bool] = {}
+    bed = Testbed(seed=77, semantic=True, technologies=("bluetooth",))
+    alice = bed.add_member("alice", ["football", "music"])
+    bob = bed.add_member("bob", ["football"])
+    carol = bed.add_member("carol", ["music"])
+    bed.add_member("dave", ["chess"])
+    bed.run(40.0)
+
+    app = alice.app
+    # Profiles.
+    app.profile.add_interest("hiking")
+    done["Add/Edit Profile"] = app.profile.full_name == "Alice"
+    done["Add/Edit Personal Interest"] = "hiking" in app.profile.interests
+    members = bed.execute(app.view_all_members())
+    done["View All Members"] = len(members) == 3
+    profile = bed.execute(app.view_member_profile("bob"))
+    done["View/Comment Other Members Profile"] = (
+        profile is not None
+        and bed.execute(app.comment_profile("bob", "hi")))
+    bed.execute(bob.app.view_member_profile("alice"))
+    done["View Own Viewers and Comments"] = (
+        [v.viewer for v in app.profile.viewers] == ["bob"])
+    app.store.create_profile("alice-work", "work", "pw2")
+    done["Support for Multiple Profiles"] = len(app.store) == 2
+    status = bed.execute(app.send_message("bob", "s", "b"))
+    done["Send/Receive Messages"] = (
+        status == protocol.SUCCESSFULLY_WRITTEN
+        and bob.app.profile.inbox[0].sender == "alice")
+    services = app.library.get_service_listing()
+    done["View all Registered Services"] = any(
+        s.name == "PeerHoodCommunity" for s in services)
+
+    # Dynamic groups.
+    done["Dynamic Discovery with Common Interest"] = (
+        app.group_members("football") == ["alice", "bob"])
+    done["View All Groups"] = set(app.groups()) >= {"football", "music"}
+    done["View Members of Group"] = app.group_members("music") == [
+        "alice", "carol"]
+    app.join_group("chess")
+    joined = "chess" in app.my_groups()
+    app.leave_group("chess")
+    done["Join/Leave Manually"] = joined and "chess" not in app.my_groups()
+
+    # Trusted friends.
+    bob.app.accept_trusted("alice")
+    bob.app.share_file("training.mp4", 5_000_000)
+    trusted = bed.execute(app.view_trusted_friends("bob"))
+    bob.app.remove_trusted("alice")
+    removable = bed.execute(
+        app.view_shared_content("bob")) == protocol.NOT_TRUSTED_YET
+    bob.app.accept_trusted("alice")
+    files = bed.execute(app.view_shared_content("bob"))
+    done["Add/View/Remove Trusted"] = trusted == ["alice"] and removable
+    done["File Sharing"] = files == [{"name": "training.mp4",
+                                      "size": 5_000_000}]
+    bed.stop()
+    return done
+
+
+def test_table7_feature_tour(bench):
+    done = bench(_feature_tour)
+    print("Table 7: features of the reference implementation (exercised)")
+    for feature, passed in done.items():
+        print(f"  {feature:42s} {'OK' if passed else 'FAIL'}")
+    assert all(done.values()), {k: v for k, v in done.items() if not v}
+    assert len(done) == 14  # Table 7 has 14 feature rows

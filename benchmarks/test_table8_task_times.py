@@ -1,0 +1,97 @@
+"""Table 8 — the headline experiment.
+
+Measures all five columns (Facebook/Hi5 x N810/N95, PeerHood
+Community) on the paper's four tasks, prints the regenerated table
+beside the paper's values, and asserts the result *shape*:
+
+* PeerHood Community beats every SNS column on total time, by roughly
+  the paper's 2-4x factor;
+* join time is structurally zero for PeerHood (dynamic discovery);
+* within each site, the N95 is slower than the N810;
+* each measured cell is within 35% of the paper's value.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.table8 import (
+    PAPER_TABLE8,
+    format_table8,
+    run_peerhood_column,
+    run_sns_column,
+    run_table8,
+)
+from repro.sns.devices import NOKIA_N810, NOKIA_N95
+from repro.sns.sites import FACEBOOK_2008, HI5_2008
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return run_table8(seed=0, trials=3)
+
+
+def test_table8_full_reproduction(bench, measured):
+    from repro.eval.validation import format_validation, validate_table8
+
+    print()
+    print(format_table8(measured))
+    report = validate_table8(measured)
+    print()
+    print(format_validation(report))
+    assert report.shape_holds, report.shape_violations
+    assert report.mean_abs_relative < 0.20
+
+    paper = PAPER_TABLE8
+    phc = measured["PeerHood Community"]
+
+    # Structural facts of the paper's analysis (§5.2.6).
+    assert phc.join_s == 0.0
+    for column, times in measured.items():
+        if column == "PeerHood Community":
+            continue
+        assert phc.total_s < times.total_s, column
+    # "far more time efficient": 94/45 to 181/45 is 2.1-4.0x.
+    ratios = [measured[c].total_s / phc.total_s
+              for c in measured if c != "PeerHood Community"]
+    assert min(ratios) > 1.8
+    assert max(ratios) < 6.0
+    # Device ordering within each site.
+    assert (measured["Facebook / Nokia N810"].total_s
+            < measured["Facebook / Nokia N95"].total_s)
+    assert (measured["HI5 / Nokia N810"].total_s
+            < measured["HI5 / Nokia N95"].total_s)
+    # Cell-level accuracy: each non-zero cell within 35% of the paper.
+    for column, times in measured.items():
+        expected = paper[column]
+        for got, want in ((times.search_s, expected.search_s),
+                          (times.join_s, expected.join_s),
+                          (times.member_list_s, expected.member_list_s),
+                          (times.profile_s, expected.profile_s)):
+            if want == 0.0:
+                assert got == 0.0
+            else:
+                assert abs(got - want) / want < 0.35, (column, got, want)
+
+    # Benchmark the cheapest column end to end for the record.
+    bench(run_peerhood_column, seed=1, trials=1)
+
+
+def test_table8_sns_columns_benchmark(bench):
+    times = bench(run_sns_column, FACEBOOK_2008, NOKIA_N810,
+                  seed=2, trials=1)
+    assert times.total_s > 0
+
+
+def test_table8_n95_network_penalty(bench):
+    """The N95's cellular path dominates its slowdown: same site, same
+    human, slower network and smaller screen."""
+
+    def both():
+        n810 = run_sns_column(HI5_2008, NOKIA_N810, seed=3, trials=2)
+        n95 = run_sns_column(HI5_2008, NOKIA_N95, seed=3, trials=2)
+        return n810, n95
+
+    n810, n95 = bench(both)
+    assert n95.search_s > n810.search_s
+    assert n95.profile_s > n810.profile_s

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""The reference application's text interface (Figure 10).
+
+Recreates the paper's main user screen as an interactive menu driving a
+live simulated neighbourhood.  Non-interactive runs (CI, piping) can
+pass choices on the command line.
+
+Run:
+    python examples/interactive_menu.py            # interactive
+    python examples/interactive_menu.py 1 2 4 0    # scripted choices
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.eval.testbed import Testbed
+
+MENU = """\
+*********** PeerHood Community ***********
+ 1. View All Members
+ 2. View All Groups
+ 3. View Members of a Group (football)
+ 4. View Member Profile (bob)
+ 5. View Interest List
+ 6. Comment Bob's Profile
+ 7. Send Message to Bob
+ 8. View Bob's Shared Content
+ 9. View Bob's Trusted Friends
+ 0. Log out and exit
+******************************************"""
+
+
+def build_world() -> tuple[Testbed, object]:
+    bed = Testbed(seed=10)
+    alice = bed.add_member("alice", ["football", "music"])
+    bob = bed.add_member("bob", ["football", "movies"])
+    bed.add_member("carol", ["music", "movies"])
+    bob.app.accept_trusted("alice")
+    bob.app.share_file("playlist.m3u", 12_000)
+    bed.run(30.0)
+    return bed, alice
+
+
+def run_choice(bed: Testbed, alice, choice: str) -> bool:
+    """Execute one menu entry; returns False on exit."""
+    app = alice.app
+    if choice == "1":
+        members = bed.execute(app.view_all_members())
+        print("Online members:", [m["member_id"] for m in members])
+    elif choice == "2":
+        print("Groups here:", app.groups())
+    elif choice == "3":
+        print("football group:", app.group_members("football"))
+    elif choice == "4":
+        profile = bed.execute(app.view_member_profile("bob"))
+        if profile is None:
+            print("No such member around.")
+        else:
+            print(f"Profile of {profile['full_name']}: "
+                  f"interests={profile['interests']}, "
+                  f"comments={profile['comments']}")
+    elif choice == "5":
+        print("Interests available:", bed.execute(app.view_interest_list()))
+    elif choice == "6":
+        print("Comment result:",
+              bed.execute(app.comment_profile("bob", "Hello from the menu!")))
+    elif choice == "7":
+        print("Send status:",
+              bed.execute(app.send_message("bob", "hi", "from the menu")))
+    elif choice == "8":
+        print("Shared content:", bed.execute(app.view_shared_content("bob")))
+    elif choice == "9":
+        print("Trusted friends:",
+              bed.execute(app.view_trusted_friends("bob")))
+    elif choice == "0":
+        app.logout()
+        print("Logged out successfully.")
+        return False
+    else:
+        print(f"Unknown choice {choice!r}.")
+    return True
+
+
+def main() -> None:
+    bed, alice = build_world()
+    scripted = sys.argv[1:]
+    print(f"Logged in as {alice.member_id!r}; "
+          f"neighbourhood discovered after {bed.env.now:.0f} virtual s.\n")
+    while True:
+        print(MENU)
+        if scripted:
+            choice = scripted.pop(0)
+            print(f"Select Your Choice: {choice}")
+        else:
+            try:
+                choice = input("Select Your Choice: ").strip()
+            except EOFError:
+                choice = "0"
+        if not run_choice(bed, alice, choice):
+            break
+        print()
+    bed.stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: three phones meet, groups form, people interact.
+
+Builds a Bluetooth+WLAN neighbourhood of three members, lets PeerHood
+discover devices and services, watches dynamic group discovery form
+interest groups, then exercises the headline social operations
+(member list, profile view, comment, trust-gated file sharing,
+messaging).
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.eval.testbed import Testbed
+
+
+def main() -> None:
+    bed = Testbed(seed=7)
+
+    print("== Setting up the neighbourhood ==")
+    alice = bed.add_member("alice", interests=["football", "music"])
+    bob = bed.add_member("bob", interests=["football", "movies"])
+    carol = bed.add_member("carol", interests=["music", "movies"])
+    print("devices: alice, bob, carol (all within Bluetooth range)")
+
+    print("\n== Letting PeerHood discover (30 virtual seconds) ==")
+    bed.run(30.0)
+    for member in (alice, bob, carol):
+        print(f"  {member.member_id} is in groups: {member.groups()}")
+
+    print("\n== Dynamic groups (no search, no join step) ==")
+    print(f"  football: {alice.app.group_members('football')}")
+    print(f"  music:    {alice.app.group_members('music')}")
+    print(f"  movies:   {bob.app.group_members('movies')}")
+
+    print("\n== Social operations over the PS_* protocol ==")
+    members = bed.execute(alice.app.view_all_members())
+    print(f"  alice's member list: {[m['member_id'] for m in members]}")
+
+    profile = bed.execute(alice.app.view_member_profile("bob"))
+    print(f"  bob's profile: name={profile['full_name']!r}, "
+          f"interests={profile['interests']}")
+
+    bed.execute(alice.app.comment_profile("bob", "Nice to meet you!"))
+    print(f"  bob's comments now: "
+          f"{[(c.author, c.text) for c in bob.app.profile.comments]}")
+
+    print("\n== Trust-gated file sharing ==")
+    bob.app.share_file("match_highlights.mp4", 2_500_000)
+    denied = bed.execute(carol.app.view_shared_content("bob"))
+    print(f"  carol (not trusted) gets: {denied}")
+    bob.app.accept_trusted("alice")
+    files = bed.execute(alice.app.view_shared_content("bob"))
+    print(f"  alice (trusted) gets: {files}")
+
+    print("\n== Messaging ==")
+    status = bed.execute(alice.app.send_message(
+        "bob", "tickets", "I have a spare ticket for Saturday."))
+    print(f"  send status: {status}")
+    print(f"  bob's inbox: "
+          f"{[(m.sender, m.subject) for m in bob.app.profile.inbox]}")
+
+    bed.stop()
+    print(f"\nDone at t={bed.env.now:.1f} virtual seconds.")
+
+
+if __name__ == "__main__":
+    main()

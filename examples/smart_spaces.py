@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Smart spaces: the paper's other PeerHood applications (§4.4).
+
+One simulated building, three PeerHood applications sharing the same
+middleware instance per device:
+
+* **Access control** — Alice's PTD unlocks the lab door; Mallory's
+  is refused and audited.
+* **Guidance** — a visitor asks guidance points the way to the lab
+  and follows the hops.
+* **Fitness** — after work, Alice streams a workout to the gym's
+  treadmill and gets instant analysed feedback.
+
+Run:
+    python examples/smart_spaces.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.access_control import AccessControlledDoor, DoorKeyClient
+from repro.apps.fitness import FitnessDevice, FitnessTracker
+from repro.apps.guidance import GuidancePoint, GuidanceRouter, Traveler
+from repro.eval.testbed import Testbed
+from repro.mobility import PathFollower, Point
+
+
+def main() -> None:
+    bed = Testbed(seed=44, technologies=("bluetooth",))
+
+    print("== Installing the building's PeerHood devices ==")
+    router = GuidanceRouter()
+    for name, position in (("entrance", Point(100, 100)),
+                           ("corridor", Point(106, 100)),
+                           ("gym", Point(106, 94)),
+                           ("lab", Point(112, 100))):
+        router.add_place(name, position)
+        GuidancePoint(bed.add_device(f"gp-{name}", position=position).library,
+                      router, name)
+    router.connect_places("entrance", "corridor")
+    router.connect_places("corridor", "lab")
+    router.connect_places("corridor", "gym")
+
+    door = AccessControlledDoor(
+        bed.add_device("lab-door", position=Point(111, 100)).library,
+        "ComLab room 6604", authorized={"alice"})
+    treadmill = FitnessDevice(
+        bed.add_device("treadmill", position=Point(106, 93)).library,
+        "treadmill #1")
+
+    alice = bed.add_device("alice", position=Point(101, 100))
+    mallory = bed.add_device("mallory", position=Point(105, 101))
+    bed.run(40.0)
+
+    print("\n== Guidance: Alice asks the way to the lab ==")
+    traveler = Traveler(alice.library)
+    reply = bed.execute(traveler.ask_route("lab"))
+    print(f"  at {reply['here']!r}: go to {reply['next']!r} "
+          f"(full path: {reply['path']})")
+    while reply["here"] != "lab":
+        target = Point(*reply["next_position"])
+        node = bed.world.node("alice")
+        node.model = PathFollower([node.position, target], speed=1.5)
+        bed.run(30.0)
+        reply = bed.execute(traveler.ask_route("lab"))
+        print(f"  now at {reply['here']!r}, next: {reply['next']!r}")
+
+    print("\n== Access control at the lab door ==")
+    decision = bed.execute(DoorKeyClient(alice.library)
+                           .request_access("lab-door"))
+    print(f"  alice: granted={decision['granted']} ({decision['reason']})")
+    decision = bed.execute(DoorKeyClient(mallory.library)
+                           .request_access("lab-door"))
+    print(f"  mallory: granted={decision['granted']} ({decision['reason']})")
+    print("  door audit log:")
+    for entry in door.log:
+        verdict = "GRANTED" if entry.granted else "REFUSED"
+        print(f"    t={entry.time:6.1f}s {entry.device_id:8s} {verdict}: "
+              f"{entry.reason}")
+
+    print("\n== Fitness: a workout at the gym ==")
+    node = bed.world.node("alice")
+    node.model = PathFollower([node.position, Point(106, 94)], speed=1.5)
+    bed.run(40.0)
+    tracker = FitnessTracker(alice.library)
+    print(f"  visible equipment: {tracker.visible_equipment()}")
+    feedback = bed.execute(tracker.workout(
+        "treadmill",
+        [[95.0, 105.0, 112.0], [128.0, 136.0, 140.0], [152.0, 158.0]]))
+    for item in feedback:
+        print(f"    {item.samples} samples, mean {item.mean_bpm:.0f} bpm "
+              f"({item.zone}): {item.encouragement}")
+    print(f"  treadmill analysed {treadmill.batches_analysed} batches")
+
+    bed.stop()
+    print(f"\nDone at t={bed.env.now:.0f} virtual seconds.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's figure artefacts into docs/figures/.
+
+Writes one text file per reproducible figure:
+
+* ``fig11.txt`` .. ``fig17.txt`` — the operation MSCs, re-recorded
+  from live runs (compare against the thesis' Figures 11-17);
+* ``fig06_algorithm.txt`` — the dynamic group discovery run log
+  (device found -> services -> probe -> groups);
+* ``table8.txt`` — the measured Table 8 next to the paper's.
+
+Run:
+    python scripts/render_figures.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.eval.mscfigures import FIGURE_TITLES, render_figure
+from repro.eval.table8 import format_table8, run_table8
+from repro.eval.testbed import Testbed
+from repro.eval.tracelog import TraceLog
+
+
+def render_fig6_log() -> str:
+    """A narrated single run of the Figure 6 algorithm."""
+    bed = Testbed(seed=6, technologies=("bluetooth",))
+    log = TraceLog()
+    observer = bed.add_member("alice", ["football", "music"])
+    bed.add_member("bob", ["football"])
+    bed.add_member("carol", ["music", "movies"])
+    log.attach_testbed(bed)
+    bed.run(40.0)
+    lines = ["Figure 6: dynamic group discovery, one live run",
+             "=" * 48]
+    for entry in log.for_device("alice"):
+        lines.append(f"t={entry.time:7.2f}s  {entry.kind:17s} "
+                     f"{entry.detail}")
+    lines.append("")
+    lines.append(f"resulting groups on alice's device: "
+                 f"{ {name: observer.app.group_members(name) for name in observer.app.groups()} }")
+    bed.stop()
+    return "\n".join(lines)
+
+
+def main() -> int:
+    target = Path(sys.argv[1] if len(sys.argv) > 1 else "docs/figures")
+    target.mkdir(parents=True, exist_ok=True)
+    for figure in sorted(FIGURE_TITLES):
+        path = target / f"fig{figure}.txt"
+        path.write_text(render_figure(figure, seed=3) + "\n",
+                        encoding="utf-8")
+        print(f"wrote {path}")
+    fig6 = target / "fig06_algorithm.txt"
+    fig6.write_text(render_fig6_log() + "\n", encoding="utf-8")
+    print(f"wrote {fig6}")
+    table8 = target / "table8.txt"
+    table8.write_text(format_table8(run_table8(seed=0, trials=3)) + "\n",
+                      encoding="utf-8")
+    print(f"wrote {table8}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+The execution environment has no ``wheel`` package, so PEP 660 editable
+installs (which build an editable wheel) fail with
+``invalid command 'bdist_wheel'``.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to
+the classic ``setup.py develop`` path, and plain ``pip install -e .``
+is configured to take that route via ``--no-build-isolation`` in the
+documented install command (see README).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""repro — Social Networking on Mobile Environment on top of PeerHood.
+
+A complete Python reproduction of the 2008 LUT thesis: a discrete-event
+mobile-environment simulator (mobility + Bluetooth/WLAN/GPRS radios),
+the PeerHood peer-to-peer neighbourhood middleware, the PeerHood
+Community social-networking application with dynamic group discovery,
+and the centralized-SNS baseline used by the paper's evaluation.
+
+Quickstart::
+
+    from repro import Testbed
+
+    bed = Testbed(seed=7)
+    alice = bed.add_member("alice", interests=["football", "music"])
+    bob = bed.add_member("bob", interests=["football", "movies"])
+    bed.run(30)                       # let discovery happen
+    print(alice.groups())             # ['football'] - formed dynamically
+"""
+
+from repro.simenv import Environment
+
+__version__ = "1.0.0"
+
+__all__ = ["Environment", "__version__"]
+
+
+def __getattr__(name):
+    """Lazily expose the high-level API to avoid import cycles at setup.
+
+    ``from repro import Testbed`` works once the package is fully
+    built; importing :mod:`repro` alone stays cheap.
+    """
+    if name == "Testbed":
+        from repro.eval.testbed import Testbed
+        return Testbed
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

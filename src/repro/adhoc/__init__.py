@@ -1,0 +1,38 @@
+"""Multi-hop ad-hoc overlay on top of the PeerHood neighbourhood.
+
+The thesis closes with "performance testing during the dynamic group
+discovery in the social network on mobile environment ... in order to
+analyze the efficiency of such dynamic group discovery **in any
+overlay networks**" (§6), citing the ad-hoc dynamic-group work of
+Hong & Gerla (2002) and Chang & Hsu (2000).  PeerHood itself is
+strictly single-hop: a peer is either in radio range or gone.
+
+This package adds the overlay that future work asks about:
+
+* :mod:`repro.adhoc.graph` — the connectivity graph induced by the
+  radio medium, with k-hop neighbourhood queries;
+* :mod:`repro.adhoc.routing` — on-demand route discovery (an
+  AODV-style expanding flood, charged in virtual time per hop);
+* :mod:`repro.adhoc.relay` — store-and-forward relays that chain
+  single-hop connections into a usable multi-hop channel;
+* :mod:`repro.adhoc.overlay` — k-hop dynamic group discovery: the
+  Figure 6 algorithm run over the overlay instead of the radio range.
+"""
+
+from repro.adhoc.gossip import GossipDiscovery, GossipResult
+from repro.adhoc.graph import NeighborGraph
+from repro.adhoc.overlay import OverlayGroupDiscovery
+from repro.adhoc.relay import MultiHopConnection, RelayNode, open_multihop
+from repro.adhoc.routing import RouteDiscovery, RouteRecord
+
+__all__ = [
+    "GossipDiscovery",
+    "GossipResult",
+    "MultiHopConnection",
+    "NeighborGraph",
+    "OverlayGroupDiscovery",
+    "RelayNode",
+    "RouteDiscovery",
+    "RouteRecord",
+    "open_multihop",
+]

@@ -1,0 +1,90 @@
+"""The ad-hoc connectivity graph.
+
+Nodes are devices holding an enabled adapter for the technology;
+edges are live radio links.  The graph is *derived* from the medium on
+every query — mobility changes it continuously, so caching would only
+create staleness bugs.  networkx carries the graph algorithms.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import networkx as nx
+
+from repro.radio.medium import Medium
+
+
+class NeighborGraph:
+    """Connectivity queries over one technology's links."""
+
+    def __init__(self, medium: Medium, technology_name: str) -> None:
+        self.medium = medium
+        self.technology_name = technology_name
+
+    def snapshot(self) -> nx.Graph:
+        """The current connectivity graph as a networkx graph."""
+        graph = nx.Graph()
+        device_ids = sorted({device_id for (device_id, tech_name), adapter
+                             in self.medium._adapters.items()
+                             if tech_name == self.technology_name
+                             and adapter.enabled})
+        graph.add_nodes_from(device_ids)
+        for index, a in enumerate(device_ids):
+            for b in device_ids[index + 1:]:
+                if self.medium.reachable(a, b, self.technology_name):
+                    graph.add_edge(a, b)
+        return graph
+
+    def neighbors(self, device_id: str) -> list[str]:
+        """Direct (1-hop) neighbours."""
+        return self.medium.neighbors(device_id, self.technology_name)
+
+    def k_hop_neighbors(self, device_id: str, k: int) -> dict[str, int]:
+        """Devices within ``k`` hops, mapped to their hop distance.
+
+        BFS over live links; the origin itself is excluded.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k!r}")
+        distances: dict[str, int] = {device_id: 0}
+        frontier = deque([device_id])
+        while frontier:
+            current = frontier.popleft()
+            depth = distances[current]
+            if depth >= k:
+                continue
+            for neighbor in self.neighbors(current):
+                if neighbor not in distances:
+                    distances[neighbor] = depth + 1
+                    frontier.append(neighbor)
+        distances.pop(device_id)
+        return distances
+
+    def shortest_path(self, source: str, target: str) -> list[str] | None:
+        """Hop-minimal path, or ``None`` when partitioned.
+
+        This is the *oracle* path used by tests and benches; the
+        protocol-level path comes from
+        :class:`~repro.adhoc.routing.RouteDiscovery`, which pays
+        virtual time for the flood.
+        """
+        graph = self.snapshot()
+        if source not in graph or target not in graph:
+            return None
+        try:
+            return nx.shortest_path(graph, source, target)
+        except nx.NetworkXNoPath:
+            return None
+
+    def is_connected_component(self, device_ids: list[str]) -> bool:
+        """Whether the given devices are mutually reachable (multi-hop)."""
+        graph = self.snapshot()
+        if any(device_id not in graph for device_id in device_ids):
+            return False
+        subgraph_nodes = set()
+        for component in nx.connected_components(graph):
+            if device_ids[0] in component:
+                subgraph_nodes = component
+                break
+        return set(device_ids) <= subgraph_nodes

@@ -1,0 +1,195 @@
+"""K-hop dynamic group discovery over the ad-hoc overlay.
+
+The Figure 6 algorithm, run beyond radio range: collect the k-hop
+neighbourhood from the connectivity graph, discover a route to each
+member, open a relayed channel, fetch the interest list with the same
+``PS_GETINTERESTLIST`` operation the single-hop engine uses, and match
+interests.  Single-hop discovery is the k=1 special case, which is how
+the overlay benches compare reach and latency against the paper's
+baseline behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.adhoc.graph import NeighborGraph
+from repro.adhoc.relay import open_multihop
+from repro.adhoc.routing import RouteDiscovery
+from repro.community import protocol
+from repro.community.groups import GroupRegistry
+from repro.community.profile import ProfileStore
+from repro.community.semantics import ExactMatcher, SemanticMatcher
+from repro.community.server import SERVICE_NAME
+from repro.net.stack import NetworkStack
+from repro.radio.technology import Technology
+from repro.simenv import Environment
+
+
+@dataclass(frozen=True)
+class OverlayProbe:
+    """Outcome of probing one k-hop member.
+
+    Attributes:
+        device_id: Probed device.
+        hops: Hop distance at probe time.
+        elapsed_s: Route discovery + channel setup + request/response.
+        member_id: Member found (``None`` on failure / nobody online).
+        matched: Interests matched against ours.
+    """
+
+    device_id: str
+    hops: int
+    elapsed_s: float
+    member_id: str | None
+    matched: tuple[str, ...]
+
+
+class OverlayGroupDiscovery:
+    """One device's k-hop group discovery run."""
+
+    def __init__(self, env: Environment, stack: NetworkStack,
+                 graph: NeighborGraph, technology: Technology,
+                 store: ProfileStore,
+                 matcher: ExactMatcher | SemanticMatcher | None = None) -> None:
+        self.env = env
+        self.stack = stack
+        self.graph = graph
+        self.technology = technology
+        self.store = store
+        self.matcher = matcher if matcher is not None else ExactMatcher()
+        self.router = RouteDiscovery(env, graph, stack.device_id)
+        self.groups = GroupRegistry()
+        self.probes: list[OverlayProbe] = []
+
+    @property
+    def device_id(self) -> str:
+        """Device this discovery runs on."""
+        return self.stack.device_id
+
+    def discover(self, k: int) -> Generator:
+        """Process generator: run Figure 6 over the k-hop neighbourhood.
+
+        Membership comes from the connectivity graph and routes from
+        on-demand flooding.  Returns the list of :class:`OverlayProbe`
+        outcomes; the group registry accumulates matches.
+        """
+        active = self.store.active
+        if active is None:
+            raise PermissionError("no member logged in")
+        hood = self.graph.k_hop_neighbors(self.device_id, k)
+        for device_id in sorted(hood):
+            probe = yield from self._probe(device_id, hood[device_id])
+            self.probes.append(probe)
+        return self.probes
+
+    def discover_gossip(self, k: int, daemon) -> Generator:
+        """Protocol-pure variant: expand by gossip, probe by source route.
+
+        Uses :class:`~repro.adhoc.gossip.GossipDiscovery` to learn the
+        k-hop membership *and* a route to each member from the daemons
+        themselves — no connectivity oracle, no flood — then runs the
+        same Figure 6 matching over the learned members.
+        """
+        from repro.adhoc.gossip import GossipDiscovery
+
+        active = self.store.active
+        if active is None:
+            raise PermissionError("no member logged in")
+        gossip = GossipDiscovery(self.env, self.stack, daemon,
+                                 self.technology)
+        result = yield from gossip.collect(k)
+        for device_id in sorted(result.paths):
+            probe = yield from self._probe_along(
+                device_id, result.paths[device_id])
+            self.probes.append(probe)
+        return result
+
+    def _probe_along(self, device_id: str,
+                     path: tuple[str, ...]) -> Generator:
+        started = self.env.now
+        hops = len(path) - 1
+        try:
+            channel = yield from open_multihop(self.stack, self.technology,
+                                               path, SERVICE_NAME)
+            channel.send(protocol.make_request(protocol.PS_GETINTERESTLIST))
+            reply = yield channel.recv()
+            channel.close()
+        except (ConnectionError, OSError):
+            return OverlayProbe(device_id, hops, self.env.now - started,
+                                None, ())
+        if (not isinstance(reply, dict)
+                or protocol.response_status(reply) != protocol.STATUS_OK):
+            return OverlayProbe(device_id, hops, self.env.now - started,
+                                None, ())
+        member_id = reply["member_id"]
+        matched = self._match(member_id, list(reply.get("interests", [])))
+        return OverlayProbe(device_id, hops, self.env.now - started,
+                            member_id, tuple(matched))
+
+    def _probe(self, device_id: str, hops: int) -> Generator:
+        started = self.env.now
+        route = yield from self.router.find_route(device_id)
+        if route is None:
+            return OverlayProbe(device_id, hops, self.env.now - started,
+                                None, ())
+        try:
+            channel = yield from open_multihop(self.stack, self.technology,
+                                               route.path, SERVICE_NAME)
+        except (ConnectionError, OSError):
+            self.router.invalidate(device_id)
+            return OverlayProbe(device_id, hops, self.env.now - started,
+                                None, ())
+        try:
+            channel.send(protocol.make_request(protocol.PS_GETINTERESTLIST))
+            reply = yield channel.recv()
+        except (ConnectionError, OSError):
+            reply = None
+        finally:
+            channel.close()
+        if (not isinstance(reply, dict)
+                or protocol.response_status(reply) != protocol.STATUS_OK):
+            return OverlayProbe(device_id, hops, self.env.now - started,
+                                None, ())
+        member_id = reply["member_id"]
+        matched = self._match(member_id, list(reply.get("interests", [])))
+        return OverlayProbe(device_id, hops, self.env.now - started,
+                            member_id, tuple(matched))
+
+    def _match(self, member_id: str, interests: list[str]) -> list[str]:
+        active = self.store.active
+        matched: list[str] = []
+        for own_interest in active.interests:
+            canonical = self.matcher.canonical(own_interest)
+            for remote_interest in interests:
+                if self.matcher.same(own_interest, remote_interest):
+                    group = self.groups.ensure(canonical, self.env.now)
+                    group.add(member_id, self.env.now)
+                    group.add(active.member_id, self.env.now)
+                    matched.append(canonical)
+                    break
+        return matched
+
+    # -- result queries ---------------------------------------------------------
+
+    def group_names(self) -> list[str]:
+        """Groups with at least one member."""
+        return [group.interest for group in self.groups.non_empty()]
+
+    def members_of(self, interest: str) -> list[str]:
+        """Members of one overlay group."""
+        group = self.groups.get(self.matcher.canonical(interest))
+        return sorted(group.members) if group is not None else []
+
+    def reach(self) -> int:
+        """Members successfully probed (online, reachable)."""
+        return sum(1 for probe in self.probes if probe.member_id is not None)
+
+    def mean_probe_latency(self) -> float | None:
+        """Mean per-member probe latency across successful probes."""
+        latencies = [probe.elapsed_s for probe in self.probes
+                     if probe.member_id is not None]
+        if not latencies:
+            return None
+        return sum(latencies) / len(latencies)

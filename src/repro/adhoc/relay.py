@@ -1,0 +1,144 @@
+"""Store-and-forward relays: multi-hop channels from single-hop links.
+
+Every participating device runs a :class:`RelayNode` listening on the
+``_relay`` port.  A multi-hop channel from A to D along A-B-C-D is a
+chain of ordinary connections (A->B, B->C, C->D) where B and C pump
+frames between their two legs; every hop pays its own transfer time,
+so an N-hop message costs N single-hop transfers plus relay queueing —
+exactly the latency structure the overlay benches measure.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Sequence
+
+from repro.net.connection import Connection
+from repro.net.stack import NetworkStack
+from repro.radio.technology import Technology
+from repro.simenv import Environment
+
+RELAY_PORT = "_relay"
+
+#: Per-frame processing delay at each relay (queue + copy).
+RELAY_FORWARD_DELAY_S = 0.002
+
+
+class RelayNode:
+    """The relay service of one device."""
+
+    def __init__(self, env: Environment, stack: NetworkStack,
+                 technology: Technology) -> None:
+        self.env = env
+        self.stack = stack
+        self.technology = technology
+        self.frames_forwarded = 0
+        self.channels_opened = 0
+        stack.listen(RELAY_PORT, self._accept)
+
+    @property
+    def device_id(self) -> str:
+        """Device this relay runs on."""
+        return self.stack.device_id
+
+    def _accept(self, upstream: Connection) -> None:
+        self.env.spawn(self._serve(upstream),
+                       name=f"relay:{self.device_id}<-{upstream.remote_id}")
+
+    def _serve(self, upstream: Connection) -> Generator:
+        header = yield upstream.recv()
+        if not isinstance(header, dict) or "route" not in header:
+            upstream.close()
+            return None
+        route: list[str] = list(header["route"])
+        port: str = header.get("port", "")
+        if not route:
+            upstream.close()
+            return None
+        next_hop = route[0]
+        try:
+            if len(route) == 1:
+                downstream = yield from self.stack.connect(
+                    next_hop, port, self.technology)
+            else:
+                downstream = yield from self.stack.connect(
+                    next_hop, RELAY_PORT, self.technology)
+                downstream.send({"route": route[1:], "port": port})
+        except (ConnectionError, OSError):
+            upstream.close()
+            return None
+        self.channels_opened += 1
+        self.env.spawn(self._pump(upstream, downstream),
+                       name=f"relay:{self.device_id}:up")
+        self.env.spawn(self._pump(downstream, upstream),
+                       name=f"relay:{self.device_id}:down")
+        return None
+
+    def _pump(self, source: Connection, sink: Connection) -> Generator:
+        from repro.simenv import Delay
+
+        while True:
+            try:
+                payload = yield source.recv()
+            except (ConnectionError, OSError):
+                payload = None
+            if payload is None:
+                sink.close()
+                source.close()
+                return None
+            yield Delay(RELAY_FORWARD_DELAY_S)
+            try:
+                sink.send(payload)
+                self.frames_forwarded += 1
+            except (ConnectionError, OSError):
+                source.close()
+                return None
+
+
+class MultiHopConnection:
+    """The source's handle on a relayed channel."""
+
+    def __init__(self, first_hop: Connection, path: Sequence[str]) -> None:
+        self._connection = first_hop
+        self.path = tuple(path)
+
+    @property
+    def hops(self) -> int:
+        """Link count along the channel."""
+        return len(self.path) - 1
+
+    @property
+    def closed(self) -> bool:
+        """Whether the first hop (and hence the channel) is down."""
+        return self._connection.closed
+
+    def send(self, payload) -> float:
+        """Send towards the destination; returns first-hop transfer time."""
+        return self._connection.send(payload)
+
+    def recv(self):
+        """Yieldable for the next end-to-end inbound payload."""
+        return self._connection.recv()
+
+    def close(self) -> None:
+        """Tear the channel down hop by hop."""
+        self._connection.close()
+
+
+def open_multihop(stack: NetworkStack, technology: Technology,
+                  path: Sequence[str], port: str) -> Generator:
+    """Process generator opening a channel along ``path`` to ``port``.
+
+    ``path`` starts at the local device and ends at the destination.
+    Single-hop paths degrade to a plain direct connection (wrapped for
+    interface uniformity).
+    """
+    if len(path) < 2:
+        raise ValueError(f"path needs at least two devices, got {path!r}")
+    if path[0] != stack.device_id:
+        raise ValueError(f"path must start at {stack.device_id!r}")
+    if len(path) == 2:
+        connection = yield from stack.connect(path[1], port, technology)
+        return MultiHopConnection(connection, path)
+    first = yield from stack.connect(path[1], RELAY_PORT, technology)
+    first.send({"route": list(path[2:]), "port": port})
+    return MultiHopConnection(first, path)

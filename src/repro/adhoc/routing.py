@@ -1,0 +1,116 @@
+"""On-demand route discovery over the ad-hoc graph.
+
+An AODV-flavoured expanding flood, reduced to its timing essence: the
+route request propagates one hop per ``latency`` tick (every node in
+BFS level *d* hears the RREQ at ``d x hop_latency``), and the route
+reply travels back along the discovered path.  The discovered route is
+cached with a lifetime; mobility invalidates it naturally when a hop
+breaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adhoc.graph import NeighborGraph
+from repro.simenv import Delay, Environment
+
+
+@dataclass(frozen=True)
+class RouteRecord:
+    """A discovered route and its provenance.
+
+    Attributes:
+        path: Device ids from source to destination inclusive.
+        discovered_at: Virtual time the RREP arrived back.
+        discovery_time_s: Time the flood + reply took.
+    """
+
+    path: tuple[str, ...]
+    discovered_at: float
+    discovery_time_s: float
+
+    @property
+    def hops(self) -> int:
+        """Link count along the route."""
+        return len(self.path) - 1
+
+
+class RouteDiscovery:
+    """Route cache + on-demand discovery for one device."""
+
+    def __init__(self, env: Environment, graph: NeighborGraph,
+                 device_id: str, *, route_lifetime_s: float = 30.0) -> None:
+        self.env = env
+        self.graph = graph
+        self.device_id = device_id
+        self.route_lifetime_s = route_lifetime_s
+        self._cache: dict[str, RouteRecord] = {}
+        self.floods = 0
+
+    @property
+    def hop_latency_s(self) -> float:
+        """Per-hop RREQ/RREP propagation latency.
+
+        A control frame per hop: the technology's one-way latency plus
+        a small forwarding cost at each relay.
+        """
+        technology = None
+        adapter = self.graph.medium.adapter(self.device_id,
+                                            self.graph.technology_name)
+        if adapter is not None:
+            technology = adapter.technology
+        base = technology.latency_s if technology is not None else 0.01
+        return base + 0.005
+
+    def cached_route(self, target: str) -> RouteRecord | None:
+        """A still-fresh, still-valid cached route, or ``None``."""
+        record = self._cache.get(target)
+        if record is None:
+            return None
+        if self.env.now - record.discovered_at > self.route_lifetime_s:
+            del self._cache[target]
+            return None
+        if not self._route_alive(record):
+            del self._cache[target]
+            return None
+        return record
+
+    def _route_alive(self, record: RouteRecord) -> bool:
+        medium = self.graph.medium
+        return all(medium.reachable(a, b, self.graph.technology_name)
+                   for a, b in zip(record.path, record.path[1:]))
+
+    def find_route(self, target: str, max_hops: int = 8):
+        """Process generator: discover (or reuse) a route to ``target``.
+
+        Returns a :class:`RouteRecord`, or ``None`` when the flood
+        found no path within ``max_hops``.
+        """
+        cached = self.cached_route(target)
+        if cached is not None:
+            return cached
+        started = self.env.now
+        self.floods += 1
+        path = self.graph.shortest_path(self.device_id, target)
+        if path is None or len(path) - 1 > max_hops:
+            # The flood still cost time: it expanded to the ring limit.
+            yield Delay(self.hop_latency_s * max_hops)
+            return None
+        hops = len(path) - 1
+        # RREQ out (hops x latency) + RREP back along the path.
+        yield Delay(self.hop_latency_s * hops * 2.0)
+        # Re-validate after the delay - nodes may have moved mid-flood.
+        medium = self.graph.medium
+        alive = all(medium.reachable(a, b, self.graph.technology_name)
+                    for a, b in zip(path, path[1:]))
+        if not alive:
+            return None
+        record = RouteRecord(tuple(path), self.env.now,
+                             self.env.now - started)
+        self._cache[target] = record
+        return record
+
+    def invalidate(self, target: str) -> None:
+        """Drop a cached route (after a forwarding failure)."""
+        self._cache.pop(target, None)

@@ -1,0 +1,33 @@
+"""Applications on mobile environment on top of PeerHood (§4.4).
+
+The thesis grounds "applications on top of PeerHood" with three
+systems built at ComLab before PeerHood Community:
+
+* the **Access control system** — PTDs as wireless keys for
+  Bluetooth-controlled doors;
+* the **Guidance system** — guidance points steering travellers
+  through a strange environment to a destination;
+* the **Fitness system** — exercise devices offering instant analysed
+  feedback as a PeerHood service.
+
+Reimplementing them here does two jobs: it demonstrates that the
+PeerHood middleware layer is a real substrate (three more applications
+run on the same daemon/library/plugins), and it gives the examples and
+tests richer scenarios than the social network alone.
+"""
+
+from repro.apps.access_control import AccessControlledDoor, AccessLogEntry, DoorKeyClient
+from repro.apps.fitness import FitnessDevice, FitnessFeedback, FitnessTracker
+from repro.apps.guidance import GuidancePoint, GuidanceRouter, Traveler
+
+__all__ = [
+    "AccessControlledDoor",
+    "AccessLogEntry",
+    "DoorKeyClient",
+    "FitnessDevice",
+    "FitnessFeedback",
+    "FitnessTracker",
+    "GuidancePoint",
+    "GuidanceRouter",
+    "Traveler",
+]

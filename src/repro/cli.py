@@ -1,0 +1,144 @@
+"""Command-line interface: run the headline experiments from a shell.
+
+Usage::
+
+    peerhood-community demo              # quickstart neighbourhood
+    peerhood-community table8 [--trials N]
+    peerhood-community msc FIGURE        # 11..17: render one paper MSC
+    peerhood-community ablation NAME     # semantics | technology | interval
+    peerhood-community overlay           # k-hop overlay discovery demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.eval.testbed import Testbed
+
+    bed = Testbed(seed=args.seed)
+    alice = bed.add_member("alice", ["football", "music"])
+    bob = bed.add_member("bob", ["football", "movies"])
+    carol = bed.add_member("carol", ["music", "movies"])
+    bed.run(30.0)
+    print("Dynamic groups after 30 simulated seconds:")
+    for member in (alice, bob, carol):
+        print(f"  {member.member_id}: {member.groups()}")
+    members = bed.execute(alice.app.view_all_members())
+    print(f"alice's member list: {[m['member_id'] for m in members]}")
+    bed.stop()
+    return 0
+
+
+def _cmd_table8(args: argparse.Namespace) -> int:
+    from repro.eval.table8 import format_table8, run_table8
+
+    results = run_table8(seed=args.seed, trials=args.trials)
+    print(format_table8(results))
+    return 0
+
+
+def _cmd_msc(args: argparse.Namespace) -> int:
+    from repro.eval.mscfigures import render_figure
+
+    print(render_figure(args.figure, seed=args.seed))
+    return 0
+
+
+def _cmd_overlay(args: argparse.Namespace) -> int:
+    from repro.adhoc import NeighborGraph, OverlayGroupDiscovery, RelayNode
+    from repro.eval.testbed import Testbed
+    from repro.mobility import Point
+    from repro.radio.standards import BLUETOOTH
+
+    bed = Testbed(seed=args.seed, technologies=("bluetooth",))
+    members = []
+    for index in range(6):
+        member = bed.add_member(f"n{index}", ["football"],
+                                position=Point(60.0 + index * 8.0, 100.0))
+        RelayNode(bed.env, member.device.stack, BLUETOOTH)
+        members.append(member)
+    bed.run(40.0)
+    graph = NeighborGraph(bed.medium, "bluetooth")
+    print("Overlay dynamic group discovery over a 6-device chain:")
+    for k in (1, 2, 3, 5):
+        overlay = OverlayGroupDiscovery(bed.env, members[0].device.stack,
+                                        graph, BLUETOOTH,
+                                        members[0].app.store)
+        start = bed.env.now
+        bed.execute(overlay.discover(k=k), timeout=1200.0)
+        print(f"  k={k}: group size "
+              f"{len(overlay.members_of('football'))}, "
+              f"discovery {bed.env.now - start:.2f} s")
+    bed.stop()
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    if args.name == "semantics":
+        from repro.eval.ablations import run_semantics_ablation
+
+        result = run_semantics_ablation(seed=args.seed)
+        print(f"groups before teaching: {result.groups_before}")
+        print(f"groups after teaching:  {result.groups_after}")
+        print(f"merged group members:   {result.merged_members_after}")
+    elif args.name == "technology":
+        from repro.eval.ablations import run_technology_ablation
+
+        for row in run_technology_ablation(seed=args.seed):
+            print(f"{row.technology:10s} formation={row.formation_time_s:7.2f}s "
+                  f"bytes={row.bytes_sent:6d} cost={row.cost:.4f}")
+    elif args.name == "interval":
+        from repro.eval.ablations import run_scan_interval_sweep
+
+        for point in run_scan_interval_sweep(seed=args.seed):
+            print(f"scan_interval={point.scan_interval_s:5.1f}s "
+                  f"formation={point.formation_time_s:6.2f}s")
+    else:
+        print(f"unknown ablation {args.name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="peerhood-community",
+        description="Social networking on mobile environment on top of "
+                    "PeerHood - reproduction CLI")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root random seed (default 0)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="run the quickstart neighbourhood")
+    demo.set_defaults(handler=_cmd_demo)
+
+    table8 = commands.add_parser("table8", help="reproduce Table 8")
+    table8.add_argument("--trials", type=int, default=3)
+    table8.set_defaults(handler=_cmd_table8)
+
+    msc = commands.add_parser("msc", help="render a paper MSC figure (11-17)")
+    msc.add_argument("figure", type=int, choices=range(11, 18))
+    msc.set_defaults(handler=_cmd_msc)
+
+    ablation = commands.add_parser("ablation", help="run one ablation study")
+    ablation.add_argument("name",
+                          choices=("semantics", "technology", "interval"))
+    ablation.set_defaults(handler=_cmd_ablation)
+
+    overlay = commands.add_parser(
+        "overlay", help="k-hop overlay group discovery demo (§6 future work)")
+    overlay.set_defaults(handler=_cmd_overlay)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``peerhood-community`` script."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

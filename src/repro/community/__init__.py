@@ -1,0 +1,71 @@
+"""PeerHood Community: social networking on top of PeerHood (Chapter 5).
+
+The paper's contribution.  Highlights:
+
+* :class:`~repro.community.discovery.DynamicGroupEngine` — the dynamic
+  group discovery algorithm of Figure 6.
+* :class:`~repro.community.server.CommunityServer` /
+  :class:`~repro.community.client.CommunityClient` — the ``PS_*``
+  client-server protocol of Table 6 and Figures 11-17.
+* :class:`~repro.community.profile.Profile` — profiles, interests,
+  trust, messaging and shared content (Table 7 features).
+* :class:`~repro.community.semantics.SemanticMatcher` — the semantics
+  teaching the thesis names as future work (§6).
+* :class:`~repro.community.app.CommunityApp` — the per-device bundle.
+"""
+
+from repro.community import protocol
+from repro.community.app import CommunityApp
+from repro.community.client import CommunityClient
+from repro.community.connections import PeerConnectionPool
+from repro.community.discovery import DynamicGroupEngine, ProbeRecord
+from repro.community.filetransfer import (
+    FileDownloader,
+    FileTransferService,
+    TransferProgress,
+)
+from repro.community.groups import Group, GroupRegistry, MembershipEvent
+from repro.community.interests import InterestSet, normalize_interest
+from repro.community.offline import OfflineOutbox, QueuedMessage
+from repro.community.recommendations import InterestRecommender, Recommendation
+from repro.community.profile import (
+    MailMessage,
+    Profile,
+    ProfileComment,
+    ProfileStore,
+    ProfileView,
+    SharedFile,
+)
+from repro.community.semantics import ExactMatcher, SemanticMatcher
+from repro.community.server import SERVICE_NAME, CommunityServer
+
+__all__ = [
+    "CommunityApp",
+    "CommunityClient",
+    "CommunityServer",
+    "DynamicGroupEngine",
+    "ExactMatcher",
+    "FileDownloader",
+    "FileTransferService",
+    "Group",
+    "GroupRegistry",
+    "InterestRecommender",
+    "InterestSet",
+    "MailMessage",
+    "MembershipEvent",
+    "OfflineOutbox",
+    "PeerConnectionPool",
+    "ProbeRecord",
+    "Profile",
+    "ProfileComment",
+    "ProfileStore",
+    "ProfileView",
+    "QueuedMessage",
+    "Recommendation",
+    "SERVICE_NAME",
+    "SemanticMatcher",
+    "SharedFile",
+    "TransferProgress",
+    "normalize_interest",
+    "protocol",
+]

@@ -1,0 +1,275 @@
+"""The PeerHood Community client (§5.2.3.2).
+
+"The main functionality of the client is to connect to remote
+application servers on remote PTDs and send requests and receive the
+desired information from servers."
+
+Every public operation is a process generator implementing one of the
+paper's MSCs (Figures 11-17): the request goes out on **all** pooled
+connections simultaneously, replies are gathered, and the aggregated
+result is returned.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.community import protocol
+from repro.community.connections import PeerConnectionPool
+from repro.community.profile import MailMessage, ProfileStore
+from repro.msc.trace import MscRecorder
+from repro.net.connection import Connection
+from repro.peerhood.library import PeerHoodLibrary
+
+
+class CommunityClient:
+    """Client side of the reference application for one device."""
+
+    def __init__(self, library: PeerHoodLibrary, store: ProfileStore,
+                 pool: PeerConnectionPool,
+                 recorder: MscRecorder | None = None) -> None:
+        self.library = library
+        self.store = store
+        self.pool = pool
+        self.recorder = recorder
+        self.env = library.daemon.env
+        self.requests_sent = 0
+
+    @property
+    def device_id(self) -> str:
+        """Device this client runs on."""
+        return self.library.device_id
+
+    def _require_member(self) -> str:
+        active = self.store.active
+        if active is None:
+            raise PermissionError("no member logged in on "
+                                  f"{self.device_id!r}")
+        return active.member_id
+
+    # -- broadcast machinery --------------------------------------------------
+
+    def _connections(self) -> Generator:
+        """Ensure a connection to every neighbour advertising the service.
+
+        Mirrors Figure 9: "gets the list of all nearby PeerHood Capable
+        devices [and] connects to the server of all those nearby
+        devices through the service PeerHoodCommunity".
+        """
+        targets = self.library.devices_with_service(self.pool.service_name)
+        connections: list[Connection] = []
+        for device_id in targets:
+            try:
+                connection = yield from self.pool.ensure(device_id)
+            except (ConnectionError, OSError):
+                continue  # peer moved away mid-setup; skip it
+            connections.append(connection)
+        return connections
+
+    def _broadcast(self, request: dict) -> Generator:
+        """Send ``request`` on every connection, then gather replies.
+
+        Sends first (simultaneously), receives second, so the elapsed
+        virtual time is the *maximum* of the per-server round trips,
+        not their sum — matching the MSCs' parallel arrows.
+
+        Returns ``[(device_id, response), ...]``; servers whose link
+        died mid-operation are dropped.
+        """
+        connections = yield from self._connections()
+        live: list[Connection] = []
+        for connection in connections:
+            try:
+                connection.send(request)
+            except (ConnectionError, OSError):
+                self.pool.drop(connection.remote_id)
+                continue
+            self.requests_sent += 1
+            live.append(connection)
+        replies: list[tuple[str, dict]] = []
+        for connection in live:
+            try:
+                payload = yield connection.recv()
+            except (ConnectionError, OSError):
+                self.pool.drop(connection.remote_id)
+                continue
+            if payload is None:
+                self.pool.drop(connection.remote_id)
+                continue
+            replies.append((connection.remote_id, payload))
+        return replies
+
+    def _single(self, device_id: str, request: dict) -> Generator:
+        """One request/response exchange with one specific server."""
+        connection = yield from self.pool.ensure(device_id)
+        connection.send(request)
+        self.requests_sent += 1
+        payload = yield connection.recv()
+        if payload is None:
+            raise ConnectionError(f"connection to {device_id!r} lost")
+        return payload
+
+    # -- operations (Figures 11-17) ------------------------------------------
+
+    def get_online_members(self) -> Generator:
+        """Figure 11: list the online members across the neighbourhood."""
+        request = protocol.make_request(protocol.PS_GETONLINEMEMBERLIST)
+        replies = yield from self._broadcast(request)
+        members: list[dict] = []
+        seen: set[str] = set()
+        for _, payload in replies:
+            if protocol.response_status(payload) == protocol.STATUS_OK:
+                for member in payload.get("members", []):
+                    if member["member_id"] not in seen:
+                        seen.add(member["member_id"])
+                        members.append(member)
+        return sorted(members, key=lambda member: member["member_id"])
+
+    def get_interest_list(self) -> Generator:
+        """Figure 12: the union of interests available around here.
+
+        Per the MSC, newly received interests are compared against the
+        stored list and added only "if it doesn't exist already".
+        """
+        request = protocol.make_request(protocol.PS_GETINTERESTLIST)
+        replies = yield from self._broadcast(request)
+        interests: list[str] = []
+        active = self.store.active
+        if active is not None:
+            interests.extend(active.interests.as_list())
+        for _, payload in replies:
+            if protocol.response_status(payload) == protocol.STATUS_OK:
+                for interest in payload.get("interests", []):
+                    if interest not in interests:
+                        interests.append(interest)
+        return interests
+
+    def get_interested_members(self, interest: str) -> Generator:
+        """Table 6 row 3: members sharing one interest."""
+        request = protocol.make_request(protocol.PS_GETINTERESTEDMEMBERLIST,
+                                        interest=interest)
+        replies = yield from self._broadcast(request)
+        members: list[dict] = []
+        seen: set[str] = set()
+        for _, payload in replies:
+            if protocol.response_status(payload) == protocol.STATUS_OK:
+                for member in payload.get("members", []):
+                    if member["member_id"] not in seen:
+                        seen.add(member["member_id"])
+                        members.append(member)
+        return sorted(members, key=lambda member: member["member_id"])
+
+    def view_profile(self, member_id: str) -> Generator:
+        """Figure 13: fetch one member's profile from whoever holds it."""
+        requester = self._require_member()
+        request = protocol.make_request(protocol.PS_GETPROFILE,
+                                        member_id=member_id,
+                                        requester=requester)
+        replies = yield from self._broadcast(request)
+        for _, payload in replies:
+            if protocol.response_status(payload) == protocol.STATUS_OK:
+                return payload["profile"]
+        return None
+
+    def put_profile_comment(self, member_id: str, comment: str) -> Generator:
+        """Figure 14: write a comment onto a member's profile."""
+        requester = self._require_member()
+        request = protocol.make_request(protocol.PS_ADDPROFILECOMMENT,
+                                        member_id=member_id,
+                                        requester=requester,
+                                        comment=comment)
+        replies = yield from self._broadcast(request)
+        for _, payload in replies:
+            if protocol.response_status(payload) == protocol.SUCCESSFULLY_WRITTEN:
+                return True
+        return False
+
+    def view_trusted_friends(self, member_id: str) -> Generator:
+        """Figure 15: the trusted-friend list of a member."""
+        request = protocol.make_request(protocol.PS_GETTRUSTEDFRIEND,
+                                        member_id=member_id)
+        replies = yield from self._broadcast(request)
+        for _, payload in replies:
+            if protocol.response_status(payload) == protocol.STATUS_OK:
+                return payload.get("trusted", [])
+        return None
+
+    def view_shared_content(self, member_id: str) -> Generator:
+        """Figure 16: two-phase trusted content listing.
+
+        First ``PS_CHECKTRUSTED`` establishes standing; only if trusted
+        does the client send ``PS_GETSHAREDCONTENT``.  Returns the file
+        list, or the blocking status string.
+        """
+        requester = self._require_member()
+        check = protocol.make_request(protocol.PS_CHECKTRUSTED,
+                                      member_id=member_id,
+                                      requester=requester)
+        replies = yield from self._broadcast(check)
+        holder: str | None = None
+        for device_id, payload in replies:
+            status = protocol.response_status(payload)
+            if status == protocol.NOT_TRUSTED_YET:
+                return protocol.NOT_TRUSTED_YET
+            if status == protocol.STATUS_OK:
+                holder = device_id
+        if holder is None:
+            return protocol.NO_MEMBERS_YET
+        fetch = protocol.make_request(protocol.PS_GETSHAREDCONTENT,
+                                      member_id=member_id,
+                                      requester=requester)
+        payload = yield from self._single(holder, fetch)
+        if protocol.response_status(payload) == protocol.STATUS_OK:
+            return payload.get("files", [])
+        return protocol.response_status(payload)
+
+    def send_message(self, member_id: str, subject: str, body: str) -> Generator:
+        """Figure 17: deliver a mail message to a member's device.
+
+        Returns the server's status string
+        (``SUCCESSFULLY_WRITTEN``/``UNSUCCESSFULL``) or
+        ``NO_MEMBERS_YET`` when nobody around holds that member.
+        """
+        sender = self._require_member()
+        request = protocol.make_request(protocol.PS_MSG,
+                                        receiver=member_id, sender=sender,
+                                        subject=subject, body=body)
+        replies = yield from self._broadcast(request)
+        outcome = protocol.NO_MEMBERS_YET
+        for _, payload in replies:
+            status = protocol.response_status(payload)
+            if status == protocol.SUCCESSFULLY_WRITTEN:
+                outcome = status
+                break
+            if status == protocol.UNSUCCESSFULL:
+                outcome = status
+        if outcome == protocol.SUCCESSFULLY_WRITTEN:
+            active = self.store.active
+            if active is not None:
+                active.sent.append(MailMessage(
+                    sender=sender, receiver=member_id, subject=subject,
+                    body=body, sent_at=self.env.now))
+        return outcome
+
+    def request_trust(self, member_id: str) -> Generator:
+        """Ask a member to accept us as trusted friend."""
+        requester = self._require_member()
+        request = protocol.make_request(protocol.PS_ADDTRUSTED,
+                                        member_id=member_id,
+                                        requester=requester)
+        replies = yield from self._broadcast(request)
+        for _, payload in replies:
+            if protocol.response_status(payload) == protocol.SUCCESSFULLY_WRITTEN:
+                return True
+        return False
+
+    def check_member_location(self, member_id: str) -> Generator:
+        """Which neighbouring device hosts ``member_id`` (PS_CHECKMEMBERID)."""
+        request = protocol.make_request(protocol.PS_CHECKMEMBERID,
+                                        member_id=member_id)
+        replies = yield from self._broadcast(request)
+        for device_id, payload in replies:
+            if (protocol.response_status(payload) == protocol.STATUS_OK
+                    and payload.get("match")):
+                return device_id
+        return None

@@ -1,0 +1,73 @@
+"""Persistent connections from one client to nearby community servers.
+
+The paper's MSCs all begin with the client already holding connections
+to "all the connected servers" and sending each request "to all the
+connected servers simultaneously".  The pool maintains those
+connections: it opens one per neighbour advertising the service, reuses
+it across requests, and drops it when the peer disappears or the link
+dies.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.net.connection import Connection
+from repro.peerhood.library import PeerHoodLibrary
+
+
+class PeerConnectionPool:
+    """Connection cache keyed by remote device id."""
+
+    def __init__(self, library: PeerHoodLibrary, service_name: str) -> None:
+        self.library = library
+        self.service_name = service_name
+        self._connections: dict[str, Connection] = {}
+        self.opened_total = 0
+
+    # -- maintenance ------------------------------------------------------
+
+    def ensure(self, device_id: str) -> Generator:
+        """Process generator returning an open connection to the device.
+
+        Reuses a live cached connection; otherwise establishes a new
+        one (paying connection setup time).  Propagates connection
+        errors to the caller.
+        """
+        cached = self._connections.get(device_id)
+        if cached is not None and not cached.closed:
+            return cached
+        connection = yield from self.library.connect(device_id, self.service_name)
+        self._connections[device_id] = connection
+        self.opened_total += 1
+        return connection
+
+    def drop(self, device_id: str) -> None:
+        """Close and forget the connection to one device."""
+        connection = self._connections.pop(device_id, None)
+        if connection is not None:
+            connection.close()
+
+    def close_all(self) -> None:
+        """Close every pooled connection (application shutdown)."""
+        for device_id in list(self._connections):
+            self.drop(device_id)
+
+    # -- queries --------------------------------------------------------------
+
+    def connection_to(self, device_id: str) -> Connection | None:
+        """The live cached connection, or ``None``."""
+        connection = self._connections.get(device_id)
+        if connection is not None and connection.closed:
+            del self._connections[device_id]
+            return None
+        return connection
+
+    def connected_ids(self) -> list[str]:
+        """Devices with live pooled connections, sorted."""
+        return sorted(device_id for device_id, connection
+                      in list(self._connections.items())
+                      if not connection.closed)
+
+    def __len__(self) -> int:
+        return len(self.connected_ids())

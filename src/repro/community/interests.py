@@ -1,0 +1,72 @@
+"""Interest handling: normalisation and interest sets.
+
+Interests are the atoms of dynamic group discovery: "groups are formed
+dynamically, if any interest matches" (§1).  The paper matches plain
+strings — "biking" and "cycling" land in different groups (§5.2.6) —
+so exact matching is the default here, with semantic matching layered
+on separately (:mod:`repro.community.semantics`).
+"""
+
+from __future__ import annotations
+
+
+def normalize_interest(raw: str) -> str:
+    """Canonical surface form: trimmed, lower-case, single-spaced.
+
+    Normalisation is *lexical* only — "England  Football" and "england
+    football" are the same interest, but "biking" and "cycling" are
+    not.  Raises ``ValueError`` for empty interests.
+    """
+    cleaned = " ".join(raw.strip().lower().split())
+    if not cleaned:
+        raise ValueError(f"interest must be non-empty, got {raw!r}")
+    return cleaned
+
+
+class InterestSet:
+    """An ordered, duplicate-free collection of normalised interests.
+
+    Order is insertion order: the paper's UI lists interests in the
+    order the user added them.
+    """
+
+    def __init__(self, interests: list[str] | None = None) -> None:
+        self._interests: dict[str, None] = {}
+        for interest in interests or []:
+            self.add(interest)
+
+    def add(self, raw: str) -> str:
+        """Add an interest; returns its normalised form."""
+        interest = normalize_interest(raw)
+        self._interests.setdefault(interest, None)
+        return interest
+
+    def remove(self, raw: str) -> None:
+        """Remove an interest; raises ``KeyError`` when absent."""
+        interest = normalize_interest(raw)
+        del self._interests[interest]
+
+    def __contains__(self, raw: str) -> bool:
+        try:
+            return normalize_interest(raw) in self._interests
+        except ValueError:
+            return False
+
+    def __iter__(self):
+        return iter(self._interests)
+
+    def __len__(self) -> int:
+        return len(self._interests)
+
+    def as_list(self) -> list[str]:
+        """Interests in insertion order."""
+        return list(self._interests)
+
+    def matches(self, other: "InterestSet") -> list[str]:
+        """Interests shared with ``other`` (exact matching), in this
+        set's order — the inner loop of the Figure 6 algorithm."""
+        return [interest for interest in self._interests
+                if interest in other._interests]
+
+    def __repr__(self) -> str:
+        return f"InterestSet({self.as_list()!r})"

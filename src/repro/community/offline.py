@@ -1,0 +1,115 @@
+"""Store-and-forward messaging for members who walked away.
+
+§5.1 names the core weakness of an instantaneous social network:
+"as it is not operated from any centralized servers, some long
+distance traveling members could never be together again".  Short of a
+server, the practical mitigation is an outbox: messages to a member
+who is *not currently around* are queued on the sender's device and
+flushed automatically the next time dynamic group discovery sees that
+member again.
+
+The queue hooks the engine's probe log: a successful probe of a device
+means its member is online and reachable, which is exactly the moment
+to deliver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.community import protocol
+from repro.community.app import CommunityApp
+
+
+@dataclass(frozen=True)
+class QueuedMessage:
+    """One message awaiting its recipient's return."""
+
+    member_id: str
+    subject: str
+    body: str
+    queued_at: float
+
+
+@dataclass
+class DeliveryReceipt:
+    """Outcome of one flush attempt."""
+
+    message: QueuedMessage
+    delivered_at: float
+    status: str
+
+
+class OfflineOutbox:
+    """Per-device queue of messages to currently-absent members."""
+
+    def __init__(self, app: CommunityApp) -> None:
+        self.app = app
+        self.env = app.library.daemon.env
+        self.pending: list[QueuedMessage] = []
+        self.receipts: list[DeliveryReceipt] = []
+        self._installed = False
+
+    def install(self) -> None:
+        """Hook member-reappearance events (idempotent)."""
+        if self._installed:
+            return
+        self._installed = True
+        self.app.library.daemon.on_services_updated(self._on_services_updated)
+
+    # -- sending -------------------------------------------------------------
+
+    def send_or_queue(self, member_id: str, subject: str,
+                      body: str) -> Generator:
+        """Try to send now; queue for later delivery when the member is
+        not around.  Returns ``"QUEUED"`` or the live send status."""
+        status = yield from self.app.client.send_message(member_id, subject,
+                                                         body)
+        if status == protocol.NO_MEMBERS_YET:
+            self.pending.append(QueuedMessage(member_id, subject, body,
+                                              self.env.now))
+            return "QUEUED"
+        return status
+
+    def queued_for(self, member_id: str) -> list[QueuedMessage]:
+        """Messages currently waiting for one member."""
+        return [message for message in self.pending
+                if message.member_id == member_id]
+
+    # -- flushing -------------------------------------------------------------
+
+    def _on_services_updated(self, device_id: str) -> None:
+        if not self.pending:
+            return
+        # The probe that follows service discovery identifies the
+        # member, and takes a connection setup plus a round trip; try
+        # the flush a few times so one firing is enough however slow
+        # the probe is.
+        for delay in (1.0, 5.0, 12.0):
+            self.env.call_in(delay, self._flush_known_members)
+
+    def _flush_known_members(self) -> None:
+        if not self.pending:
+            return
+        online = {entry.member_id
+                  for entry in self.app.engine.directory.values()}
+        due = [message for message in self.pending
+               if message.member_id in online]
+        if due:
+            self.env.spawn(self._deliver(due),
+                           name=f"outbox:{self.app.device_id}")
+
+    def _deliver(self, due: list[QueuedMessage]) -> Generator:
+        for message in due:
+            if message not in self.pending:
+                continue  # a concurrent flush beat us to it
+            status = yield from self.app.client.send_message(
+                message.member_id, message.subject, message.body)
+            if status == protocol.SUCCESSFULLY_WRITTEN:
+                self.pending.remove(message)
+                self.receipts.append(DeliveryReceipt(message, self.env.now,
+                                                     status))
+            # On any other status the message stays queued for the
+            # next reappearance.
+        return None

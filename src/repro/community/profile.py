@@ -1,0 +1,194 @@
+"""User profiles, trust, messaging and shared content — the per-device
+data the PeerHood Community server serves (§5.2.3.1).
+
+Everything lives on the user's own device: "users creates their profile
+on their PTD" (§5.1).  There is no central database; every read another
+member performs is a network request answered from these records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.community.interests import InterestSet
+
+
+@dataclass(frozen=True)
+class MailMessage:
+    """A short message between members (Figure 17).
+
+    Attributes mirror the PS_MSG payload: receiver, sender, subject,
+    body, plus the virtual send time.
+    """
+
+    sender: str
+    receiver: str
+    subject: str
+    body: str
+    sent_at: float
+
+
+@dataclass(frozen=True)
+class ProfileComment:
+    """A comment written onto a member's profile (Figure 14)."""
+
+    author: str
+    text: str
+    written_at: float
+
+
+@dataclass(frozen=True)
+class ProfileView:
+    """A record of who visited the profile (Figure 13: "the remote
+    server writes the name of the requesting client as the profile
+    visitor")."""
+
+    viewer: str
+    viewed_at: float
+
+
+@dataclass(frozen=True)
+class SharedFile:
+    """One item of shared content, visible to trusted friends only."""
+
+    name: str
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"size must be non-negative, got {self.size_bytes!r}")
+
+
+class Profile:
+    """One user profile on one device.
+
+    Args:
+        member_id: Globally-unique member identifier.
+        username: Login name on the local device.
+        password: Login secret (kept verbatim; the 2008 reference app
+            did no better).
+        full_name: Display name.
+        interests: Initial personal interests.
+    """
+
+    def __init__(self, member_id: str, username: str, password: str,
+                 full_name: str = "", interests: list[str] | None = None) -> None:
+        self.member_id = member_id
+        self.username = username
+        self.password = password
+        self.full_name = full_name or username
+        self.interests = InterestSet(interests)
+        self.comments: list[ProfileComment] = []
+        self.viewers: list[ProfileView] = []
+        self.trusted: set[str] = set()
+        self.shared_files: dict[str, SharedFile] = {}
+        self.inbox: list[MailMessage] = []
+        self.sent: list[MailMessage] = []
+
+    # -- interests ------------------------------------------------------------
+
+    def add_interest(self, raw: str) -> str:
+        """Add a personal interest (Table 7: Add/Edit Personal Interest)."""
+        return self.interests.add(raw)
+
+    def remove_interest(self, raw: str) -> None:
+        """Drop a personal interest."""
+        self.interests.remove(raw)
+
+    # -- trust -----------------------------------------------------------------
+
+    def add_trusted(self, member_id: str) -> None:
+        """Accept a member as trusted friend (Table 7: Add Trusted)."""
+        if member_id == self.member_id:
+            raise ValueError("a member cannot trust themselves")
+        self.trusted.add(member_id)
+
+    def remove_trusted(self, member_id: str) -> None:
+        """Revoke trust."""
+        self.trusted.discard(member_id)
+
+    def trusts(self, member_id: str) -> bool:
+        """Whether ``member_id`` may see this profile's shared content."""
+        return member_id in self.trusted
+
+    # -- shared content -----------------------------------------------------
+
+    def share_file(self, name: str, size_bytes: int) -> SharedFile:
+        """Publish a file to trusted friends."""
+        shared = SharedFile(name, size_bytes)
+        self.shared_files[name] = shared
+        return shared
+
+    def unshare_file(self, name: str) -> None:
+        """Stop sharing a file."""
+        self.shared_files.pop(name, None)
+
+    # -- social records -----------------------------------------------------
+
+    def record_comment(self, author: str, text: str, when: float) -> None:
+        """Append a profile comment (server side of Figure 14)."""
+        self.comments.append(ProfileComment(author, text, when))
+
+    def record_view(self, viewer: str, when: float) -> None:
+        """Append a profile-view record (server side of Figure 13)."""
+        self.viewers.append(ProfileView(viewer, when))
+
+    def deliver_mail(self, message: MailMessage) -> None:
+        """Write an inbound message into the inbox (Figure 17)."""
+        self.inbox.append(message)
+
+    def public_view(self) -> dict:
+        """The profile as sent to other members over PS_GETPROFILE."""
+        return {
+            "member_id": self.member_id,
+            "full_name": self.full_name,
+            "interests": self.interests.as_list(),
+            "comments": [[c.author, c.text] for c in self.comments],
+            "trusted_count": len(self.trusted),
+        }
+
+
+class ProfileStore:
+    """All profiles on one device (Table 7: Support for Multiple
+    Profiles) plus the active login session."""
+
+    def __init__(self) -> None:
+        self._profiles: dict[str, Profile] = {}
+        self._active: Profile | None = None
+
+    def create_profile(self, member_id: str, username: str, password: str,
+                       full_name: str = "",
+                       interests: list[str] | None = None) -> Profile:
+        """Create a local profile; usernames are unique per device."""
+        if username in self._profiles:
+            raise ValueError(f"username {username!r} already exists on device")
+        profile = Profile(member_id, username, password, full_name, interests)
+        self._profiles[username] = profile
+        return profile
+
+    def login(self, username: str, password: str) -> Profile:
+        """Authenticate and activate a profile (§5.2.1).
+
+        Raises ``PermissionError`` on bad credentials.
+        """
+        profile = self._profiles.get(username)
+        if profile is None or profile.password != password:
+            raise PermissionError(f"invalid credentials for {username!r}")
+        self._active = profile
+        return profile
+
+    def logout(self) -> None:
+        """End the session; the server reports no active member."""
+        self._active = None
+
+    @property
+    def active(self) -> Profile | None:
+        """The logged-in profile, or ``None``."""
+        return self._active
+
+    def profiles(self) -> list[Profile]:
+        """All local profiles (login-screen listing)."""
+        return list(self._profiles.values())
+
+    def __len__(self) -> int:
+        return len(self._profiles)

@@ -1,0 +1,138 @@
+"""Interest recommendations from the surrounding neighbourhood.
+
+§3.2 lists "finding a stranger with same interests" among what social
+networks are for, and §5.1 lets users "add others interests as own
+interest".  This module closes the loop: rank the interests held by
+nearby members that the local user does *not* hold, so the UI can
+offer one-tap adoption (which then feeds dynamic group discovery).
+
+Scoring is plain neighbourhood frequency with a recency-free tie-break
+on name — simple, explainable, and exactly as much intelligence as a
+2008 PTD could afford.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.community.discovery import DynamicGroupEngine
+from repro.community.semantics import SemanticMatcher
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One suggested interest.
+
+    Attributes:
+        interest: Canonical interest term.
+        holders: Nearby members holding it.
+        score: Holder count (the ranking key).
+    """
+
+    interest: str
+    holders: tuple[str, ...]
+
+    @property
+    def score(self) -> int:
+        """Popularity among current neighbours."""
+        return len(self.holders)
+
+
+class InterestRecommender:
+    """Suggests neighbourhood-popular interests the user lacks."""
+
+    def __init__(self, engine: DynamicGroupEngine) -> None:
+        self.engine = engine
+
+    def recommend(self, limit: int = 5) -> list[Recommendation]:
+        """Top interests held nearby but not by the active user.
+
+        Interests the user already holds — under the engine's matcher,
+        so taught synonyms count as held — are excluded.  Requires a
+        logged-in profile.
+        """
+        active = self.engine.store.active
+        if active is None:
+            raise PermissionError("no member logged in")
+        matcher = self.engine.matcher
+        own = {matcher.canonical(interest) for interest in active.interests}
+        holders: dict[str, set[str]] = {}
+        for entry in self.engine.directory.values():
+            for interest in entry.interests:
+                canonical = matcher.canonical(interest)
+                if canonical in own:
+                    continue
+                holders.setdefault(canonical, set()).add(entry.member_id)
+        ranked = sorted(holders.items(),
+                        key=lambda item: (-len(item[1]), item[0]))
+        return [Recommendation(interest, tuple(sorted(members)))
+                for interest, members in ranked[:limit]]
+
+    def adopt(self, interest: str) -> list[str]:
+        """Add a recommended interest and re-run group matching.
+
+        Returns the member list of the interest's group afterwards —
+        usually non-empty immediately, because the recommendation came
+        from members who hold it.
+        """
+        active = self.engine.store.active
+        if active is None:
+            raise PermissionError("no member logged in")
+        active.add_interest(interest)
+        self.engine.refresh()
+        return self.engine.members_of(interest)
+
+    def synonym_candidates(self) -> list[tuple[str, str]]:
+        """Near-duplicate interest pairs worth teaching (§6).
+
+        A cheap lexical heuristic: pairs of neighbourhood interests
+        whose names share a word stem of length >= 4 ("biking" /
+        "biker club") but are distinct under the current matcher.
+        Returns candidate pairs for the user to confirm via
+        ``engine.teach_semantics``.
+        """
+        matcher = self.engine.matcher
+        interests: set[str] = set()
+        active = self.engine.store.active
+        if active is not None:
+            interests.update(matcher.canonical(i) for i in active.interests)
+        for entry in self.engine.directory.values():
+            interests.update(matcher.canonical(i) for i in entry.interests)
+        terms = sorted(interests)
+        candidates = []
+        for index, a in enumerate(terms):
+            for b in terms[index + 1:]:
+                if matcher.same(a, b) if isinstance(matcher, SemanticMatcher) \
+                        else a == b:
+                    continue
+                if _share_stem(a, b):
+                    candidates.append((a, b))
+        return candidates
+
+
+def _stem(word: str) -> str:
+    """A deliberately tiny suffix-stripping stemmer."""
+    for suffix in ("ing", "ers", "er", "es", "s"):
+        if word.endswith(suffix) and len(word) - len(suffix) >= 3:
+            word = word[: -len(suffix)]
+            break
+    if word.endswith("e") and len(word) >= 4:
+        word = word[:-1]
+    return word
+
+
+def _share_stem(a: str, b: str) -> bool:
+    """Whether two interest names share a meaningful word stem.
+
+    Stems must match, be at least three characters, and at least one
+    of the original words must be five-plus characters — short words
+    ("art"/"arts") are too ambiguous to suggest as synonyms.
+    """
+    for word_a in a.split():
+        for word_b in b.split():
+            if max(len(word_a), len(word_b)) < 5:
+                continue
+            stem_a, stem_b = _stem(word_a), _stem(word_b)
+            if len(stem_a) >= 3 and stem_a == stem_b:
+                return True
+    return False

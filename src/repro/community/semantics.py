@@ -1,0 +1,91 @@
+"""Semantic interest matching — the thesis' stated future work.
+
+§5.2.6: "users interested in riding bicycle can put biking or cycling
+as their interest.  Even though both have same meaning, the application
+is not that much intelligent to know both interest are same and it
+creates two different dynamic groups rather than one single group."
+§6 names "semantics teaching to the environment" as future work, and
+§5.1 already sketches the mechanism: "While defining interests users
+may teach the semantics to the environment by combining terms meaning
+the same issue."
+
+This module implements that teaching as a union-find over interest
+terms: ``teach(a, b)`` merges the equivalence classes of ``a`` and
+``b``; ``canonical(term)`` maps any term to its class representative
+(the lexicographically smallest member, so canonical names are stable
+regardless of teaching order).  The ablation bench switches this on to
+quantify how many spuriously-split groups it merges.
+"""
+
+from __future__ import annotations
+
+from repro.community.interests import normalize_interest
+
+
+class SemanticMatcher:
+    """Teachable equivalence classes over interest terms."""
+
+    def __init__(self, synonym_groups: list[list[str]] | None = None) -> None:
+        self._parent: dict[str, str] = {}
+        for group in synonym_groups or []:
+            if len(group) >= 2:
+                first = group[0]
+                for other in group[1:]:
+                    self.teach(first, other)
+
+    # -- union-find --------------------------------------------------------
+
+    def _find(self, term: str) -> str:
+        root = term
+        while self._parent.get(root, root) != root:
+            root = self._parent[root]
+        # Path compression keeps lookups O(alpha).
+        while self._parent.get(term, term) != root:
+            self._parent[term], term = root, self._parent[term]
+        return root
+
+    def teach(self, term_a: str, term_b: str) -> None:
+        """Declare that two terms mean the same issue."""
+        a = normalize_interest(term_a)
+        b = normalize_interest(term_b)
+        root_a, root_b = self._find(a), self._find(b)
+        if root_a == root_b:
+            return
+        # The lexicographically smaller root wins so canonical names do
+        # not depend on teaching order.
+        keep, absorb = sorted((root_a, root_b))
+        self._parent[absorb] = keep
+        self._parent.setdefault(keep, keep)
+
+    # -- queries --------------------------------------------------------------
+
+    def canonical(self, term: str) -> str:
+        """The representative for ``term``'s equivalence class."""
+        return self._find(normalize_interest(term))
+
+    def same(self, term_a: str, term_b: str) -> bool:
+        """Whether two terms were taught to mean the same issue."""
+        return self.canonical(term_a) == self.canonical(term_b)
+
+    def synonyms_of(self, term: str) -> list[str]:
+        """Every known term in ``term``'s class (including itself)."""
+        root = self.canonical(term)
+        known = set(self._parent) | {normalize_interest(term)}
+        return sorted(candidate for candidate in known
+                      if self._find(candidate) == root)
+
+    def class_count(self) -> int:
+        """Number of distinct known equivalence classes."""
+        return len({self._find(term) for term in self._parent})
+
+
+class ExactMatcher:
+    """The paper's default behaviour: no semantics, strings must match."""
+
+    def canonical(self, term: str) -> str:
+        """Identity mapping (after lexical normalisation)."""
+        return normalize_interest(term)
+
+    def same(self, term_a: str, term_b: str) -> bool:
+        """Exact (normalised) equality."""
+        return self.canonical(term_a) == self.canonical(term_b)

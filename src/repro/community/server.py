@@ -1,0 +1,280 @@
+"""The PeerHood Community server (§5.2.3.1).
+
+"Every PTD must contain the application server and server must run
+continuously.  As the server is started, it registers the service named
+'PeerHoodCommunity' into the Peerhood Daemon.  The server always stays
+in the listening state for any request from the remote clients."
+
+Each inbound connection gets a serving process that loops:
+receive request -> dispatch to the Table 6 handler -> send response.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.community import protocol
+from repro.community.filetransfer import PS_GETFILECHUNK, FileTransferService
+from repro.community.profile import MailMessage, ProfileStore
+from repro.msc.trace import MscRecorder
+from repro.net.connection import Connection
+from repro.peerhood.library import PeerHoodLibrary
+
+#: The service name of Figure 8.
+SERVICE_NAME = "PeerHoodCommunity"
+
+
+class CommunityServer:
+    """Serves the local profile store to remote community clients.
+
+    Args:
+        library: PeerHood library of the local device.
+        store: The device's profile store; the *active* profile is what
+            remote peers see as the online member.
+        recorder: Optional MSC recorder shared with clients.
+        trust_policy: Decides whether a ``PS_ADDTRUSTED`` request from
+            a given member is accepted; defaults to rejecting, matching
+            the paper where trust is granted by the owner, not claimed
+            by the requester.
+    """
+
+    def __init__(self, library: PeerHoodLibrary, store: ProfileStore,
+                 recorder: MscRecorder | None = None,
+                 trust_policy: Callable[[str], bool] | None = None) -> None:
+        self.library = library
+        self.store = store
+        self.recorder = recorder
+        self.trust_policy = trust_policy
+        self.env = library.daemon.env
+        self.requests_served = 0
+        self.file_service = FileTransferService(store)
+        self._started = False
+
+    @property
+    def device_id(self) -> str:
+        """Device this server runs on."""
+        return self.library.device_id
+
+    def start(self) -> None:
+        """Register the service into the PHD (Figure 8)."""
+        if self._started:
+            return
+        self.library.register_service(
+            SERVICE_NAME,
+            {"type": "social-networking", "version": "0.2"},
+            self._accept)
+        self._started = True
+
+    def stop(self) -> None:
+        """Unregister the service; existing connections die naturally."""
+        if self._started:
+            self.library.unregister_service(SERVICE_NAME)
+            self._started = False
+
+    # -- connection handling ------------------------------------------------
+
+    def _accept(self, connection: Connection) -> None:
+        self.env.spawn(self._serve(connection),
+                       name=f"phc-server:{self.device_id}<-{connection.remote_id}")
+
+    def _serve(self, connection: Connection) -> Generator:
+        while not connection.closed:
+            payload = yield connection.recv()
+            if payload is None:  # connection torn down under us
+                return None
+            self._trace_in(connection, payload)
+            try:
+                op, params = protocol.parse_request(payload)
+            except protocol.ProtocolError:
+                response = protocol.make_response(protocol.BAD_REQUEST)
+            else:
+                try:
+                    response = self._dispatch(op, params)
+                except (TypeError, ValueError, KeyError):
+                    # Required fields present but of the wrong shape
+                    # (e.g. a list where a string belongs).  A remote
+                    # peer must never be able to crash the server.
+                    response = protocol.make_response(protocol.BAD_REQUEST)
+                self.requests_served += 1
+            self._trace_out(connection, response)
+            try:
+                connection.send(response)
+            except (ConnectionError, OSError):
+                return None
+        return None
+
+    # -- dispatch (Table 6) -------------------------------------------------------
+
+    def _dispatch(self, op: str, params: dict) -> dict:
+        handlers = {
+            protocol.PS_GETONLINEMEMBERLIST: self._handle_online_members,
+            protocol.PS_GETINTERESTLIST: self._handle_interest_list,
+            protocol.PS_GETINTERESTEDMEMBERLIST: self._handle_interested_members,
+            protocol.PS_GETPROFILE: self._handle_get_profile,
+            protocol.PS_ADDPROFILECOMMENT: self._handle_add_comment,
+            protocol.PS_CHECKMEMBERID: self._handle_check_member_id,
+            protocol.PS_MSG: self._handle_message,
+            protocol.PS_SHAREDCONTENT: self._handle_shared_content,
+            protocol.PS_GETTRUSTEDFRIEND: self._handle_trusted_friends,
+            protocol.PS_CHECKTRUSTED: self._handle_check_trusted,
+            protocol.PS_GETSHAREDCONTENT: self._handle_get_shared_content,
+            protocol.PS_ADDTRUSTED: self._handle_add_trusted,
+            PS_GETFILECHUNK: self.file_service.handle_chunk_request,
+        }
+        return handlers[op](params)
+
+    def _active_or_none(self):
+        return self.store.active
+
+    def _handle_online_members(self, params: dict) -> dict:
+        """Identify the online member and transmit it (Table 6 row 1)."""
+        active = self._active_or_none()
+        if active is None:
+            return protocol.make_response(protocol.NO_MEMBERS_YET)
+        return protocol.make_response(
+            protocol.STATUS_OK,
+            members=[{"member_id": active.member_id,
+                      "full_name": active.full_name}])
+
+    def _handle_interest_list(self, params: dict) -> dict:
+        """Transmit the local member's interests (Table 6 row 2)."""
+        active = self._active_or_none()
+        if active is None:
+            return protocol.make_response(protocol.NO_MEMBERS_YET)
+        return protocol.make_response(
+            protocol.STATUS_OK,
+            member_id=active.member_id,
+            interests=active.interests.as_list())
+
+    def _handle_interested_members(self, params: dict) -> dict:
+        """Members here sharing the given interest (Table 6 row 3)."""
+        active = self._active_or_none()
+        if active is None:
+            return protocol.make_response(protocol.NO_MEMBERS_YET)
+        members = []
+        if params["interest"] in active.interests:
+            members.append({"member_id": active.member_id,
+                            "full_name": active.full_name})
+        return protocol.make_response(protocol.STATUS_OK, members=members)
+
+    def _handle_get_profile(self, params: dict) -> dict:
+        """Transmit the local profile; record the visitor (Figure 13)."""
+        active = self._active_or_none()
+        if active is None or active.member_id != params["member_id"]:
+            return protocol.make_response(protocol.NO_MEMBERS_YET)
+        active.record_view(params["requester"], self.env.now)
+        if self.recorder is not None:
+            self.recorder.action(self.env.now, f"server:{self.device_id}",
+                                 "writes profile visitor")
+        view = active.public_view()
+        view["trusted"] = sorted(active.trusted)
+        return protocol.make_response(protocol.STATUS_OK, profile=view)
+
+    def _handle_add_comment(self, params: dict) -> dict:
+        """Append a remote comment to the local profile (Figure 14)."""
+        active = self._active_or_none()
+        if active is None or active.member_id != params["member_id"]:
+            return protocol.make_response(protocol.NO_MEMBERS_YET)
+        active.record_comment(params["requester"], params["comment"],
+                              self.env.now)
+        if self.recorder is not None:
+            self.recorder.action(self.env.now, f"server:{self.device_id}",
+                                 "writes comment to profile file")
+        return protocol.make_response(protocol.SUCCESSFULLY_WRITTEN)
+
+    def _handle_check_member_id(self, params: dict) -> dict:
+        """Compare a member id with the local one (Table 6 row 6)."""
+        active = self._active_or_none()
+        if active is None:
+            return protocol.make_response(protocol.NO_MEMBERS_YET)
+        return protocol.make_response(
+            protocol.STATUS_OK,
+            match=active.member_id == params["member_id"])
+
+    def _handle_message(self, params: dict) -> dict:
+        """Write an inbound mail message to the inbox (Figure 17).
+
+        A device that does not host the receiver answers
+        ``NO_MEMBERS_YET`` like every member-targeted operation;
+        ``UNSUCCESSFULL`` is reserved for a failed write on the right
+        device (Figure 17's error arrow).
+        """
+        active = self._active_or_none()
+        if active is None or active.member_id != params["receiver"]:
+            return protocol.make_response(protocol.NO_MEMBERS_YET)
+        active.deliver_mail(MailMessage(
+            sender=params["sender"], receiver=params["receiver"],
+            subject=params["subject"], body=params["body"],
+            sent_at=self.env.now))
+        if self.recorder is not None:
+            self.recorder.action(self.env.now, f"server:{self.device_id}",
+                                 "writes mail to inbox file")
+        return protocol.make_response(protocol.SUCCESSFULLY_WRITTEN)
+
+    def _handle_shared_content(self, params: dict) -> dict:
+        """List local shared content for a trusted requester."""
+        active = self._active_or_none()
+        if active is None:
+            return protocol.make_response(protocol.NO_MEMBERS_YET)
+        if not active.trusts(params["requester"]):
+            return protocol.make_response(protocol.NOT_TRUSTED_YET)
+        return protocol.make_response(
+            protocol.STATUS_OK,
+            files=[{"name": shared.name, "size": shared.size_bytes}
+                   for shared in active.shared_files.values()])
+
+    def _handle_trusted_friends(self, params: dict) -> dict:
+        """Send the member's trusted-friend list (Figure 15)."""
+        active = self._active_or_none()
+        if active is None or active.member_id != params["member_id"]:
+            return protocol.make_response(protocol.NO_MEMBERS_YET)
+        return protocol.make_response(protocol.STATUS_OK,
+                                      trusted=sorted(active.trusted))
+
+    def _handle_check_trusted(self, params: dict) -> dict:
+        """First phase of Figure 16: is the requester trusted?"""
+        active = self._active_or_none()
+        if active is None or active.member_id != params["member_id"]:
+            return protocol.make_response(protocol.NO_MEMBERS_YET)
+        if not active.trusts(params["requester"]):
+            return protocol.make_response(protocol.NOT_TRUSTED_YET)
+        return protocol.make_response(protocol.STATUS_OK, trusted=True)
+
+    def _handle_get_shared_content(self, params: dict) -> dict:
+        """Second phase of Figure 16: the shared-content list."""
+        active = self._active_or_none()
+        if active is None or active.member_id != params["member_id"]:
+            return protocol.make_response(protocol.NO_MEMBERS_YET)
+        if not active.trusts(params["requester"]):
+            return protocol.make_response(protocol.NOT_TRUSTED_YET)
+        return protocol.make_response(
+            protocol.STATUS_OK,
+            files=[{"name": shared.name, "size": shared.size_bytes}
+                   for shared in active.shared_files.values()])
+
+    def _handle_add_trusted(self, params: dict) -> dict:
+        """A remote member asks to be trusted; policy decides."""
+        active = self._active_or_none()
+        if active is None or active.member_id != params["member_id"]:
+            return protocol.make_response(protocol.NO_MEMBERS_YET)
+        requester = params["requester"]
+        if self.trust_policy is not None and self.trust_policy(requester):
+            active.add_trusted(requester)
+            return protocol.make_response(protocol.SUCCESSFULLY_WRITTEN)
+        return protocol.make_response(protocol.UNSUCCESSFULL)
+
+    # -- tracing -------------------------------------------------------------
+
+    def _trace_in(self, connection: Connection, payload: dict) -> None:
+        if self.recorder is not None and isinstance(payload, dict):
+            self.recorder.message(self.env.now,
+                                  f"client:{connection.remote_id}",
+                                  f"server:{self.device_id}",
+                                  str(payload.get("op", "?")))
+
+    def _trace_out(self, connection: Connection, response: dict) -> None:
+        if self.recorder is not None:
+            self.recorder.message(self.env.now,
+                                  f"server:{self.device_id}",
+                                  f"client:{connection.remote_id}",
+                                  str(response.get("status", "?")))

@@ -1,0 +1,97 @@
+"""File-backed persistence for profile stores.
+
+The paper's server works on plain files: it "writes or appends the
+Profile comments send by remote client into the local user's profile"
+(Table 6) and "writes the mail message in the inbox mail file"
+(Figure 17).  This module gives the simulated device the same durable
+home: a profile store serialises to a directory of JSON files (one per
+profile) and loads back losslessly, so a device can be switched off
+and rebooted with its community state intact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.community.profile import (
+    MailMessage,
+    Profile,
+    ProfileComment,
+    ProfileStore,
+    ProfileView,
+)
+
+#: Bumped when the on-disk layout changes.
+STORAGE_VERSION = 1
+
+
+def profile_to_dict(profile: Profile) -> dict:
+    """Serialise one profile to a JSON-safe dict (lossless)."""
+    return {
+        "version": STORAGE_VERSION,
+        "member_id": profile.member_id,
+        "username": profile.username,
+        "password": profile.password,
+        "full_name": profile.full_name,
+        "interests": profile.interests.as_list(),
+        "comments": [[c.author, c.text, c.written_at]
+                     for c in profile.comments],
+        "viewers": [[v.viewer, v.viewed_at] for v in profile.viewers],
+        "trusted": sorted(profile.trusted),
+        "shared_files": [[f.name, f.size_bytes]
+                         for f in profile.shared_files.values()],
+        "inbox": [[m.sender, m.receiver, m.subject, m.body, m.sent_at]
+                  for m in profile.inbox],
+        "sent": [[m.sender, m.receiver, m.subject, m.body, m.sent_at]
+                 for m in profile.sent],
+    }
+
+
+def profile_from_dict(data: dict) -> Profile:
+    """Rebuild a profile serialised by :func:`profile_to_dict`."""
+    version = data.get("version")
+    if version != STORAGE_VERSION:
+        raise ValueError(f"unsupported profile storage version {version!r}")
+    profile = Profile(data["member_id"], data["username"], data["password"],
+                      data["full_name"], data["interests"])
+    profile.comments = [ProfileComment(author, text, when)
+                        for author, text, when in data["comments"]]
+    profile.viewers = [ProfileView(viewer, when)
+                       for viewer, when in data["viewers"]]
+    profile.trusted = set(data["trusted"])
+    for name, size in data["shared_files"]:
+        profile.share_file(name, size)
+    profile.inbox = [MailMessage(*entry) for entry in data["inbox"]]
+    profile.sent = [MailMessage(*entry) for entry in data["sent"]]
+    return profile
+
+
+def save_store(store: ProfileStore, directory: str | Path) -> list[Path]:
+    """Write every profile to ``directory`` (one JSON file each).
+
+    Returns the written paths.  The active-login state is runtime
+    state, not durable state, and is deliberately not persisted — a
+    rebooted device starts at the login screen (§5.2.1).
+    """
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    written = []
+    for profile in store.profiles():
+        path = base / f"{profile.username}.profile.json"
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(profile_to_dict(profile), handle, indent=2,
+                      sort_keys=True)
+        written.append(path)
+    return written
+
+
+def load_store(directory: str | Path) -> ProfileStore:
+    """Rebuild a profile store from :func:`save_store` output."""
+    base = Path(directory)
+    store = ProfileStore()
+    for path in sorted(base.glob("*.profile.json")):
+        with path.open("r", encoding="utf-8") as handle:
+            profile = profile_from_dict(json.load(handle))
+        store._profiles[profile.username] = profile
+    return store

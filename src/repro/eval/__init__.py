@@ -1,0 +1,9 @@
+"""Experiment harness: testbeds, workloads and table formatting.
+
+Everything ``benchmarks/`` and ``examples/`` share lives here so each
+bench stays a thin, readable driver.
+"""
+
+from repro.eval.testbed import DeviceHandle, MemberHandle, Testbed
+
+__all__ = ["DeviceHandle", "MemberHandle", "Testbed"]

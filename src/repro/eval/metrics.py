@@ -1,0 +1,107 @@
+"""Churn and discovery metrics for dynamic-group experiments.
+
+§6 names "performance testing during the dynamic group discovery ...
+in order to analyze the efficiency of such dynamic group discovery"
+as future work.  This module computes the statistics that analysis
+needs from data the system already records: group membership history
+(:class:`~repro.community.groups.MembershipEvent`) and the engine's
+probe log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.community.discovery import DynamicGroupEngine
+from repro.community.groups import Group
+
+
+@dataclass(frozen=True)
+class GroupChurnStats:
+    """Membership-churn statistics of one group.
+
+    Attributes:
+        interest: Group name.
+        joins / leaves: Event counts.
+        unique_members: Distinct members ever seen.
+        peak_size: Largest simultaneous membership.
+        mean_stay_s: Mean membership duration across completed stays.
+    """
+
+    interest: str
+    joins: int
+    leaves: int
+    unique_members: int
+    peak_size: int
+    mean_stay_s: float | None
+
+
+def churn_stats(group: Group, now: float | None = None) -> GroupChurnStats:
+    """Compute churn statistics from a group's membership history.
+
+    Open-ended stays (members still present) are excluded from
+    ``mean_stay_s`` unless ``now`` is given, in which case they are
+    truncated at ``now``.
+    """
+    joins = leaves = 0
+    current: dict[str, float] = {}
+    stays: list[float] = []
+    size = peak = 0
+    seen: set[str] = set()
+    for event in group.history:
+        seen.add(event.member_id)
+        if event.joined:
+            joins += 1
+            size += 1
+            peak = max(peak, size)
+            current[event.member_id] = event.time
+        else:
+            leaves += 1
+            size -= 1
+            joined_at = current.pop(event.member_id, None)
+            if joined_at is not None:
+                stays.append(event.time - joined_at)
+    if now is not None:
+        stays.extend(now - joined_at for joined_at in current.values())
+    mean_stay = sum(stays) / len(stays) if stays else None
+    return GroupChurnStats(group.interest, joins, leaves, len(seen), peak,
+                           mean_stay)
+
+
+@dataclass(frozen=True)
+class DiscoveryStats:
+    """Probe-latency statistics of one engine.
+
+    Attributes:
+        probes: Completed interest probes.
+        mean_probe_s / max_probe_s: Probe durations (connect + request
+            + reply), excluding the radio scan that preceded them.
+        matched_probes: Probes that produced at least one group match.
+    """
+
+    probes: int
+    mean_probe_s: float | None
+    max_probe_s: float | None
+    matched_probes: int
+
+
+def discovery_stats(engine: DynamicGroupEngine) -> DiscoveryStats:
+    """Summarise an engine's probe log."""
+    durations = [record.finished_at - record.started_at
+                 for record in engine.probe_log]
+    matched = sum(1 for record in engine.probe_log if record.matched)
+    if not durations:
+        return DiscoveryStats(0, None, None, 0)
+    return DiscoveryStats(len(durations),
+                          sum(durations) / len(durations),
+                          max(durations), matched)
+
+
+def summarize_engine(engine: DynamicGroupEngine,
+                     now: float | None = None) -> dict:
+    """One dict with discovery stats plus per-group churn stats."""
+    return {
+        "discovery": discovery_stats(engine),
+        "groups": {name: churn_stats(engine.groups.get(name), now)
+                   for name in engine.groups.names()},
+    }

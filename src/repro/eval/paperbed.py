@@ -1,0 +1,78 @@
+"""The paper's test environment, as data and as a buildable testbed.
+
+Tables 4 and 5 specify the software and hardware the reference
+implementation ran on; Appendix 1 shows the room (two desktop PCs and
+two laptops).  :func:`build_paper_testbed` recreates that room:
+stationary desktop PCs and laptops within Bluetooth range, Bluetooth
+only, PeerHood Community on all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.testbed import MemberHandle, Testbed
+from repro.mobility.geometry import Point
+
+
+@dataclass(frozen=True)
+class SoftwareSpec:
+    """One row of Table 4."""
+
+    software: str
+    version: str
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """One row of Table 5."""
+
+    name: str
+    processor: str
+    memory_mb: float
+    os: str
+    bluetooth: str
+
+
+#: Table 4, verbatim.
+SOFTWARE_SPECS: tuple[SoftwareSpec, ...] = (
+    SoftwareSpec("PeerHood", "Version 0.2"),
+    SoftwareSpec("GNU C++ Compiler", "Version 4.2.3-2ubuntu7"),
+)
+
+#: Table 5, verbatim (the 3COM dongles served the desktop PCs).
+HARDWARE_SPECS: tuple[HardwareSpec, ...] = (
+    HardwareSpec("Desktop PC1", "AMD Athlon(tm) 64 Processor 3000+ MHZ",
+                 1005.0, "Ubuntu (Release 8.04 (hardy))",
+                 "Bluetooth(TM) 3COM(R) dongle"),
+    HardwareSpec("Desktop PC2", "Intel(R) Pentium(R) III CPU 1200 MHZ",
+                 757.5, "Ubuntu (Release 8.04 (hardy))",
+                 "Bluetooth(TM) 3COM(R) dongle"),
+    HardwareSpec("Laptop (IBM ThinkPad T40)",
+                 "Intel(R) Pentium(R) M Processor 1600 MHZ",
+                 1536.0, "Ubuntu (Release 7.04 (feisty))",
+                 "Inbuilt Bluetooth(TM)"),
+)
+
+
+def build_paper_testbed(seed: int = 0, *, scan_interval: float = 10.0
+                        ) -> tuple[Testbed, dict[str, MemberHandle]]:
+    """Room 6604: PC1, PC2 and two laptops, Bluetooth only.
+
+    Members carry the Football interest the paper tested with, plus
+    per-member extras so non-shared groups exist too.  Returns the
+    testbed and member handles keyed by short names.
+    """
+    bed = Testbed(seed=seed, technologies=("bluetooth",),
+                  scan_interval=scan_interval)
+    members = {
+        "pc1": bed.add_member("pc1", ["football", "music"],
+                              position=Point(100.0, 100.0)),
+        "pc2": bed.add_member("pc2", ["football", "movies"],
+                              position=Point(104.0, 100.0)),
+        "t40": bed.add_member("t40", ["football", "music", "hiking"],
+                              position=Point(100.0, 104.0)),
+        "laptop2": bed.add_member("laptop2", ["movies", "hiking"],
+                                  position=Point(104.0, 104.0)),
+    }
+    return bed, members

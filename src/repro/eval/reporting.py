@@ -1,0 +1,37 @@
+"""Plain-text table formatting for bench output.
+
+The benches print tables shaped like the paper's so the reproduction
+can be eyeballed against the original side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    columns = [[str(header)] for header in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} does not match headers {headers!r}")
+        for index, cell in enumerate(row):
+            columns[index].append(str(cell))
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(header.ljust(width)
+                             for header, width in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(" | ".join(str(cell).ljust(width)
+                                for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def seconds(value: float) -> str:
+    """Format a duration the way Table 8 does ("58 Seconds")."""
+    return f"{value:.0f} Seconds"

@@ -1,0 +1,112 @@
+"""Parameter sweeps over neighbourhood shape.
+
+Two sweeps the thesis' analysis invites but never runs:
+
+* **Density** — how does the time to a *complete* group (every
+  co-interested neighbour discovered) grow with neighbourhood size?
+  Bluetooth inquiry slows with responder count and every member costs
+  a probe, so formation is super-linear in crowd size.
+* **Interest fragmentation** — with a fixed crowd, how does the size
+  of the interest vocabulary fragment the neighbourhood into many
+  small groups (the §5.2.6 problem grown to population scale)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.testbed import Testbed
+from repro.eval.workloads import populate_neighborhood
+
+
+@dataclass(frozen=True)
+class DensityPoint:
+    """One neighbourhood-size measurement.
+
+    Attributes:
+        members: Total devices in the cluster.
+        complete_at_s: Virtual time until the observer's shared group
+            contained every other member.
+        bytes_sent: Radio traffic the observer emitted getting there.
+    """
+
+    members: int
+    complete_at_s: float
+    bytes_sent: int
+
+
+def density_sweep(counts: tuple[int, ...] = (2, 4, 8, 12),
+                  seed: int = 0) -> list[DensityPoint]:
+    """Formation-completeness time as the crowd grows."""
+    points = []
+    for count in counts:
+        bed = Testbed(seed=seed, technologies=("bluetooth",))
+        members = populate_neighborhood(bed, count,
+                                        shared_interest="football")
+        observer = members[0]
+        expected = {member.member_id for member in members}
+        while set(observer.app.group_members("football")) != expected:
+            if not bed.env.step():
+                raise RuntimeError("group never completed")
+            if bed.env.now > 600.0:
+                raise RuntimeError(f"no complete group for {count} members "
+                                   f"within 600 s")
+        adapter = bed.medium.adapter(observer.device_id, "bluetooth")
+        points.append(DensityPoint(count, bed.env.now, adapter.bytes_sent))
+        bed.stop()
+    return points
+
+
+@dataclass(frozen=True)
+class FragmentationPoint:
+    """One vocabulary-size measurement.
+
+    Attributes:
+        pool_size: Distinct interests in circulation.
+        groups: Non-empty groups the observer sees.
+        largest_group: Size of the observer's biggest group.
+        singleton_groups: Groups holding only the observer.
+    """
+
+    pool_size: int
+    groups: int
+    largest_group: int
+    singleton_groups: int
+
+
+def fragmentation_sweep(pool_sizes: tuple[int, ...] = (2, 4, 8, 12),
+                        members: int = 10,
+                        seed: int = 0) -> list[FragmentationPoint]:
+    """Group fragmentation as the interest vocabulary grows."""
+    from repro.eval.workloads import INTEREST_POOL
+
+    points = []
+    for pool_size in pool_sizes:
+        pool = INTEREST_POOL[:pool_size]
+        bed = Testbed(seed=seed, technologies=("bluetooth",))
+        rng = bed.env.random.stream("fragmentation")
+        from repro.eval.workloads import random_interests
+        from repro.mobility.geometry import Point
+
+        handles = []
+        for index in range(members):
+            if index == 0:
+                # The observer holds the whole vocabulary so every
+                # group in the room is visible from one device.
+                interests = list(pool)
+            else:
+                interests = random_interests(rng, minimum=1,
+                                             maximum=min(3, pool_size),
+                                             pool=pool)
+            handles.append(bed.add_member(f"m{index:02d}", interests))
+        bed.run(90.0)
+        observer = handles[0]
+        groups = observer.app.engine.groups.non_empty()
+        sizes = [len(group) for group in groups]
+        points.append(FragmentationPoint(
+            pool_size=pool_size,
+            groups=len(groups),
+            largest_group=max(sizes) if sizes else 0,
+            singleton_groups=sum(1 for size in sizes if size == 1)))
+        bed.stop()
+    return points

@@ -1,0 +1,114 @@
+"""Calibration validation: how close is the reproduction to the paper?
+
+Computes per-cell relative errors of a measured Table 8 against the
+published one and checks the paper's structural claims.  Used by the
+Table 8 bench, the validation tests, and for regenerating the
+EXPERIMENTS.md comparison after recalibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.table8 import PAPER_TABLE8
+from repro.sns.workflows import TaskTimes
+
+TASK_FIELDS = ("search_s", "join_s", "member_list_s", "profile_s")
+
+
+@dataclass(frozen=True)
+class CellError:
+    """One cell's deviation from the paper."""
+
+    column: str
+    task: str
+    paper: float
+    measured: float
+
+    @property
+    def relative(self) -> float | None:
+        """Relative error; ``None`` for the paper's zero cells."""
+        if self.paper == 0.0:
+            return None
+        return (self.measured - self.paper) / self.paper
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Full comparison of a measured table against the paper."""
+
+    cells: tuple[CellError, ...]
+    shape_violations: tuple[str, ...]
+
+    @property
+    def max_abs_relative(self) -> float:
+        """Worst |relative error| over non-zero cells."""
+        errors = [abs(cell.relative) for cell in self.cells
+                  if cell.relative is not None]
+        return max(errors) if errors else 0.0
+
+    @property
+    def mean_abs_relative(self) -> float:
+        """Mean |relative error| over non-zero cells."""
+        errors = [abs(cell.relative) for cell in self.cells
+                  if cell.relative is not None]
+        return sum(errors) / len(errors) if errors else 0.0
+
+    @property
+    def shape_holds(self) -> bool:
+        """Whether every structural claim of the paper held."""
+        return not self.shape_violations
+
+
+def validate_table8(measured: dict[str, TaskTimes],
+                    paper: dict[str, TaskTimes] | None = None
+                    ) -> ValidationReport:
+    """Compare a measured Table 8 against the paper's."""
+    paper = paper if paper is not None else PAPER_TABLE8
+    cells: list[CellError] = []
+    for column, measured_times in measured.items():
+        if column not in paper:
+            continue
+        paper_times = paper[column]
+        for task in TASK_FIELDS:
+            cells.append(CellError(column, task,
+                                   getattr(paper_times, task),
+                                   getattr(measured_times, task)))
+
+    violations: list[str] = []
+    phc = measured.get("PeerHood Community")
+    if phc is not None:
+        if phc.join_s != 0.0:
+            violations.append("PeerHood join time is not zero")
+        for column, times in measured.items():
+            if column != "PeerHood Community" and times.total_s <= phc.total_s:
+                violations.append(f"PeerHood does not beat {column}")
+    for site in ("Facebook", "HI5"):
+        n810 = measured.get(f"{site} / Nokia N810")
+        n95 = measured.get(f"{site} / Nokia N95")
+        if n810 is not None and n95 is not None \
+                and n95.total_s <= n810.total_s:
+            violations.append(f"{site}: N95 not slower than N810")
+    return ValidationReport(tuple(cells), tuple(violations))
+
+
+def format_validation(report: ValidationReport) -> str:
+    """Human-readable validation summary."""
+    lines = [f"cells compared: {len(report.cells)}",
+             f"mean |relative error| (non-zero cells): "
+             f"{report.mean_abs_relative:.1%}",
+             f"max  |relative error| (non-zero cells): "
+             f"{report.max_abs_relative:.1%}"]
+    worst = sorted((cell for cell in report.cells
+                    if cell.relative is not None),
+                   key=lambda cell: -abs(cell.relative))[:3]
+    for cell in worst:
+        lines.append(f"  worst: {cell.column} / {cell.task}: "
+                     f"paper {cell.paper:.0f}s, measured "
+                     f"{cell.measured:.0f}s ({cell.relative:+.0%})")
+    if report.shape_holds:
+        lines.append("shape claims: all hold")
+    else:
+        lines.extend(f"SHAPE VIOLATION: {violation}"
+                     for violation in report.shape_violations)
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Workload generators for the experiment benches."""
+
+from __future__ import annotations
+
+import math
+from random import Random
+
+from repro.eval.testbed import MemberHandle, Testbed
+from repro.mobility.geometry import Point
+
+#: Interest pool for synthetic populations; overlaps are common enough
+#: that neighbourhood-scale groups always form.
+INTEREST_POOL = (
+    "football", "music", "movies", "photography", "travel", "cooking",
+    "gaming", "books", "hiking", "cycling", "tennis", "ice hockey",
+)
+
+
+def random_interests(rng: Random, minimum: int = 1, maximum: int = 4,
+                     pool: tuple[str, ...] = INTEREST_POOL) -> list[str]:
+    """A random interest set of 1-4 interests from the pool."""
+    count = rng.randint(minimum, min(maximum, len(pool)))
+    return rng.sample(pool, count)
+
+
+def populate_neighborhood(bed: Testbed, count: int, *,
+                          stream: str = "workload",
+                          shared_interest: str | None = None,
+                          radius: float = 8.0) -> list[MemberHandle]:
+    """Add ``count`` members clustered inside Bluetooth range.
+
+    Args:
+        bed: Target testbed.
+        count: Members to create (named ``m00``, ``m01``...).
+        stream: Random stream name for interest draws.
+        shared_interest: If set, every member additionally holds this
+            interest so one guaranteed group spans everyone.
+        radius: Cluster radius in metres.
+
+    Returns the created member handles.
+    """
+    rng = bed.env.random.stream(stream)
+    members = []
+    center = Point(100.0, 100.0)
+    for index in range(count):
+        interests = random_interests(rng)
+        if shared_interest and shared_interest not in interests:
+            interests.append(shared_interest)
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        distance = rng.uniform(0.0, radius)
+        position = Point(center.x + distance * math.cos(angle),
+                         center.y + distance * math.sin(angle))
+        members.append(bed.add_member(f"m{index:02d}", interests,
+                                      position=position))
+    return members

@@ -1,0 +1,75 @@
+"""Plane geometry helpers for the mobility world."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Point:
+    """An immutable position on the 2D plane, in metres."""
+
+    x: float
+    y: float
+
+    def moved_towards(self, target: "Point", step: float) -> "Point":
+        """Return the point ``step`` metres from here towards ``target``.
+
+        Never overshoots: if ``target`` is closer than ``step``, the
+        target itself is returned.
+        """
+        gap = distance(self, target)
+        if gap <= step or gap == 0.0:
+            return target
+        fraction = step / gap
+        return Point(self.x + (target.x - self.x) * fraction,
+                     self.y + (target.y - self.y) * fraction)
+
+    def offset(self, dx: float, dy: float) -> "Point":
+        """Return this point translated by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points in metres."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned bounding rectangle for the simulated area."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.max_x <= self.min_x or self.max_y <= self.min_y:
+            raise ValueError(f"degenerate rectangle {self!r}")
+
+    @property
+    def width(self) -> float:
+        """Horizontal extent in metres."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Vertical extent in metres."""
+        return self.max_y - self.min_y
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside (or on the edge of) the rect."""
+        return (self.min_x <= point.x <= self.max_x
+                and self.min_y <= point.y <= self.max_y)
+
+    def clamp(self, point: Point) -> Point:
+        """Project ``point`` onto the nearest position inside the rect."""
+        return Point(min(max(point.x, self.min_x), self.max_x),
+                     min(max(point.y, self.min_y), self.max_y))
+
+    def random_point(self, rng) -> Point:
+        """Uniform random point inside the rectangle."""
+        return Point(rng.uniform(self.min_x, self.max_x),
+                     rng.uniform(self.min_y, self.max_y))

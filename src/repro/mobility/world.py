@@ -1,0 +1,130 @@
+"""The mobile world: nodes, positions and proximity queries."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.mobility.geometry import Point, Rect, distance
+from repro.mobility.models import MobilityModel, Stationary
+from repro.simenv import Environment, PeriodicTimer
+
+
+class MobileNode:
+    """A device's physical presence in the world."""
+
+    def __init__(self, node_id: str, position: Point,
+                 model: MobilityModel | None = None) -> None:
+        self.node_id = node_id
+        self.position = position
+        self.model = model if model is not None else Stationary()
+
+    def __repr__(self) -> str:
+        return (f"MobileNode({self.node_id!r}, "
+                f"({self.position.x:.1f}, {self.position.y:.1f}))")
+
+
+class World:
+    """Bounded 2D plane holding every mobile node.
+
+    The world ticks positions forward on a periodic timer and notifies
+    movement listeners after each tick.  The radio
+    :class:`~repro.radio.medium.Medium` is the primary listener: it
+    re-derives link reachability from the new positions.
+
+    Args:
+        env: Simulation environment providing time and randomness.
+        bounds: Simulated area; defaults to a 200 m x 200 m square —
+            generous for the Bluetooth-scale neighbourhoods of the paper.
+        tick: Seconds between position updates.
+    """
+
+    def __init__(self, env: Environment, bounds: Rect | None = None,
+                 tick: float = 0.5) -> None:
+        self.env = env
+        self.bounds = bounds if bounds is not None else Rect(0.0, 0.0, 200.0, 200.0)
+        self.tick = tick
+        self._nodes: dict[str, MobileNode] = {}
+        self._listeners: list[Callable[[], None]] = []
+        self._timer = PeriodicTimer(env, tick, self._advance)
+        self._last_tick_time = env.now
+
+    # -- population -------------------------------------------------------
+
+    def add_node(self, node_id: str, position: Point,
+                 model: MobilityModel | None = None) -> MobileNode:
+        """Place a new node; raises if the id already exists."""
+        if node_id in self._nodes:
+            raise ValueError(f"node {node_id!r} already in world")
+        if not self.bounds.contains(position):
+            position = self.bounds.clamp(position)
+        node = MobileNode(node_id, position, model)
+        self._nodes[node_id] = node
+        self._notify()
+        return node
+
+    def remove_node(self, node_id: str) -> None:
+        """Remove a node (device switched off / left the simulation)."""
+        if node_id not in self._nodes:
+            raise KeyError(f"node {node_id!r} not in world")
+        del self._nodes[node_id]
+        self._notify()
+
+    def node(self, node_id: str) -> MobileNode:
+        """Look up a node by id."""
+        return self._nodes[node_id]
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def __iter__(self) -> Iterator[MobileNode]:
+        return iter(self._nodes.values())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- queries ---------------------------------------------------------
+
+    def distance_between(self, a: str, b: str) -> float:
+        """Metres between two nodes."""
+        return distance(self._nodes[a].position, self._nodes[b].position)
+
+    def nodes_within(self, node_id: str, radius: float) -> list[MobileNode]:
+        """All *other* nodes within ``radius`` metres of ``node_id``."""
+        center = self._nodes[node_id].position
+        return [node for node in self._nodes.values()
+                if node.node_id != node_id
+                and distance(center, node.position) <= radius]
+
+    # -- movement ------------------------------------------------------------
+
+    def move_node(self, node_id: str, position: Point) -> None:
+        """Teleport a node (used by tests and scenario setup)."""
+        self._nodes[node_id].position = self.bounds.clamp(position)
+        self._notify()
+
+    def on_movement(self, listener: Callable[[], None]) -> None:
+        """Register a callback invoked after every position change."""
+        self._listeners.append(listener)
+
+    def stop(self) -> None:
+        """Stop the movement timer (ends the simulation's busy loop)."""
+        self._timer.stop()
+
+    def _advance(self) -> None:
+        dt = self.env.now - self._last_tick_time
+        self._last_tick_time = self.env.now
+        if dt <= 0.0:
+            return
+        moved = False
+        for node in self._nodes.values():
+            new_position = node.model.step(node.position, dt)
+            new_position = self.bounds.clamp(new_position)
+            if new_position != node.position:
+                node.position = new_position
+                moved = True
+        if moved:
+            self._notify()
+
+    def _notify(self) -> None:
+        for listener in self._listeners:
+            listener()

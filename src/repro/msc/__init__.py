@@ -1,0 +1,12 @@
+"""Message sequence chart capture and rendering.
+
+The paper documents every client-server operation as an MSC (Figures
+11-17).  This package records the actual messages exchanged by the
+simulated client and servers and renders them as ASCII charts, so each
+figure is *regenerated from a live run* rather than redrawn.
+"""
+
+from repro.msc.render import render_msc
+from repro.msc.trace import MscEvent, MscRecorder
+
+__all__ = ["MscEvent", "MscRecorder", "render_msc"]

@@ -1,0 +1,103 @@
+"""ASCII rendering of recorded message sequence charts.
+
+Output format (one lifeline per participant)::
+
+        client         server-bob
+           |                |
+           |--PS_GETPROFILE-->|
+           |<-------OK-------|
+           |                |
+
+Good enough to eyeball against the paper's Figures 11-17 and stable
+enough for golden tests.
+"""
+
+from __future__ import annotations
+
+from repro.msc.trace import MscRecorder
+
+_MIN_GAP = 6
+
+
+def render_msc(recorder: MscRecorder, title: str = "") -> str:
+    """Render the recorder's events as an ASCII chart."""
+    participants = recorder.participants()
+    if not participants:
+        return f"(empty MSC{': ' + title if title else ''})"
+
+    widest_label = max((len(event.label) for event in recorder.events),
+                       default=0)
+    column_gap = max(_MIN_GAP + widest_label,
+                     max(len(name) for name in participants) + 2)
+    centers = {name: index * column_gap + column_gap // 2
+               for index, name in enumerate(participants)}
+    width = len(participants) * column_gap
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * min(len(title), width))
+
+    header = [" "] * width
+    for name in participants:
+        start = max(0, centers[name] - len(name) // 2)
+        for offset, char in enumerate(name):
+            if start + offset < width:
+                header[start + offset] = char
+    lines.append("".join(header).rstrip())
+    lines.append(_lifelines(centers, width))
+
+    for event in recorder.events:
+        if event.kind == "message":
+            lines.append(_arrow(centers, width, event.source, event.target,
+                                event.label))
+        else:
+            marker = f"[{event.label}]" if event.kind == "action" else f"({event.label})"
+            lines.append(_annotation(centers, width, event.source, marker))
+        lines.append(_lifelines(centers, width))
+    return "\n".join(lines)
+
+
+def _lifelines(centers: dict[str, int], width: int) -> str:
+    row = [" "] * width
+    for center in centers.values():
+        row[center] = "|"
+    return "".join(row).rstrip()
+
+
+def _arrow(centers: dict[str, int], width: int, source: str, target: str,
+           label: str) -> str:
+    row = [" "] * width
+    for center in centers.values():
+        row[center] = "|"
+    src, dst = centers[source], centers[target]
+    if src == dst:  # self-message: render as annotation
+        return _annotation(centers, width, source, f"[{label}]")
+    left, right = min(src, dst), max(src, dst)
+    for position in range(left + 1, right):
+        row[position] = "-"
+    if dst > src:
+        row[right - 1] = ">"
+    else:
+        row[left + 1] = "<"
+    # Centre the label inside the arrow body.
+    body = right - left - 3
+    if body > 0 and label:
+        text = label[:body]
+        start = left + 2 + (body - len(text)) // 2
+        for offset, char in enumerate(text):
+            row[start + offset] = char
+    return "".join(row).rstrip()
+
+
+def _annotation(centers: dict[str, int], width: int, entity: str,
+                marker: str) -> str:
+    row = [" "] * width
+    for name, center in centers.items():
+        row[center] = "|"
+    center = centers[entity]
+    start = max(0, center - len(marker) // 2)
+    for offset, char in enumerate(marker):
+        if start + offset < width:
+            row[start + offset] = char
+    return "".join(row).rstrip()

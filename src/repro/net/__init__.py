@@ -1,0 +1,31 @@
+"""Simulated transport: framed messages over radio links.
+
+This sits between the radio medium and PeerHood.  A
+:class:`~repro.net.stack.NetworkStack` gives each device listeners
+(named ports) and outbound connections; a
+:class:`~repro.net.connection.Connection` moves length-prefixed frames
+with latency derived from the technology's bandwidth, plus the gateway
+relay hop for GPRS.
+"""
+
+from repro.net.connection import Connection, ConnectionClosedError
+from repro.net.messages import FrameError, deserialize, frame_size, serialize
+from repro.net.stack import (
+    ListenerExistsError,
+    NetworkStack,
+    NoListenerError,
+    StackRegistry,
+)
+
+__all__ = [
+    "Connection",
+    "ConnectionClosedError",
+    "FrameError",
+    "ListenerExistsError",
+    "NetworkStack",
+    "NoListenerError",
+    "StackRegistry",
+    "deserialize",
+    "frame_size",
+    "serialize",
+]

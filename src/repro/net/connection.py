@@ -1,0 +1,182 @@
+"""Simulated duplex connections.
+
+A :class:`Connection` object exists *per endpoint*: opening a link
+creates two halves wired to each other.  Sending serialises the
+payload, charges the sender's adapter, and schedules delivery into the
+peer half's inbox after the technology's transfer time (plus the
+gateway hop for relayed technologies).
+
+Reachability is re-checked at every send, so a device walking out of
+Bluetooth range breaks the connection at the next message — which is
+what PeerHood's seamless-connectivity logic reacts to.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from repro.net.messages import deserialize, serialize
+from repro.radio.medium import Medium, NotReachableError
+from repro.radio.technology import Technology
+from repro.simenv import Environment, Signal, WaitSignal
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.radio.gprs import GprsGateway
+
+
+class ConnectionClosedError(ConnectionError):
+    """Raised when sending or receiving on a closed connection."""
+
+
+class Connection:
+    """One endpoint of a simulated duplex link."""
+
+    def __init__(self, env: Environment, medium: Medium,
+                 local_id: str, remote_id: str, technology: Technology,
+                 gateway: "GprsGateway | None" = None) -> None:
+        self.env = env
+        self.medium = medium
+        self.local_id = local_id
+        self.remote_id = remote_id
+        self.technology = technology
+        self.gateway = gateway
+        self.peer: "Connection | None" = None  # wired by NetworkStack
+        self.closed = False
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        self.retransmissions = 0
+        self._busy_until = 0.0  # sender-side FIFO serialisation
+        self._inbox: deque[Any] = deque()
+        self._recv_waiters: deque[Signal] = deque()
+
+    # -- sending -------------------------------------------------------------
+
+    def send(self, payload: Any) -> float:
+        """Transmit ``payload`` to the peer.
+
+        Returns the simulated seconds the transfer will take.  Raises
+        :class:`ConnectionClosedError` on a closed connection and
+        :class:`NotReachableError` when the link has physically broken
+        (peer out of range, adapter gone) — in which case both halves
+        are marked closed.
+        """
+        if self.closed or self.peer is None:
+            raise ConnectionClosedError(
+                f"send on closed connection {self.local_id}->{self.remote_id}")
+        if not self.medium.reachable(self.local_id, self.remote_id,
+                                     self.technology.name):
+            self._break()
+            raise NotReachableError(
+                f"link {self.local_id}->{self.remote_id} over "
+                f"{self.technology.name} is down")
+        frame = serialize(payload)
+        attempts = self._transmission_attempts()
+        transfer = self.technology.transfer_time(len(frame)) * attempts
+        if self.technology.needs_gateway and self.gateway is not None:
+            transfer += self.gateway.relay_time(len(frame))
+        self.retransmissions += attempts - 1
+        self.medium.record_transfer(self.local_id, self.technology.name,
+                                    len(frame))
+        self.bytes_sent += len(frame)
+        self.messages_sent += 1
+        decoded = deserialize(frame)
+        # Ordered delivery (the L2CAP contract): a frame cannot start
+        # transmitting before the previous frame finished, so messages
+        # on one connection never reorder regardless of size.
+        start = max(self.env.now, self._busy_until)
+        arrival = start + transfer
+        self._busy_until = arrival
+        self.env.call_at(arrival, self.peer._deliver, decoded)
+        return arrival - self.env.now
+
+    def _transmission_attempts(self, cap: int = 8) -> int:
+        """How many link-layer attempts this frame needs.
+
+        Reliable delivery is the service contract (the BTPlugin's
+        L2CAP "offers ordered and reliable data delivery"), so loss
+        never surfaces as corruption — only as retransmission latency.
+        Draws come from a per-technology named stream, keeping lossy
+        runs fully reproducible.
+        """
+        loss = self.technology.frame_loss_rate
+        if loss <= 0.0:
+            return 1
+        rng = self.env.random.stream(f"loss:{self.technology.name}")
+        attempts = 1
+        while attempts < cap and rng.random() < loss:
+            attempts += 1
+        return attempts
+
+    # -- receiving ------------------------------------------------------------
+
+    def recv(self) -> WaitSignal:
+        """Yieldable that resumes with the next inbound payload.
+
+        Usage inside a process::
+
+            payload = yield connection.recv()
+        """
+        signal = Signal(f"recv:{self.local_id}<-{self.remote_id}")
+        if self._inbox:
+            signal.fire(self._inbox.popleft())
+        elif self.closed:
+            raise ConnectionClosedError(
+                f"recv on closed connection {self.local_id}<-{self.remote_id}")
+        else:
+            self._recv_waiters.append(signal)
+        return WaitSignal(signal)
+
+    def pending(self) -> int:
+        """Number of undelivered inbound payloads queued locally."""
+        return len(self._inbox)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close both halves of the connection."""
+        if self.closed:
+            return
+        self.closed = True
+        if self.peer is not None and not self.peer.closed:
+            self.peer.close()
+        self._flush_waiters_with_error()
+
+    def migrate(self, technology: Technology,
+                gateway: "GprsGateway | None" = None) -> None:
+        """Switch the link to another technology (seamless handover).
+
+        Both halves move together; subsequent transfer times and
+        reachability checks use the new technology.  The caller (the
+        seamless-connectivity manager) is responsible for charging the
+        new technology's setup time.
+        """
+        self.technology = technology
+        self.gateway = gateway
+        if self.peer is not None and self.peer.technology is not technology:
+            self.peer.migrate(technology, gateway)
+
+    # -- internals ------------------------------------------------------------
+
+    def _deliver(self, payload: Any) -> None:
+        if self.closed:
+            return
+        if self._recv_waiters:
+            self._recv_waiters.popleft().fire(payload)
+        else:
+            self._inbox.append(payload)
+
+    def _break(self) -> None:
+        """Physical link loss: close both halves."""
+        self.close()
+
+    def _flush_waiters_with_error(self) -> None:
+        # Pending receivers resume with None; protocol layers treat a
+        # None payload as connection loss.
+        while self._recv_waiters:
+            self._recv_waiters.popleft().fire(None)
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return (f"Connection({self.local_id}->{self.remote_id} "
+                f"over {self.technology.name}, {state})")

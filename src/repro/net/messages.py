@@ -1,0 +1,56 @@
+"""Deterministic message serialisation.
+
+Payloads are JSON-serialisable dicts encoded with sorted keys and no
+whitespace, so a given payload always produces the same byte count —
+and therefore the same simulated transfer time.  A four-byte big-endian
+length prefix frames each message, mirroring the buffer-packaging the
+paper's server does before transmitting ("packages the desired
+information into buffers", §5.2.3.1).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any
+
+_LENGTH = struct.Struct(">I")
+
+#: Refuse absurd frames; the reference app moves profiles and file
+#: lists, not gigabytes.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+class FrameError(ValueError):
+    """Raised for malformed or oversized frames."""
+
+
+def serialize(payload: Any) -> bytes:
+    """Encode ``payload`` as a length-prefixed canonical-JSON frame."""
+    try:
+        body = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise FrameError(f"payload not serialisable: {exc}") from exc
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LENGTH.pack(len(body)) + body
+
+
+def deserialize(frame: bytes) -> Any:
+    """Decode a frame produced by :func:`serialize`."""
+    if len(frame) < _LENGTH.size:
+        raise FrameError(f"frame too short: {len(frame)} bytes")
+    (length,) = _LENGTH.unpack(frame[:_LENGTH.size])
+    body = frame[_LENGTH.size:]
+    if len(body) != length:
+        raise FrameError(f"length prefix says {length}, body is {len(body)}")
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"frame body not valid JSON: {exc}") from exc
+
+
+def frame_size(payload: Any) -> int:
+    """Bytes the payload occupies on the wire (prefix included)."""
+    return len(serialize(payload))

@@ -1,0 +1,122 @@
+"""Per-device network stack: listeners and outbound connections.
+
+The stack is what PeerHood plugins build on.  A server-side component
+listens on a named port (for PeerHood this is the service name, e.g.
+``"PeerHoodCommunity"``); a client opens a connection to
+``(remote_device, port)`` over a chosen technology, paying that
+technology's setup time before the connection becomes usable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator
+
+from repro.net.connection import Connection
+from repro.radio.medium import Medium, NotReachableError
+from repro.radio.technology import Technology
+from repro.simenv import Delay, Environment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.radio.gprs import GprsGateway
+
+
+class NoListenerError(ConnectionRefusedError):
+    """The remote device has no listener on the requested port."""
+
+
+class ListenerExistsError(ValueError):
+    """A listener is already bound to this port on this device."""
+
+
+class NetworkStack:
+    """Connection factory and listener registry for one device."""
+
+    #: Global port registry shared across stacks of one simulation run,
+    #: keyed by (device_id, port).  Stored on the class would leak state
+    #: between runs, so it lives on a per-simulation registry object.
+
+    def __init__(self, env: Environment, medium: Medium, device_id: str,
+                 registry: "StackRegistry") -> None:
+        self.env = env
+        self.medium = medium
+        self.device_id = device_id
+        self.registry = registry
+        registry._add(device_id, self)
+        self._listeners: dict[str, Callable[[Connection], None]] = {}
+
+    # -- server side -------------------------------------------------------
+
+    def listen(self, port: str, on_connection: Callable[[Connection], None]) -> None:
+        """Accept inbound connections on ``port``.
+
+        ``on_connection`` receives the server-side :class:`Connection`
+        half whenever a peer connects.
+        """
+        if port in self._listeners:
+            raise ListenerExistsError(f"{self.device_id!r} already listens on {port!r}")
+        self._listeners[port] = on_connection
+
+    def unlisten(self, port: str) -> None:
+        """Stop accepting connections on ``port``."""
+        self._listeners.pop(port, None)
+
+    def listening_on(self, port: str) -> bool:
+        """Whether a listener is bound to ``port``."""
+        return port in self._listeners
+
+    # -- client side ------------------------------------------------------
+
+    def connect(self, remote_id: str, port: str, technology: Technology,
+                gateway: "GprsGateway | None" = None) -> Generator:
+        """Process generator establishing a connection.
+
+        Usage::
+
+            connection = yield from stack.connect("bob", "PeerHoodCommunity", BLUETOOTH)
+
+        Pays the technology's setup time, then re-checks reachability
+        (the peer may have moved during setup) and the remote listener.
+
+        Raises:
+            NotReachableError: Peer unreachable before or after setup.
+            NoListenerError: Nothing listening on the remote port.
+        """
+        if not self.medium.reachable(self.device_id, remote_id, technology.name):
+            raise NotReachableError(
+                f"{remote_id!r} unreachable from {self.device_id!r} "
+                f"over {technology.name}")
+        yield Delay(technology.setup_time_s)
+        if not self.medium.reachable(self.device_id, remote_id, technology.name):
+            raise NotReachableError(
+                f"{remote_id!r} moved out of {technology.name} range during setup")
+        remote_stack = self.registry.stack_of(remote_id)
+        if remote_stack is None or port not in remote_stack._listeners:
+            raise NoListenerError(f"{remote_id!r} has no listener on {port!r}")
+        local = Connection(self.env, self.medium, self.device_id, remote_id,
+                           technology, gateway)
+        remote = Connection(self.env, self.medium, remote_id, self.device_id,
+                            technology, gateway)
+        local.peer = remote
+        remote.peer = local
+        remote_stack._listeners[port](remote)
+        return local
+
+
+class StackRegistry:
+    """Directory of every device's stack within one simulation."""
+
+    def __init__(self) -> None:
+        self._stacks: dict[str, NetworkStack] = {}
+
+    def _add(self, device_id: str, stack: NetworkStack) -> None:
+        if device_id in self._stacks:
+            raise ValueError(f"device {device_id!r} already has a stack")
+        self._stacks[device_id] = stack
+
+    def stack_of(self, device_id: str) -> NetworkStack | None:
+        """The stack for ``device_id``, or ``None`` if absent."""
+        return self._stacks.get(device_id)
+
+    def remove(self, device_id: str) -> None:
+        """Drop a device's stack (device left the simulation)."""
+        self._stacks.pop(device_id, None)

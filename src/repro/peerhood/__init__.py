@@ -1,0 +1,50 @@
+"""PeerHood: peer-to-peer neighbourhood middleware (Chapter 4).
+
+Three entities, as in Figure 4:
+
+* :class:`~repro.peerhood.daemon.PeerHoodDaemon` — the always-running
+  background process doing device and service discovery.
+* :class:`~repro.peerhood.library.PeerHoodLibrary` — the API
+  applications link against.
+* Plugins (:mod:`repro.peerhood.plugins`) — one per technology.
+
+Plus the cross-cutting features of Table 3:
+:class:`~repro.peerhood.monitor.DeviceMonitor` (active monitoring) and
+:class:`~repro.peerhood.seamless.SeamlessConnectivityManager`
+(seamless connectivity).
+"""
+
+from repro.peerhood.daemon import DEFAULT_PREFERENCE, PHD_PORT, PeerHoodDaemon
+from repro.peerhood.device import NeighborDevice, ServiceInfo
+from repro.peerhood.errors import (
+    DeviceNotFoundError,
+    NoCommonTechnologyError,
+    PeerHoodError,
+    ServiceExistsError,
+    ServiceNotFoundError,
+)
+from repro.peerhood.library import PeerHoodLibrary
+from repro.peerhood.monitor import DeviceMonitor
+from repro.peerhood.plugins import BTPlugin, GPRSPlugin, Plugin, WLANPlugin
+from repro.peerhood.seamless import HandoverRecord, SeamlessConnectivityManager
+
+__all__ = [
+    "BTPlugin",
+    "DEFAULT_PREFERENCE",
+    "DeviceMonitor",
+    "DeviceNotFoundError",
+    "GPRSPlugin",
+    "HandoverRecord",
+    "NeighborDevice",
+    "NoCommonTechnologyError",
+    "PHD_PORT",
+    "PeerHoodDaemon",
+    "PeerHoodError",
+    "PeerHoodLibrary",
+    "Plugin",
+    "SeamlessConnectivityManager",
+    "ServiceExistsError",
+    "ServiceInfo",
+    "ServiceNotFoundError",
+    "WLANPlugin",
+]

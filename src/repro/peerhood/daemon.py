@@ -1,0 +1,269 @@
+"""The PeerHood Daemon (PHD).
+
+"PHD performs the major operations of PeerHood.  It is an independent
+application which always runs on background and keeps tracks of other
+wireless device discovery and service discovery in those devices.  It
+maintains a list of neighbor devices as well as list of local and
+remote services.  Services through PeerHood-enabled applications are
+registered in PHD and PHD handles the service requests." (§4.2.1)
+
+Concretely the daemon here:
+
+* runs one periodic discovery loop per plugin (staggered by jitter);
+* merges scan results into a neighbourhood table of
+  :class:`~repro.peerhood.device.NeighborDevice` records;
+* queries newly-seen devices for their registered services over a
+  control channel (the ``_phd`` port) and answers such queries from
+  peers — Table 3's "Service Discovery";
+* fires ``device_found`` / ``device_lost`` / ``services_updated``
+  events that the monitoring API and the social middleware build on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Iterable
+
+from repro.net.connection import Connection
+from repro.net.stack import NetworkStack
+from repro.peerhood.device import NeighborDevice, ServiceInfo
+from repro.peerhood.errors import ServiceExistsError
+from repro.peerhood.plugins.base import Plugin
+from repro.radio.medium import Medium, NotReachableError
+from repro.simenv import Environment
+
+#: Control port every daemon listens on, on every technology.
+PHD_PORT = "_phd"
+
+#: Cheapest-first technology preference (§5.1: Bluetooth and WLAN are
+#: "primely used"; GPRS costs money and is the fallback).
+DEFAULT_PREFERENCE = ("bluetooth", "wlan", "gprs")
+
+
+class PeerHoodDaemon:
+    """Per-device background process maintaining the neighbourhood."""
+
+    def __init__(self, env: Environment, medium: Medium, stack: NetworkStack,
+                 device_id: str, plugins: Iterable[Plugin], *,
+                 scan_interval: float = 10.0,
+                 preference: tuple[str, ...] = DEFAULT_PREFERENCE) -> None:
+        self.env = env
+        self.medium = medium
+        self.stack = stack
+        self.device_id = device_id
+        self.plugins: dict[str, Plugin] = {plugin.name: plugin
+                                           for plugin in plugins}
+        self.scan_interval = scan_interval
+        self.preference = preference
+        self.neighbors: dict[str, NeighborDevice] = {}
+        self.local_services: dict[str, ServiceInfo] = {}
+        self._found_callbacks: list[Callable[[str], None]] = []
+        self._lost_callbacks: list[Callable[[str], None]] = []
+        self._services_callbacks: list[Callable[[str], None]] = []
+        self._running = False
+        self._loop_processes = []
+        stack.listen(PHD_PORT, self._accept_control)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin the per-plugin discovery loops."""
+        if self._running:
+            return
+        self._running = True
+        for index, plugin in enumerate(self.plugins.values()):
+            # Stagger plugin loops slightly so scans do not align.
+            offset = 0.05 * index
+            process = self.env.spawn_at(
+                self.env.now + offset,
+                self._discovery_loop(plugin),
+                name=f"phd:{self.device_id}:{plugin.name}")
+            self._loop_processes.append(process)
+
+    def stop(self) -> None:
+        """Stop discovery; the neighbourhood table freezes."""
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        """Whether discovery loops are active."""
+        return self._running
+
+    # -- service registry (local) -----------------------------------------------
+
+    def register_service(self, name: str, attributes: dict[str, str] | None,
+                         on_connection: Callable[[Connection], None]) -> ServiceInfo:
+        """Register a local service and start accepting connections.
+
+        Raises :class:`ServiceExistsError` for duplicate names — the
+        paper's daemon owns a flat per-device service namespace.
+        """
+        if name in self.local_services:
+            raise ServiceExistsError(f"service {name!r} already registered "
+                                     f"on {self.device_id!r}")
+        info = ServiceInfo.make(name, self.device_id, attributes)
+        self.local_services[name] = info
+        self.stack.listen(name, on_connection)
+        return info
+
+    def unregister_service(self, name: str) -> None:
+        """Remove a local service registration."""
+        self.local_services.pop(name, None)
+        self.stack.unlisten(name)
+
+    # -- neighbourhood queries ---------------------------------------------------
+
+    def device_listing(self) -> list[NeighborDevice]:
+        """Snapshot of currently-known neighbour devices (sorted)."""
+        return [self.neighbors[device_id]
+                for device_id in sorted(self.neighbors)]
+
+    def service_listing(self, device_id: str | None = None) -> list[ServiceInfo]:
+        """Local + remote services, optionally restricted to one device."""
+        services: list[ServiceInfo] = []
+        if device_id is None or device_id == self.device_id:
+            services.extend(self.local_services.values())
+        for neighbor in self.device_listing():
+            if device_id is None or neighbor.device_id == device_id:
+                services.extend(neighbor.services)
+        return services
+
+    def knows(self, device_id: str) -> bool:
+        """Whether the device is currently in the neighbourhood table."""
+        return device_id in self.neighbors
+
+    # -- events -----------------------------------------------------------------
+
+    def on_device_found(self, callback: Callable[[str], None]) -> None:
+        """Call ``callback(device_id)`` when a device first appears."""
+        self._found_callbacks.append(callback)
+
+    def on_device_lost(self, callback: Callable[[str], None]) -> None:
+        """Call ``callback(device_id)`` when a device disappears."""
+        self._lost_callbacks.append(callback)
+
+    def on_services_updated(self, callback: Callable[[str], None]) -> None:
+        """Call ``callback(device_id)`` when a device's services refresh."""
+        self._services_callbacks.append(callback)
+
+    # -- connections ----------------------------------------------------------
+
+    def plugin_for(self, remote_id: str) -> Plugin | None:
+        """Best plugin for reaching ``remote_id`` right now.
+
+        Prefers the cheapest technology (per :attr:`preference`) over
+        which the peer is actually reachable.
+        """
+        for name in self.preference:
+            plugin = self.plugins.get(name)
+            if plugin is None:
+                continue
+            if self.medium.reachable(self.device_id, remote_id, name):
+                return plugin
+        return None
+
+    def connect(self, remote_id: str, service_name: str) -> Generator:
+        """Process generator connecting to a service on a neighbour.
+
+        Raises :class:`NotReachableError` when no technology reaches
+        the peer.
+        """
+        plugin = self.plugin_for(remote_id)
+        if plugin is None:
+            raise NotReachableError(
+                f"no technology reaches {remote_id!r} from {self.device_id!r}")
+        connection = yield from plugin.connect(remote_id, service_name)
+        return connection
+
+    # -- discovery internals -------------------------------------------------
+
+    def _discovery_loop(self, plugin: Plugin) -> Generator:
+        while self._running:
+            found = yield from plugin.discover()
+            self._merge_scan(plugin.name, set(found))
+            from repro.simenv import Delay
+            yield Delay(self.scan_interval)
+
+    def _merge_scan(self, technology_name: str, found: set[str]) -> None:
+        now = self.env.now
+        new_devices: list[str] = []
+        for device_id in sorted(found):
+            neighbor = self.neighbors.get(device_id)
+            if neighbor is None:
+                neighbor = NeighborDevice(device_id=device_id)
+                self.neighbors[device_id] = neighbor
+                new_devices.append(device_id)
+            neighbor.technologies.add(technology_name)
+            neighbor.last_seen = now
+        # Devices previously visible on this technology but now absent.
+        lost_devices: list[str] = []
+        for device_id, neighbor in list(self.neighbors.items()):
+            if technology_name in neighbor.technologies and device_id not in found:
+                neighbor.technologies.discard(technology_name)
+                if not neighbor.technologies:
+                    del self.neighbors[device_id]
+                    lost_devices.append(device_id)
+        for device_id in new_devices:
+            for callback in list(self._found_callbacks):
+                callback(device_id)
+            self.env.spawn(self._query_services(device_id),
+                           name=f"phd:{self.device_id}:svcq:{device_id}")
+        for device_id in lost_devices:
+            for callback in list(self._lost_callbacks):
+                callback(device_id)
+
+    def _query_services(self, device_id: str) -> Generator:
+        """Fetch the remote daemon's service list over the control port."""
+        plugin = self.plugin_for(device_id)
+        if plugin is None:
+            return None
+        try:
+            connection = yield from plugin.connect(device_id, PHD_PORT)
+        except (ConnectionError, OSError):
+            return None
+        try:
+            connection.send({"op": "get_services"})
+            reply = yield connection.recv()
+        except (ConnectionError, OSError):
+            return None
+        finally:
+            connection.close()
+        neighbor = self.neighbors.get(device_id)
+        if neighbor is None or not isinstance(reply, dict):
+            return None
+        neighbor.services = [
+            ServiceInfo.make(entry["name"], device_id,
+                             dict(entry.get("attributes", [])))
+            for entry in reply.get("services", [])
+        ]
+        neighbor.services_fresh = True
+        for callback in list(self._services_callbacks):
+            callback(device_id)
+        return neighbor.services
+
+    def _accept_control(self, connection: Connection) -> None:
+        self.env.spawn(self._serve_control(connection),
+                       name=f"phd:{self.device_id}:ctl")
+
+    def _serve_control(self, connection: Connection) -> Generator:
+        try:
+            request = yield connection.recv()
+        except (ConnectionError, OSError):
+            return None
+        if not isinstance(request, dict):
+            return None
+        if request.get("op") == "get_services":
+            services = [{"name": info.name,
+                         "attributes": [list(pair) for pair in info.attributes]}
+                        for info in self.local_services.values()]
+            try:
+                connection.send({"services": services})
+            except (ConnectionError, OSError):
+                pass
+        elif request.get("op") == "get_neighbors":
+            # Share our current neighbourhood table — the primitive
+            # gossip-based overlay expansion builds on (repro.adhoc).
+            try:
+                connection.send({"neighbors": sorted(self.neighbors)})
+            except (ConnectionError, OSError):
+                pass
+        return None

@@ -1,0 +1,23 @@
+"""PeerHood middleware exceptions."""
+
+from __future__ import annotations
+
+
+class PeerHoodError(Exception):
+    """Base class for all PeerHood middleware errors."""
+
+
+class DeviceNotFoundError(PeerHoodError):
+    """The requested device is not in the current neighbourhood."""
+
+
+class ServiceNotFoundError(PeerHoodError):
+    """The requested service is not registered on the target device."""
+
+
+class ServiceExistsError(PeerHoodError):
+    """A service with this name is already registered locally."""
+
+
+class NoCommonTechnologyError(PeerHoodError):
+    """No technology connects the local device to the target device."""

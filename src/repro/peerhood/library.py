@@ -1,0 +1,106 @@
+"""The PeerHood Library: the application-facing API (§4.2.2).
+
+"PeerHood library provides a local socket interface which could be
+used in handling communication between PHD and PeerHood-enabled
+applications.  This library is used by the applications to request
+information from PHD and to request for connecting to remote
+services."
+
+The C++ library talks to the daemon over a local socket; a local IPC
+hop is microseconds against the radio's milliseconds, so the simulated
+library calls the daemon in-process while charging a small fixed IPC
+latency on the operations that cross it in the real system.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.net.connection import Connection
+from repro.peerhood.daemon import PeerHoodDaemon
+from repro.peerhood.device import NeighborDevice, ServiceInfo
+from repro.peerhood.errors import ServiceNotFoundError
+from repro.peerhood.monitor import DeviceMonitor
+from repro.simenv import Delay
+
+#: One local-socket round trip between application and daemon.
+LOCAL_IPC_LATENCY_S = 0.0005
+
+
+class PeerHoodLibrary:
+    """Facade applications use; one instance per application."""
+
+    def __init__(self, daemon: PeerHoodDaemon) -> None:
+        self.daemon = daemon
+
+    @property
+    def device_id(self) -> str:
+        """Identifier of the device this library instance runs on."""
+        return self.daemon.device_id
+
+    # -- service registration ----------------------------------------------
+
+    def register_service(self, name: str, attributes: dict[str, str] | None,
+                         on_connection: Callable[[Connection], None]
+                         ) -> ServiceInfo:
+        """Register a service into the PHD (Figure 8's pattern)."""
+        return self.daemon.register_service(name, attributes, on_connection)
+
+    def unregister_service(self, name: str) -> None:
+        """Remove a previously registered service."""
+        self.daemon.unregister_service(name)
+
+    # -- neighbourhood information -------------------------------------------
+
+    def get_device_listing(self) -> list[NeighborDevice]:
+        """All PeerHood-capable devices currently in the neighbourhood.
+
+        This is the call Figure 9's client makes before iterating
+        "all nearby PeerHood Capable devices".
+        """
+        return self.daemon.device_listing()
+
+    def get_service_listing(self, device_id: str | None = None
+                            ) -> list[ServiceInfo]:
+        """Local and remote services known to the daemon."""
+        return self.daemon.service_listing(device_id)
+
+    def devices_with_service(self, service_name: str) -> list[str]:
+        """Device ids in the neighbourhood advertising ``service_name``."""
+        return sorted({service.device_id
+                       for service in self.daemon.service_listing()
+                       if service.name == service_name
+                       and service.device_id != self.device_id})
+
+    # -- connections ---------------------------------------------------------
+
+    def connect(self, device_id: str, service_name: str,
+                require_advertised: bool = False) -> Generator:
+        """Process generator: connect to a remote service.
+
+        Args:
+            device_id: Target device.
+            service_name: Remote service name.
+            require_advertised: Refuse (with
+                :class:`ServiceNotFoundError`) unless service discovery
+                has already listed the service on that device.
+        """
+        if require_advertised:
+            advertised = any(service.name == service_name
+                             for service in self.daemon.service_listing(device_id))
+            if not advertised:
+                raise ServiceNotFoundError(
+                    f"{device_id!r} does not advertise {service_name!r}")
+        yield Delay(LOCAL_IPC_LATENCY_S)
+        connection = yield from self.daemon.connect(device_id, service_name)
+        return connection
+
+    # -- monitoring ------------------------------------------------------------
+
+    def monitor(self, device_id: str, *,
+                on_appear: Callable[[str], None] | None = None,
+                on_disappear: Callable[[str], None] | None = None
+                ) -> DeviceMonitor:
+        """Actively monitor a device's presence (Table 3)."""
+        return DeviceMonitor(self.daemon, device_id,
+                             on_appear=on_appear, on_disappear=on_disappear)

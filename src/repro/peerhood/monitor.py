@@ -1,0 +1,61 @@
+"""Active monitoring of devices (Table 3).
+
+"PeerHood supports active monitoring of devices, i.e. when the
+monitored device goes out of range than application is notified of its
+disappearance.  Also, the application is notified when the monitored
+device approaches the range."
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.peerhood.daemon import PeerHoodDaemon
+
+
+class DeviceMonitor:
+    """Watches one device id through the daemon's event stream.
+
+    Args:
+        daemon: The local daemon whose neighbourhood is watched.
+        device_id: Device to monitor.
+        on_appear: Called with the device id when it enters range.
+        on_disappear: Called with the device id when it leaves range.
+    """
+
+    def __init__(self, daemon: PeerHoodDaemon, device_id: str, *,
+                 on_appear: Callable[[str], None] | None = None,
+                 on_disappear: Callable[[str], None] | None = None) -> None:
+        self.daemon = daemon
+        self.device_id = device_id
+        self._on_appear = on_appear
+        self._on_disappear = on_disappear
+        self.active = True
+        self.appearances = 0
+        self.disappearances = 0
+        daemon.on_device_found(self._handle_found)
+        daemon.on_device_lost(self._handle_lost)
+
+    @property
+    def visible(self) -> bool:
+        """Whether the monitored device is currently in range."""
+        return self.daemon.knows(self.device_id)
+
+    def cancel(self) -> None:
+        """Stop delivering notifications (listener stays registered but
+        inert; daemons live for the whole simulation)."""
+        self.active = False
+
+    def _handle_found(self, device_id: str) -> None:
+        if not self.active or device_id != self.device_id:
+            return
+        self.appearances += 1
+        if self._on_appear is not None:
+            self._on_appear(device_id)
+
+    def _handle_lost(self, device_id: str) -> None:
+        if not self.active or device_id != self.device_id:
+            return
+        self.disappearances += 1
+        if self._on_disappear is not None:
+            self._on_disappear(device_id)

@@ -1,0 +1,13 @@
+"""PeerHood plugins: one per network technology (§4.2.3).
+
+Plugins are "loaded dynamically by PHD and/or PeerHood Library" in the
+paper; here the daemon is handed a list of plugin instances.  Each
+plugin owns discovery and connection establishment for its technology.
+"""
+
+from repro.peerhood.plugins.base import Plugin
+from repro.peerhood.plugins.bt import BTPlugin
+from repro.peerhood.plugins.gprs import GPRSPlugin
+from repro.peerhood.plugins.wlan import WLANPlugin
+
+__all__ = ["BTPlugin", "GPRSPlugin", "Plugin", "WLANPlugin"]

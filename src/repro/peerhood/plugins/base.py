@@ -1,0 +1,81 @@
+"""Plugin interface shared by BT/WLAN/GPRS plugins."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.net.connection import Connection
+from repro.net.stack import NetworkStack
+from repro.radio.medium import Medium
+from repro.radio.technology import Technology
+from repro.simenv import Environment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.radio.gprs import GprsGateway
+
+
+class Plugin:
+    """Base class for technology plugins.
+
+    A plugin binds one device to one technology and provides:
+
+    * ``discover()`` — a process generator returning the device ids
+      found by one scan, taking the technology's realistic scan time.
+    * ``connect(remote_id, port)`` — a process generator returning an
+      established :class:`Connection`.
+
+    Subclasses set :attr:`technology` and may override timing.
+    """
+
+    technology: Technology
+
+    def __init__(self, env: Environment, medium: Medium, stack: NetworkStack,
+                 device_id: str) -> None:
+        self.env = env
+        self.medium = medium
+        self.stack = stack
+        self.device_id = device_id
+        self.scan_count = 0
+
+    @property
+    def name(self) -> str:
+        """Technology name this plugin serves."""
+        return self.technology.name
+
+    def available(self) -> bool:
+        """Whether the local device has a live adapter for the technology."""
+        adapter = self.medium.adapter(self.device_id, self.technology.name)
+        return adapter is not None and adapter.enabled
+
+    def scan_duration(self, responders: int) -> float:
+        """Seconds one discovery scan takes given ``responders`` peers."""
+        return self.technology.discovery_time_s
+
+    def gateway(self) -> "GprsGateway | None":
+        """Gateway used for relayed connections (``None`` for local radios)."""
+        return None
+
+    def discover(self) -> Generator:
+        """Process generator: one discovery scan.
+
+        Returns the list of device ids currently reachable over this
+        plugin's technology, after the scan's virtual-time cost.
+        """
+        from repro.simenv import Delay
+
+        if not self.available():
+            return []
+        found = self.medium.neighbors(self.device_id, self.technology.name)
+        self.scan_count += 1
+        yield Delay(self.scan_duration(len(found)))
+        # Re-read after the scan: devices may have moved during it.
+        return self.medium.neighbors(self.device_id, self.technology.name)
+
+    def connect(self, remote_id: str, port: str) -> Generator:
+        """Process generator: connect to ``port`` on ``remote_id``.
+
+        Returns the local :class:`Connection` half.
+        """
+        connection = yield from self.stack.connect(
+            remote_id, port, self.technology, self.gateway())
+        return connection

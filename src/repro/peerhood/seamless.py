@@ -1,0 +1,160 @@
+"""Seamless connectivity: migrate weakening links to better technologies.
+
+"When PeerHood senses the breaking or weakening of the established
+connection, it tries to find the best possible alternative for that
+breaking connection, maintaining the connectivity." (Table 3)
+
+The manager polls each supervised connection's link quality.  When the
+quality drops below the handover threshold, it looks for the *best*
+currently-available alternative technology (by quality, then by the
+daemon's cheapest-first preference), pays the new technology's setup
+time, and migrates the connection in place — make-before-break, so the
+old link keeps carrying traffic during the handover unless it has
+already died.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator
+
+from repro.net.connection import Connection
+from repro.peerhood.daemon import PeerHoodDaemon
+from repro.simenv import Delay, PeriodicTimer
+
+
+@dataclass
+class HandoverRecord:
+    """One completed or failed handover, for analysis benches."""
+
+    time: float
+    connection_repr: str
+    from_technology: str
+    to_technology: str | None
+    reason: str
+    succeeded: bool
+
+
+@dataclass
+class _Supervised:
+    connection: Connection
+    in_handover: bool = False
+    handovers: int = 0
+    callbacks: list[Callable[[Connection, str], None]] = field(default_factory=list)
+
+
+class SeamlessConnectivityManager:
+    """Supervises connections of one device's daemon."""
+
+    def __init__(self, daemon: PeerHoodDaemon, *,
+                 check_interval: float = 1.0,
+                 quality_threshold: float = 0.15) -> None:
+        self.daemon = daemon
+        self.quality_threshold = quality_threshold
+        self._supervised: list[_Supervised] = []
+        self.history: list[HandoverRecord] = []
+        self._timer = PeriodicTimer(daemon.env, check_interval, self._check_all)
+
+    def supervise(self, connection: Connection,
+                  on_handover: Callable[[Connection, str], None] | None = None
+                  ) -> None:
+        """Begin watching ``connection`` for weakening links.
+
+        ``on_handover(connection, new_technology_name)`` fires after a
+        successful migration.
+        """
+        entry = _Supervised(connection=connection)
+        if on_handover is not None:
+            entry.callbacks.append(on_handover)
+        self._supervised.append(entry)
+
+    def stop(self) -> None:
+        """Stop supervising (existing connections keep working)."""
+        self._timer.stop()
+
+    @property
+    def supervised_count(self) -> int:
+        """Connections currently supervised (closed ones are pruned)."""
+        return len(self._supervised)
+
+    # -- internals -------------------------------------------------------------
+
+    def _check_all(self) -> None:
+        medium = self.daemon.medium
+        still_open = []
+        for entry in self._supervised:
+            connection = entry.connection
+            if connection.closed:
+                continue
+            still_open.append(entry)
+            if entry.in_handover:
+                continue
+            quality = medium.link_quality(connection.local_id,
+                                          connection.remote_id,
+                                          connection.technology.name)
+            if quality < self.quality_threshold:
+                reason = "link broken" if quality == 0.0 else "link weakening"
+                self.daemon.env.spawn(
+                    self._handover(entry, reason),
+                    name=f"seamless:{connection.local_id}->{connection.remote_id}")
+        self._supervised = still_open
+
+    def _best_alternative(self, connection: Connection) -> str | None:
+        medium = self.daemon.medium
+        best_name: str | None = None
+        best_quality = 0.0
+        for name in self.daemon.preference:
+            if name == connection.technology.name:
+                continue
+            if name not in self.daemon.plugins:
+                continue
+            quality = medium.link_quality(connection.local_id,
+                                          connection.remote_id, name)
+            if quality > max(best_quality, self.quality_threshold):
+                best_name = name
+                best_quality = quality
+        return best_name
+
+    def _handover(self, entry: _Supervised, reason: str) -> Generator:
+        connection = entry.connection
+        entry.in_handover = True
+        old_name = connection.technology.name
+        try:
+            target = self._best_alternative(connection)
+            if target is None:
+                self.history.append(HandoverRecord(
+                    time=self.daemon.env.now,
+                    connection_repr=repr(connection),
+                    from_technology=old_name,
+                    to_technology=None,
+                    reason=reason,
+                    succeeded=False))
+                return None
+            plugin = self.daemon.plugins[target]
+            yield Delay(plugin.technology.setup_time_s)
+            # The world may have changed during setup; re-validate.
+            quality = self.daemon.medium.link_quality(
+                connection.local_id, connection.remote_id, target)
+            if connection.closed or quality <= 0.0:
+                self.history.append(HandoverRecord(
+                    time=self.daemon.env.now,
+                    connection_repr=repr(connection),
+                    from_technology=old_name,
+                    to_technology=target,
+                    reason=reason,
+                    succeeded=False))
+                return None
+            connection.migrate(plugin.technology, plugin.gateway())
+            entry.handovers += 1
+            self.history.append(HandoverRecord(
+                time=self.daemon.env.now,
+                connection_repr=repr(connection),
+                from_technology=old_name,
+                to_technology=target,
+                reason=reason,
+                succeeded=True))
+            for callback in entry.callbacks:
+                callback(connection, target)
+            return target
+        finally:
+            entry.in_handover = False

@@ -1,0 +1,60 @@
+"""Simulated wireless technologies.
+
+The paper's reference implementation runs over real Bluetooth dongles,
+with WLAN and GPRS supported by PeerHood plugins.  This package
+substitutes parametric simulations for those radios (see DESIGN.md §2):
+each :class:`~repro.radio.technology.Technology` describes range,
+bandwidth, discovery and connection-setup latency, and data cost; the
+:class:`~repro.radio.medium.Medium` derives who can hear whom from the
+mobility world; and the Bluetooth module adds protocol behaviour the
+paper leans on (inquiry timing, piconet size limits).
+
+The timing constants are taken from the specifications the thesis
+cites: Bluetooth 1.x inquiry/paging (§2.4.1), the 802.11 family of
+Table 1 (§2.4.2) and GPRS's 9.6-171 kbps envelope (§2.4.3).
+"""
+
+from repro.radio.bluetooth import BluetoothAdapter, Piconet, PiconetFullError
+from repro.radio.gprs import GprsGateway
+from repro.radio.medium import Medium, NotReachableError
+from repro.radio.standards import (
+    BLUETOOTH,
+    GPRS,
+    IRDA,
+    RFID,
+    WLAN,
+    WLAN_80211,
+    WLAN_80211A,
+    WLAN_80211B,
+    WLAN_80211G,
+    WIMAX_80216,
+    ZIGBEE,
+    WlanStandard,
+    all_technologies,
+    wlan_standards_table,
+)
+from repro.radio.technology import Technology
+
+__all__ = [
+    "BLUETOOTH",
+    "BluetoothAdapter",
+    "GPRS",
+    "GprsGateway",
+    "IRDA",
+    "Medium",
+    "NotReachableError",
+    "Piconet",
+    "PiconetFullError",
+    "RFID",
+    "Technology",
+    "WIMAX_80216",
+    "WLAN",
+    "WLAN_80211",
+    "WLAN_80211A",
+    "WLAN_80211B",
+    "WLAN_80211G",
+    "WlanStandard",
+    "ZIGBEE",
+    "all_technologies",
+    "wlan_standards_table",
+]

@@ -1,0 +1,58 @@
+"""GPRS gateway: the proxy device bridging wide-area peers.
+
+The paper's GPRSPlugin "operates over IP connections and uses proxy
+device as a bridge or an intermediate device" (§4.2.3).  The gateway
+here plays that proxy: devices register with it, discovery is a lookup
+in its registry, and each relayed message pays an extra store-and-
+forward hop.  It also meters traffic so benches can report the data
+cost that makes GPRS the technology of last resort in §5.1.
+"""
+
+from __future__ import annotations
+
+from repro.radio.standards import GPRS
+from repro.radio.technology import Technology
+
+
+class GprsGateway:
+    """Operator-side registry and relay for GPRS peers."""
+
+    def __init__(self, technology: Technology = GPRS) -> None:
+        self.technology = technology
+        self._registered: set[str] = set()
+        self.relayed_bytes = 0
+        self.relayed_messages = 0
+
+    @property
+    def registered(self) -> frozenset[str]:
+        """Devices currently attached to the operator network."""
+        return frozenset(self._registered)
+
+    def register(self, device_id: str) -> None:
+        """Attach a device (PDP context established)."""
+        self._registered.add(device_id)
+
+    def deregister(self, device_id: str) -> None:
+        """Detach a device (context released / coverage lost)."""
+        self._registered.discard(device_id)
+
+    def lookup(self, requester: str) -> list[str]:
+        """Peers visible to ``requester`` through the gateway."""
+        return sorted(self._registered - {requester})
+
+    def relay_time(self, nbytes: int) -> float:
+        """Extra seconds the proxy hop adds for an ``nbytes`` message.
+
+        The message crosses the air interface twice (up, then down) and
+        is queued once at the proxy; metering happens here too.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes!r}")
+        self.relayed_bytes += nbytes
+        self.relayed_messages += 1
+        queueing = 0.050
+        return self.technology.transfer_time(nbytes) + queueing
+
+    def total_cost(self) -> float:
+        """Monetary cost of all traffic relayed so far (both directions)."""
+        return self.technology.transfer_cost(self.relayed_bytes * 2)

@@ -1,0 +1,131 @@
+"""The shared radio medium.
+
+The medium answers reachability questions: *can device A talk to
+device B over technology T right now?*  For local radios (Bluetooth,
+WLAN ad-hoc) the answer follows from the mobility world's distances and
+each technology's range.  Wide-area technologies (GPRS) are reachable
+whenever both ends have coverage and a gateway is registered.
+
+Devices attach per-technology *adapters* (a device without a Bluetooth
+adapter is invisible on Bluetooth even when physically near), which
+lets scenarios reproduce the paper's testbed where only some machines
+carried dongles (Table 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mobility.world import World
+from repro.radio.technology import Technology
+
+
+class NotReachableError(ConnectionError):
+    """Raised when a transfer is attempted over a dead link."""
+
+
+@dataclass
+class Adapter:
+    """A device's interface to one technology."""
+
+    device_id: str
+    technology: Technology
+    enabled: bool = True
+    #: Cumulative bytes sent by this adapter (for cost accounting).
+    bytes_sent: int = field(default=0)
+
+    @property
+    def cost_incurred(self) -> float:
+        """Money spent on traffic through this adapter so far."""
+        return self.technology.transfer_cost(self.bytes_sent)
+
+
+class Medium:
+    """Registry of adapters plus reachability/link-quality queries."""
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+        self._adapters: dict[tuple[str, str], Adapter] = {}
+        self._gateways: set[str] = set()
+
+    # -- attachment ------------------------------------------------------
+
+    def attach(self, device_id: str, technology: Technology) -> Adapter:
+        """Give ``device_id`` an adapter for ``technology``."""
+        key = (device_id, technology.name)
+        if key in self._adapters:
+            raise ValueError(f"{device_id!r} already has a {technology.name} adapter")
+        adapter = Adapter(device_id, technology)
+        self._adapters[key] = adapter
+        return adapter
+
+    def detach(self, device_id: str, technology_name: str) -> None:
+        """Remove an adapter (device powered the radio off)."""
+        del self._adapters[(device_id, technology_name)]
+
+    def adapter(self, device_id: str, technology_name: str) -> Adapter | None:
+        """The adapter, or ``None`` if the device lacks the technology."""
+        return self._adapters.get((device_id, technology_name))
+
+    def adapters_of(self, device_id: str) -> list[Adapter]:
+        """All adapters belonging to one device."""
+        return [adapter for (owner, _), adapter in self._adapters.items()
+                if owner == device_id]
+
+    def register_gateway(self, technology_name: str) -> None:
+        """Declare operator infrastructure for a wide-area technology."""
+        self._gateways.add(technology_name)
+
+    def has_gateway(self, technology_name: str) -> bool:
+        """Whether the wide-area technology has infrastructure."""
+        return technology_name in self._gateways
+
+    # -- queries --------------------------------------------------------------
+
+    def reachable(self, a: str, b: str, technology_name: str) -> bool:
+        """Whether ``a`` and ``b`` can communicate over the technology."""
+        if a == b:
+            return False
+        adapter_a = self._adapters.get((a, technology_name))
+        adapter_b = self._adapters.get((b, technology_name))
+        if adapter_a is None or adapter_b is None:
+            return False
+        if not (adapter_a.enabled and adapter_b.enabled):
+            return False
+        technology = adapter_a.technology
+        if technology.needs_gateway:
+            return technology_name in self._gateways
+        if a not in self.world or b not in self.world:
+            return False
+        return technology.in_range(self.world.distance_between(a, b))
+
+    def link_quality(self, a: str, b: str, technology_name: str) -> float:
+        """Quality in [0, 1] of the a<->b link; 0 when unreachable."""
+        if not self.reachable(a, b, technology_name):
+            return 0.0
+        technology = self._adapters[(a, technology_name)].technology
+        if technology.range_m is None:
+            return 1.0
+        return technology.link_quality(self.world.distance_between(a, b))
+
+    def neighbors(self, device_id: str, technology_name: str) -> list[str]:
+        """Device ids reachable from ``device_id`` over the technology.
+
+        For wide-area technologies this is every attached device (the
+        gateway bridges them); for local radios it is range-limited.
+        Results are sorted for deterministic discovery order.
+        """
+        own = self._adapters.get((device_id, technology_name))
+        if own is None or not own.enabled:
+            return []
+        found = [other for (other, tech_name), adapter in self._adapters.items()
+                 if tech_name == technology_name and other != device_id
+                 and self.reachable(device_id, other, technology_name)]
+        return sorted(found)
+
+    def record_transfer(self, device_id: str, technology_name: str,
+                        nbytes: int) -> None:
+        """Account ``nbytes`` of traffic to the sender's adapter."""
+        adapter = self._adapters.get((device_id, technology_name))
+        if adapter is not None:
+            adapter.bytes_sent += nbytes

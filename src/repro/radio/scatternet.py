@@ -1,0 +1,165 @@
+"""Bluetooth scatternet formation.
+
+§2.4.1 describes the piconet — one master, at most seven active
+slaves.  Covering a neighbourhood larger than eight devices (or a
+multi-hop chain) requires a *scatternet*: several piconets sharing
+bridge nodes.  The overlay relays of :mod:`repro.adhoc` implicitly
+assume such a structure exists; this module makes it explicit and
+checkable, assigning roles over the current connectivity graph with a
+classic BFS-based heuristic:
+
+1. Pick the highest-degree uncovered node as a master.
+2. Enrol up to seven uncovered neighbours as its slaves.
+3. Repeat until every node is covered.
+4. Nodes adjacent to two piconets become bridges (slave in both).
+
+The result is a :class:`Scatternet` whose invariants (piconet size,
+bridge correctness, full coverage, connectivity preservation) are
+property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.radio.bluetooth import Piconet
+
+
+@dataclass
+class PiconetPlan:
+    """One planned piconet: a master and its slave set."""
+
+    master: str
+    slaves: set[str] = field(default_factory=set)
+
+    def as_piconet(self) -> Piconet:
+        """Materialise the plan as live piconet bookkeeping."""
+        piconet = Piconet(self.master)
+        for slave in sorted(self.slaves):
+            piconet.add_slave(slave)
+        return piconet
+
+    @property
+    def members(self) -> set[str]:
+        """Master plus slaves."""
+        return {self.master} | self.slaves
+
+
+@dataclass
+class Scatternet:
+    """A set of piconets covering a connectivity graph."""
+
+    piconets: list[PiconetPlan]
+    bridges: set[str]
+
+    def piconets_of(self, device_id: str) -> list[PiconetPlan]:
+        """Every piconet the device participates in."""
+        return [plan for plan in self.piconets if device_id in plan.members]
+
+    def covered_devices(self) -> set[str]:
+        """All devices holding at least one role."""
+        covered: set[str] = set()
+        for plan in self.piconets:
+            covered |= plan.members
+        return covered
+
+    def overlay_graph(self) -> nx.Graph:
+        """The scatternet as a graph: master-slave edges only."""
+        graph = nx.Graph()
+        for plan in self.piconets:
+            graph.add_node(plan.master)
+            for slave in plan.slaves:
+                graph.add_edge(plan.master, slave)
+        return graph
+
+    def preserves_connectivity(self, radio_graph: nx.Graph) -> bool:
+        """Whether every radio-connected pair stays scatternet-connected."""
+        overlay = self.overlay_graph()
+        for component in nx.connected_components(radio_graph):
+            if len(component) <= 1:
+                continue
+            if not set(component) <= set(overlay.nodes):
+                return False
+            if not nx.is_connected(overlay.subgraph(component)):
+                return False
+        return True
+
+
+def form_scatternet(graph: nx.Graph,
+                    max_slaves: int = Piconet.MAX_ACTIVE_SLAVES) -> Scatternet:
+    """Assign piconet roles over ``graph`` (per connected component).
+
+    Greedy cover first: repeatedly make the highest-degree uncovered
+    node a master with up to ``max_slaves`` neighbours as slaves — one
+    slot reserved for an already-covered neighbour when one exists, so
+    new piconets bridge into the covered region immediately.  A stitch
+    pass then repairs any remaining split: for a radio edge whose ends
+    sit in different overlay components, the edge is realised as a
+    master-slave pair (enrolling into an existing piconet when a slot
+    is free, otherwise forming a two-node piconet).
+    """
+    if max_slaves < 1:
+        raise ValueError(f"max_slaves must be >= 1, got {max_slaves!r}")
+    piconets: list[PiconetPlan] = []
+    covered: set[str] = set()
+    by_master: dict[str, PiconetPlan] = {}
+    candidates = sorted(graph.nodes,
+                        key=lambda node: (-graph.degree[node], node))
+    for node in candidates:
+        if node in covered:
+            continue
+        plan = PiconetPlan(master=node)
+        uncovered = sorted(n for n in graph.neighbors(node)
+                           if n not in covered)
+        already = sorted(n for n in graph.neighbors(node) if n in covered)
+        chosen: list[str] = []
+        if already:
+            chosen.append(already[0])  # the bridge into the covered region
+        chosen.extend(uncovered[:max_slaves - len(chosen)])
+        plan.slaves.update(chosen)
+        covered |= plan.members
+        piconets.append(plan)
+        by_master[node] = plan
+
+    # Stitch pass: realise one radio edge per disconnected pair of
+    # overlay components until the overlay matches radio connectivity.
+    def stitch_once() -> bool:
+        overlay = Scatternet(piconets, set()).overlay_graph()
+        overlay.add_nodes_from(graph.nodes)
+        component_of: dict[str, int] = {}
+        for index, component in enumerate(nx.connected_components(overlay)):
+            for node in component:
+                component_of[node] = index
+        for u, v in sorted(graph.edges):
+            if component_of[u] == component_of[v]:
+                continue
+            for master, slave in ((u, v), (v, u)):
+                plan = by_master.get(master)
+                if plan is not None and len(plan.slaves) < max_slaves:
+                    plan.slaves.add(slave)
+                    return True
+            # Neither end masters a piconet with room; form a new
+            # two-node piconet (any node may slave in several).
+            new_master = u if u not in by_master else v
+            if new_master in by_master:
+                continue  # both master full piconets; try another edge
+            plan = PiconetPlan(master=new_master, slaves={v if
+                                                          new_master == u
+                                                          else u})
+            piconets.append(plan)
+            by_master[new_master] = plan
+            return True
+        return False
+
+    while stitch_once():
+        pass
+
+    membership_count: dict[str, int] = {}
+    for plan in piconets:
+        for member in plan.members:
+            membership_count[member] = membership_count.get(member, 0) + 1
+    bridges = {device for device, count in membership_count.items()
+               if count > 1}
+    return Scatternet(piconets, bridges)

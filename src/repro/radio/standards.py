@@ -1,0 +1,186 @@
+"""Registry of concrete technology parameterisations.
+
+Two groups live here:
+
+* The three PeerHood plugin technologies (:data:`BLUETOOTH`,
+  :data:`WLAN_80211B` exposed as the default "wlan", :data:`GPRS`) with
+  timing constants from the specs cited in §2.4.
+* The full Table 1 WLAN-standards registry plus the "other
+  technologies" of §2.4.4 (IrDA, RFID, ZigBee) so the Table 1 bench can
+  regenerate the paper's standards table from code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.radio.technology import Technology
+
+# -- PeerHood plugin technologies -------------------------------------------
+
+#: Bluetooth 1.2-class radio as used by the paper's 3COM dongles: ~10 m
+#: range, 721 kbps asymmetric data rate, inquiry of a few seconds and
+#: ~1.28 s paging before L2CAP setup (§2.4.1).
+BLUETOOTH = Technology(
+    name="bluetooth",
+    range_m=10.0,
+    bandwidth_bps=721_000.0,
+    latency_s=0.030,
+    setup_time_s=1.92,          # paging (1.28 s) + L2CAP channel setup
+    discovery_time_s=5.12,      # inquiry scan window (4 x 1.28 s trains)
+    cost_per_mb=0.0,
+)
+
+#: 802.11b ad-hoc WLAN — the PeerHood WLANPlugin's broadcast-based
+#: discovery over direct IP connections (§4.2.3).
+WLAN = Technology(
+    name="wlan",
+    range_m=60.0,
+    bandwidth_bps=5_500_000.0,  # practical throughput of 11 Mbps 802.11b
+    latency_s=0.005,
+    setup_time_s=0.25,
+    discovery_time_s=1.0,       # one broadcast round + reply window
+    cost_per_mb=0.0,
+)
+
+#: GPRS via operator gateway: wide-area, slow, costly and relayed
+#: (§2.4.3: 9.6-171 kbps envelope; we use a practical mid-band rate).
+GPRS = Technology(
+    name="gprs",
+    range_m=None,
+    bandwidth_bps=40_000.0,
+    latency_s=0.600,
+    setup_time_s=2.5,           # PDP context activation
+    discovery_time_s=4.0,       # proxy registry round-trip
+    cost_per_mb=2.0,
+    needs_gateway=True,
+)
+
+#: IrDA: line-of-sight, ~1 m; kept for the §2.4.4 comparison benches.
+IRDA = Technology(
+    name="irda",
+    range_m=1.0,
+    bandwidth_bps=4_000_000.0,
+    latency_s=0.010,
+    setup_time_s=0.5,
+    discovery_time_s=2.0,
+)
+
+#: ZigBee: low rate, low power (§2.4.4).
+ZIGBEE = Technology(
+    name="zigbee",
+    range_m=30.0,
+    bandwidth_bps=250_000.0,
+    latency_s=0.015,
+    setup_time_s=0.03,
+    discovery_time_s=0.5,
+)
+
+#: RFID: near-field tag reading; modelled as an extremely short-range,
+#: tiny-payload technology (§2.4.4).
+RFID = Technology(
+    name="rfid",
+    range_m=0.5,
+    bandwidth_bps=26_000.0,
+    latency_s=0.002,
+    setup_time_s=0.01,
+    discovery_time_s=0.1,
+)
+
+
+# -- Table 1: WLAN standards ------------------------------------------------
+
+@dataclass(frozen=True)
+class WlanStandard:
+    """One row of the paper's Table 1.
+
+    Attributes:
+        standard: IEEE designation.
+        max_rate_mbps: Peak data rate in Mbit/s.
+        band: Description of the radio band.
+        security: Security mechanisms listed by the paper.
+        description: Abridged descriptive notes from Table 1.
+        technology: A :class:`Technology` parameterised for this
+            standard, usable anywhere the generic WLAN descriptor is.
+    """
+
+    standard: str
+    max_rate_mbps: float
+    band: str
+    security: tuple[str, ...]
+    description: str
+    technology: Technology
+
+
+def _wlan_variant(name: str, rate_mbps: float, range_m: float) -> Technology:
+    practical = rate_mbps * 0.5  # MAC overhead halves usable throughput
+    return Technology(
+        name=name,
+        range_m=range_m,
+        bandwidth_bps=practical * 1_000_000.0,
+        latency_s=0.005,
+        setup_time_s=0.25,
+        discovery_time_s=1.0,
+    )
+
+
+WLAN_80211 = WlanStandard(
+    standard="IEEE 802.11",
+    max_rate_mbps=2.0,
+    band="2.4GHz",
+    security=("WEP", "WPA"),
+    description="This standard was extended to 802.11b",
+    technology=_wlan_variant("wlan-802.11", 2.0, 50.0),
+)
+
+WLAN_80211A = WlanStandard(
+    standard="IEEE 802.11a",
+    max_rate_mbps=54.0,
+    band="5GHz",
+    security=("WEP", "WPA"),
+    description=("Eight channels; less RF interference than b/g; better "
+                 "multimedia support; shorter range; not interoperable "
+                 "with 802.11b"),
+    technology=_wlan_variant("wlan-802.11a", 54.0, 35.0),
+)
+
+WLAN_80211B = WlanStandard(
+    standard="IEEE 802.11b",
+    max_rate_mbps=11.0,
+    band="2.4GHz",
+    security=("WEP", "WPA"),
+    description=("Not interoperable with 802.11a; fewer APs needed; "
+                 "high-speed access up to 300 feet; 14 channels"),
+    technology=_wlan_variant("wlan-802.11b", 11.0, 60.0),
+)
+
+WLAN_80211G = WlanStandard(
+    standard="IEEE 802.11g",
+    max_rate_mbps=54.0,
+    band="2.4GHz",
+    security=("WEP", "WPA"),
+    description=("May replace 802.11b; improved security; compatible "
+                 "with 802.11b; 14 channels"),
+    technology=_wlan_variant("wlan-802.11g", 54.0, 60.0),
+)
+
+WIMAX_80216 = WlanStandard(
+    standard="IEEE 802.16/a",
+    max_rate_mbps=70.0,
+    band="10 to 66 GHz",
+    security=("DES3", "AES"),
+    description=("Specification for fixed broadband wireless "
+                 "metropolitan access networks (MANs)"),
+    technology=_wlan_variant("wimax-802.16", 70.0, 5_000.0),
+)
+
+
+def wlan_standards_table() -> list[WlanStandard]:
+    """All Table 1 rows in the paper's order."""
+    return [WLAN_80211, WLAN_80211A, WLAN_80211B, WLAN_80211G, WIMAX_80216]
+
+
+def all_technologies() -> dict[str, Technology]:
+    """Every named plugin-grade technology descriptor."""
+    return {tech.name: tech
+            for tech in (BLUETOOTH, WLAN, GPRS, IRDA, ZIGBEE, RFID)}

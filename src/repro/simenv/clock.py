@@ -1,0 +1,45 @@
+"""Virtual simulation clock.
+
+The clock only ever moves forward, and only the event loop may advance
+it.  Keeping it in its own object (rather than a float on the
+environment) lets substrates hold a reference to the clock without
+holding the whole environment.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonic virtual clock measured in seconds.
+
+    The clock starts at ``0.0``.  Advancing backwards raises
+    ``ValueError`` — a simulation in which time regresses is always a
+    kernel bug and should fail loudly.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ValueError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock to ``when``.
+
+        ``when`` may equal the current time (simultaneous events) but
+        may never precede it.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"cannot advance clock backwards: now={self._now!r}, target={when!r}"
+            )
+        self._now = float(when)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"

@@ -1,0 +1,137 @@
+"""The simulation environment: clock + event queue + processes + RNG."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.simenv.clock import SimClock
+from repro.simenv.events import Event, EventQueue
+from repro.simenv.process import Process
+from repro.simenv.rng import RandomStreams
+from repro.simenv.signal import Signal
+
+
+class SimulationError(RuntimeError):
+    """Raised by :meth:`Environment.run` when an unobserved process failed."""
+
+
+class Environment:
+    """Owns virtual time and drives all scheduled work.
+
+    Args:
+        seed: Root seed for all named random streams.
+
+    The environment is single-threaded and fully deterministic: two
+    environments created with the same seed and fed the same schedule
+    produce byte-identical traces.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.clock = SimClock()
+        self.queue = EventQueue()
+        self.random = RandomStreams(seed)
+        self._failures: list[tuple[Process, BaseException]] = []
+
+    # -- time --------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.clock.now
+
+    # -- scheduling ----------------------------------------------------------
+
+    def call_at(self, when: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute virtual time ``when``."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past: now={self.now}, when={when}")
+        if args:
+            return self.queue.push(when, lambda: callback(*args))
+        return self.queue.push(when, callback)
+
+    def call_in(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay!r}")
+        return self.call_at(self.now + delay, callback, *args)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a generator process immediately (first step runs now)."""
+        process = Process(self, generator, name=name)
+        process._start()
+        return process
+
+    def spawn_at(self, when: float, generator: Generator, name: str = "") -> Process:
+        """Create a process whose first step runs at virtual time ``when``."""
+        process = Process(self, generator, name=name)
+        self.call_at(when, process._start)
+        return process
+
+    def timeout_signal(self, delay: float, value: Any = None, name: str = "") -> Signal:
+        """Return a signal that fires with ``value`` after ``delay`` seconds."""
+        signal = Signal(name or f"timeout@{self.now + delay:.3f}")
+        self.call_in(delay, signal.fire, value)
+        return signal
+
+    # -- running ---------------------------------------------------------
+
+    def run(self, until: float | None = None) -> float:
+        """Run events until the queue empties or ``until`` is reached.
+
+        Returns the virtual time at which the run stopped.  If any
+        process died with an unobserved exception during the run, a
+        :class:`SimulationError` chaining the first failure is raised —
+        errors never pass silently.
+        """
+        self._raise_pending_failure()
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.clock.advance_to(until)
+                break
+            event = self.queue.pop()
+            self.clock.advance_to(event.time)
+            event.callback()
+            self._raise_pending_failure()
+        if until is not None and self.now < until:
+            self.clock.advance_to(until)
+        return self.now
+
+    def step(self) -> bool:
+        """Execute exactly one event.  Returns ``False`` when idle."""
+        self._raise_pending_failure()
+        if not self.queue:
+            return False
+        event = self.queue.pop()
+        self.clock.advance_to(event.time)
+        event.callback()
+        self._raise_pending_failure()
+        return True
+
+    def _raise_pending_failure(self) -> None:
+        if self._failures:
+            process, exc = self._failures.pop(0)
+            raise SimulationError(
+                f"process {process.name!r} failed at t={self.now:.6f}: {exc!r}"
+            ) from exc
+
+    # -- kernel internals -----------------------------------------------------
+
+    def _note_failure(self, process: Process, exception: BaseException) -> None:
+        """Record a process failure nobody is waiting on (kernel use)."""
+        self._failures.append((process, exception))
+
+    def acknowledge_failure(self, process: Process) -> None:
+        """Mark ``process``'s failure as observed by the caller.
+
+        Harnesses that read ``process.result`` directly (and therefore
+        re-raise the exception themselves) call this so the event loop
+        does not raise :class:`SimulationError` for the same failure.
+        """
+        self._failures = [(failed, exc) for failed, exc in self._failures
+                          if failed is not process]
+
+    def __repr__(self) -> str:
+        return f"Environment(now={self.now:.6f}, pending={len(self.queue)})"

@@ -1,0 +1,75 @@
+"""Event queue for the discrete-event kernel.
+
+Events are ordered by ``(time, sequence)``.  The sequence number makes
+ordering of simultaneous events deterministic: events scheduled earlier
+fire earlier.  Determinism matters because the MSC reproduction tests
+assert exact message orders.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes:
+        time: Virtual time at which the callback fires.
+        sequence: Tie-breaker preserving scheduling order at equal times.
+        callback: Zero-argument callable invoked when the event fires.
+        cancelled: Cancelled events stay in the heap but are skipped.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it (O(1); lazy deletion)."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not event.cancelled for event in self._heap)
+
+    def push(self, time: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at virtual ``time`` and return the event."""
+        event = Event(time=time, sequence=self._sequence, callback=callback)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises:
+            IndexError: If the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        raise IndexError("pop from empty event queue")
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest live event, or ``None`` when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

@@ -1,0 +1,162 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator driven by the environment.  Each
+``yield`` suspends the process until the yielded condition is met:
+
+* ``yield Delay(seconds)`` — resume after virtual time passes.
+* ``yield WaitSignal(signal)`` — resume when the signal fires; the
+  signal's value becomes the result of the ``yield`` expression.
+* ``yield WaitProcess(process)`` or ``yield process`` — resume when the
+  child process finishes; its return value becomes the ``yield`` result.
+  If the child failed, its exception is re-raised inside the waiter.
+
+Processes return values with a plain ``return`` statement and propagate
+exceptions to waiters, so simulation code reads like straight-line
+code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.simenv.signal import Signal
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simenv.environment import Environment
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Suspend the yielding process for ``seconds`` of virtual time."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(f"delay must be non-negative, got {self.seconds!r}")
+
+
+@dataclass(frozen=True)
+class WaitSignal:
+    """Suspend the yielding process until ``signal`` fires."""
+
+    signal: Signal
+
+
+@dataclass(frozen=True)
+class WaitProcess:
+    """Suspend the yielding process until ``process`` completes."""
+
+    process: "Process"
+
+
+class ProcessKilled(Exception):
+    """Raised inside a generator when its process is killed."""
+
+
+class Process:
+    """A running simulation process wrapping a generator."""
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = "") -> None:
+        self._env = env
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.done = Signal(f"{self.name}.done")
+        self._result: Any = None
+        self._exception: BaseException | None = None
+        self._alive = True
+
+    @property
+    def alive(self) -> bool:
+        """Whether the process is still running."""
+        return self._alive
+
+    @property
+    def result(self) -> Any:
+        """Return value of the generator (valid once finished).
+
+        Raises:
+            RuntimeError: If the process has not finished.
+            BaseException: The process' own exception if it failed.
+        """
+        if self._alive:
+            raise RuntimeError(f"process {self.name!r} still running")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def kill(self) -> None:
+        """Throw :class:`ProcessKilled` into the generator."""
+        if not self._alive:
+            return
+        try:
+            self._generator.throw(ProcessKilled())
+        except (ProcessKilled, StopIteration):
+            self._finish(None, None)
+        except BaseException as exc:  # generator handled kill then failed
+            self._finish(None, exc)
+        else:
+            # Generator swallowed the kill and yielded again; that is a
+            # programming error in the generator.
+            self._finish(None, RuntimeError(f"process {self.name!r} ignored kill"))
+
+    # -- kernel interface ------------------------------------------------
+
+    def _start(self) -> None:
+        self._step(lambda: self._generator.send(None))
+
+    def _step(self, advance: Any) -> None:
+        """Advance the generator once and interpret what it yields."""
+        if not self._alive:
+            return
+        try:
+            yielded = advance()
+        except StopIteration as stop:
+            self._finish(stop.value, None)
+            return
+        except ProcessKilled:
+            self._finish(None, None)
+            return
+        except BaseException as exc:
+            self._finish(None, exc)
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if isinstance(yielded, Delay):
+            self._env.call_in(yielded.seconds, self._resume_with, None)
+        elif isinstance(yielded, WaitSignal):
+            yielded.signal.wait(self._resume_with)
+        elif isinstance(yielded, (WaitProcess, Process)):
+            child = yielded.process if isinstance(yielded, WaitProcess) else yielded
+            child.done.wait(lambda _value: self._resume_after(child))
+        else:
+            self._step(
+                lambda: self._generator.throw(
+                    TypeError(f"process {self.name!r} yielded {yielded!r}")
+                )
+            )
+
+    def _resume_with(self, value: Any) -> None:
+        self._step(lambda: self._generator.send(value))
+
+    def _resume_after(self, child: "Process") -> None:
+        if child._exception is not None:
+            exc = child._exception
+            self._step(lambda: self._generator.throw(exc))
+        else:
+            self._step(lambda: self._generator.send(child._result))
+
+    def _finish(self, result: Any, exception: BaseException | None) -> None:
+        self._alive = False
+        self._result = result
+        self._exception = exception
+        self._generator.close()
+        if exception is not None and not self.done._waiters:
+            self._env._note_failure(self, exception)
+        self.done.fire(result)
+
+    def __repr__(self) -> str:
+        state = "alive" if self._alive else "done"
+        return f"Process({self.name!r}, {state})"

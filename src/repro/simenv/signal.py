@@ -1,0 +1,60 @@
+"""One-shot and broadcast signals for process synchronisation."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class Signal:
+    """A fire-once signal that processes can wait on.
+
+    A :class:`Signal` carries an optional value.  Waiters registered
+    before :meth:`fire` are called when it fires; waiters registered
+    after it has fired are called immediately with the stored value.
+    This "sticky" behaviour removes an entire class of races between a
+    connection completing and a process starting to wait for it.
+    """
+
+    __slots__ = ("name", "_fired", "_value", "_waiters")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._fired = False
+        self._value: Any = None
+        self._waiters: list[Callable[[Any], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        """Whether :meth:`fire` has been called."""
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        """Value passed to :meth:`fire` (``None`` before firing)."""
+        return self._value
+
+    def wait(self, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback(value)`` when the signal fires."""
+        if self._fired:
+            callback(self._value)
+        else:
+            self._waiters.append(callback)
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the signal, waking all current waiters.
+
+        Raises:
+            RuntimeError: If the signal already fired; signals are
+                one-shot by design.
+        """
+        if self._fired:
+            raise RuntimeError(f"signal {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            callback(value)
+
+    def __repr__(self) -> str:
+        state = "fired" if self._fired else f"{len(self._waiters)} waiter(s)"
+        return f"Signal({self.name!r}, {state})"

@@ -1,0 +1,78 @@
+"""Recurring timers built on the event queue."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.simenv.environment import Environment
+from repro.simenv.events import Event
+
+
+class PeriodicTimer:
+    """Calls ``callback()`` every ``interval`` seconds until stopped.
+
+    Used by the PeerHood daemon for its discovery loops and by the
+    mobility world for position updates.  Optional ``jitter`` draws a
+    uniform offset in ``[-jitter, +jitter]`` from the named random
+    stream so that many devices' timers do not fire in lockstep —
+    matching how independent real daemons drift apart.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        interval: float,
+        callback: Callable[[], Any],
+        *,
+        start_immediately: bool = False,
+        jitter: float = 0.0,
+        stream: str = "timer",
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval!r}")
+        if jitter < 0 or jitter >= interval:
+            raise ValueError("jitter must satisfy 0 <= jitter < interval")
+        self._env = env
+        self._interval = interval
+        self._callback = callback
+        self._jitter = jitter
+        self._stream = stream
+        self._event: Event | None = None
+        self._running = True
+        self.fire_count = 0
+        if start_immediately:
+            self._event = env.call_in(0.0, self._fire)
+        else:
+            self._schedule_next()
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer will fire again."""
+        return self._running
+
+    @property
+    def interval(self) -> float:
+        """Seconds between firings (before jitter)."""
+        return self._interval
+
+    def stop(self) -> None:
+        """Cancel the pending firing; the timer never fires again."""
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _schedule_next(self) -> None:
+        delay = self._interval
+        if self._jitter:
+            rng = self._env.random.stream(self._stream)
+            delay += rng.uniform(-self._jitter, self._jitter)
+        self._event = self._env.call_in(max(delay, 0.0), self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self.fire_count += 1
+        self._callback()
+        if self._running:
+            self._schedule_next()

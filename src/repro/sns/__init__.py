@@ -1,0 +1,44 @@
+"""Centralized social-networking-site baseline (Chapter 3, Table 8).
+
+The paper measures Facebook and Hi5, accessed from Nokia N810/N95
+handsets, against the PeerHood Community reference application.  Those
+sites and handsets are simulated here:
+
+* :mod:`repro.sns.database` / :mod:`repro.sns.server` — a centralized
+  SNS with registered users, interest groups, search, join and profile
+  pages ("SNS needs a centralized server and a centralized database
+  system", §3.2).
+* :mod:`repro.sns.devices` — access-device profiles (N810 on WLAN,
+  N95 on 3G-era cellular) with network, rendering and input speeds.
+* :mod:`repro.sns.human` — the human driving the workflow: typing,
+  scanning result lists, deciding.
+* :mod:`repro.sns.workflows` — the four Table 8 tasks end to end.
+* :mod:`repro.sns.census` — Table 2's site census, regenerable.
+"""
+
+from repro.sns.census import CENSUS, SnsCensusRow, seed_database_from_census
+from repro.sns.database import SnsDatabase, SnsUser
+from repro.sns.devices import NOKIA_N810, NOKIA_N95, AccessDevice
+from repro.sns.human import HumanModel
+from repro.sns.server import PageLoad, SnsServer
+from repro.sns.sites import FACEBOOK_2008, HI5_2008, SiteProfile
+from repro.sns.workflows import SnsWorkflow, TaskTimes
+
+__all__ = [
+    "AccessDevice",
+    "CENSUS",
+    "FACEBOOK_2008",
+    "HI5_2008",
+    "HumanModel",
+    "NOKIA_N810",
+    "NOKIA_N95",
+    "PageLoad",
+    "SiteProfile",
+    "SnsCensusRow",
+    "SnsDatabase",
+    "SnsServer",
+    "SnsUser",
+    "SnsWorkflow",
+    "TaskTimes",
+    "seed_database_from_census",
+]

@@ -1,0 +1,85 @@
+"""Table 2: social networking sites and their registered users.
+
+The census rows are the paper's (source: Weaver & Morrison, IEEE
+Computer 2008).  :func:`seed_database_from_census` turns a row into a
+synthetic population at a chosen scale so database-level benches can
+exercise realistic relative sizes without 217 million dicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from repro.sns.database import SnsDatabase
+
+#: Interests used when synthesising populations; "football" mirrors the
+#: paper's "England Football" test query.
+_INTEREST_POOL = (
+    "football", "england football", "music", "movies", "photography",
+    "travel", "cooking", "gaming", "books", "hiking", "cycling",
+    "biking", "tennis", "ice hockey", "blogging", "chess",
+)
+
+
+@dataclass(frozen=True)
+class SnsCensusRow:
+    """One row of Table 2."""
+
+    site: str
+    url: str
+    focus: str
+    registered_users: int
+
+
+#: The eight rows of Table 2, verbatim.
+CENSUS: tuple[SnsCensusRow, ...] = (
+    SnsCensusRow("MySpace", "myspace.com",
+                 "Videos, movies, IM, news, blogs, chat", 217_000_000),
+    SnsCensusRow("Facebook", "facebook.com",
+                 "Upload photoes, post videos, get news, tag friends",
+                 58_000_000),
+    SnsCensusRow("Friendster", "friendster.com",
+                 "Search for and connect with friends and classmates",
+                 50_000_000),
+    SnsCensusRow("Classmates", "classmates.com",
+                 "School, college, work and military groups", 40_000_000),
+    SnsCensusRow("Windows Live Spaces", "spaces.live.com",
+                 "Blogging", 40_000_000),
+    SnsCensusRow("Broadcaster", "broadcaster.com",
+                 "Video sharing and webcam chat", 26_000_000),
+    SnsCensusRow("Fotolog", "fotolog.com",
+                 "338 million photoes around the world", 12_695_007),
+    SnsCensusRow("Flickr", "flickr.com", "Photo sharing", 4_000_000),
+)
+
+
+def census_row(site: str) -> SnsCensusRow:
+    """Look up one census row by site name (case-insensitive)."""
+    for row in CENSUS:
+        if row.site.lower() == site.lower():
+            return row
+    raise KeyError(f"no census row for {site!r}")
+
+
+def seed_database_from_census(database: SnsDatabase, row: SnsCensusRow,
+                              rng: Random, scale: int = 100_000) -> int:
+    """Populate ``database`` with ``registered_users / scale`` accounts.
+
+    Users get 1-4 interests from the pool; one group per pool interest
+    is created (plus an "England Football" group mirroring the paper's
+    test target) and users join the groups of their interests.  Returns
+    the number of accounts created.
+    """
+    population = max(10, row.registered_users // scale)
+    for interest in _INTEREST_POOL:
+        database.create_group(interest.title(),
+                              description=f"{row.site} fans of {interest}")
+    for index in range(population):
+        count = rng.randint(1, 4)
+        interests = rng.sample(_INTEREST_POOL, count)
+        user = database.register_user(f"user{index:06d}",
+                                      f"User {index:06d}", interests)
+        for interest in interests:
+            database.join_group(interest.title(), user.user_id)
+    return population

@@ -1,0 +1,112 @@
+"""The centralized SNS database (§3.2).
+
+"SNS needs a centralized server and a centralized database system.
+Users' registration and all other essential information are stored in
+the centralized database and users access the centralized server
+through a web page."
+
+A deliberately straightforward in-memory store: users, interest
+groups, memberships, and a substring group search.  Scale matters only
+in so far as search cost grows with catalogue size (exercised by the
+Table 2 bench); semantics match the workflows' needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SnsUser:
+    """One registered SNS account."""
+
+    user_id: str
+    full_name: str
+    interests: list[str] = field(default_factory=list)
+    friends: set[str] = field(default_factory=set)
+
+
+@dataclass
+class SnsGroup:
+    """One user-created interest group.
+
+    Unlike PeerHood Community's dynamic groups, these exist only
+    because someone created and advertised them (§3.2: "users need to
+    create their interest group themselves and advertise it").
+    """
+
+    name: str
+    description: str
+    members: set[str] = field(default_factory=set)
+
+
+class SnsDatabase:
+    """In-memory centralized store behind one SNS."""
+
+    def __init__(self) -> None:
+        self._users: dict[str, SnsUser] = {}
+        self._groups: dict[str, SnsGroup] = {}
+
+    # -- users ---------------------------------------------------------------
+
+    def register_user(self, user_id: str, full_name: str,
+                      interests: list[str] | None = None) -> SnsUser:
+        """Create an account; ids are unique."""
+        if user_id in self._users:
+            raise ValueError(f"user {user_id!r} already registered")
+        user = SnsUser(user_id, full_name, list(interests or []))
+        self._users[user_id] = user
+        return user
+
+    def user(self, user_id: str) -> SnsUser:
+        """Look up an account; raises ``KeyError`` when absent."""
+        return self._users[user_id]
+
+    @property
+    def user_count(self) -> int:
+        """Registered accounts."""
+        return len(self._users)
+
+    # -- groups ---------------------------------------------------------------
+
+    def create_group(self, name: str, description: str = "") -> SnsGroup:
+        """Create a group (manual, as SNSs require)."""
+        key = name.lower()
+        if key in self._groups:
+            raise ValueError(f"group {name!r} already exists")
+        group = SnsGroup(name, description)
+        self._groups[key] = group
+        return group
+
+    def group(self, name: str) -> SnsGroup:
+        """Look up a group by exact name."""
+        return self._groups[name.lower()]
+
+    @property
+    def group_count(self) -> int:
+        """Groups in the catalogue."""
+        return len(self._groups)
+
+    def join_group(self, name: str, user_id: str) -> None:
+        """Add a member to a group."""
+        if user_id not in self._users:
+            raise KeyError(f"unknown user {user_id!r}")
+        self.group(name).members.add(user_id)
+
+    def search_groups(self, query: str, limit: int = 20) -> list[SnsGroup]:
+        """Substring search over group names, most members first.
+
+        A linear scan — which is also why result counts (and the human
+        time spent scanning them) grow with catalogue size.
+        """
+        needle = query.lower()
+        hits = [group for key, group in self._groups.items() if needle in key]
+        hits.sort(key=lambda group: (-len(group.members), group.name))
+        return hits[:limit]
+
+    def members_of(self, name: str) -> list[SnsUser]:
+        """Member accounts of a group, alphabetically."""
+        group = self.group(name)
+        return sorted((self._users[user_id] for user_id in group.members
+                       if user_id in self._users),
+                      key=lambda user: user.user_id)

@@ -1,0 +1,83 @@
+"""Access-device profiles for the SNS workflows (Table 8's "Accessed
+Through" row).
+
+The paper used a Nokia N810 internet tablet (WLAN, larger touch screen,
+stylus input) and a Nokia N95 smartphone (3G/HSDPA-era cellular, keypad
+input, small screen).  A 2008 mobile page load is dominated by two
+terms this profile captures: radio transfer (page bytes over the
+device's effective bandwidth plus RTTs) and on-device rendering (the
+OMAP/ARM11-class CPUs of these devices rendered big pages in tens of
+seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AccessDevice:
+    """One handset accessing an SNS through a browser.
+
+    Attributes:
+        name: Device name as in Table 8.
+        bandwidth_bps: Effective downstream bandwidth.
+        rtt_s: Network round-trip time.
+        round_trips_per_page: Request/redirect/asset RTTs per page.
+        render_s_per_kb: On-device parse+layout+paint cost.
+        cache_factor: Fraction of transfer+render paid on a repeat
+            visit to same-site pages (CSS/JS already cached).
+        type_s_per_char: Text-entry speed.
+        scan_s_per_item: Time to read one result-list item on this
+            screen size.
+        nav_s: One UI navigation action (find and hit a link/button,
+            including scrolling on small screens).
+    """
+
+    name: str
+    bandwidth_bps: float
+    rtt_s: float
+    round_trips_per_page: int
+    render_s_per_kb: float
+    cache_factor: float
+    type_s_per_char: float
+    scan_s_per_item: float
+    nav_s: float
+
+    def page_time(self, size_kb: float, server_time_s: float,
+                  cached: bool = False) -> float:
+        """Seconds to fetch and render one page."""
+        factor = self.cache_factor if cached else 1.0
+        transfer = (size_kb * 1024.0 * 8.0 * factor) / self.bandwidth_bps
+        render = size_kb * self.render_s_per_kb * factor
+        return (self.rtt_s * self.round_trips_per_page
+                + server_time_s + transfer + render)
+
+
+#: Nokia N810 internet tablet on WLAN: fast network, slow-ish CPU,
+#: comfortable stylus input on a 4.1" 800x480 screen.
+NOKIA_N810 = AccessDevice(
+    name="Nokia N810",
+    bandwidth_bps=1_800_000.0,
+    rtt_s=0.12,
+    round_trips_per_page=4,
+    render_s_per_kb=0.060,
+    cache_factor=0.45,
+    type_s_per_char=1.00,
+    scan_s_per_item=0.15,
+    nav_s=1.2,
+)
+
+#: Nokia N95 on 3.5G cellular: slower network, smaller screen (more
+#: scrolling), T9 keypad typing.
+NOKIA_N95 = AccessDevice(
+    name="Nokia N95",
+    bandwidth_bps=350_000.0,
+    rtt_s=0.45,
+    round_trips_per_page=4,
+    render_s_per_kb=0.040,
+    cache_factor=0.45,
+    type_s_per_char=0.85,
+    scan_s_per_item=1.24,
+    nav_s=3.2,
+)

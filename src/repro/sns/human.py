@@ -1,0 +1,60 @@
+"""The human driving a workflow.
+
+The paper's Table 8 numbers are stopwatch times of a person performing
+each task, so the human is part of the system under test.  This model
+adds the person-dependent terms — thinking, typing, scanning lists —
+with seeded jitter so repeated trials vary the way repeated manual
+trials do.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+
+class HumanModel:
+    """Seeded human-interaction timing.
+
+    Args:
+        rng: Random stream.
+        speed: Multiplier on all times (1.0 = the average tester;
+            smaller is faster).
+        jitter: Relative spread of each action's duration.
+    """
+
+    def __init__(self, rng: Random, speed: float = 1.0,
+                 jitter: float = 0.15) -> None:
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed!r}")
+        if not 0 <= jitter < 1:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter!r}")
+        self._rng = rng
+        self.speed = speed
+        self.jitter = jitter
+
+    def _sample(self, mean: float) -> float:
+        if mean <= 0:
+            return 0.0
+        spread = mean * self.jitter
+        return max(0.0, self._rng.uniform(mean - spread, mean + spread)
+                   * self.speed)
+
+    def think(self, seconds: float = 1.5) -> float:
+        """Decide what to do next."""
+        return self._sample(seconds)
+
+    def type_text(self, text: str, s_per_char: float) -> float:
+        """Type ``text`` at the device's entry speed."""
+        return self._sample(len(text) * s_per_char)
+
+    def scan_list(self, items: int, s_per_item: float) -> float:
+        """Read a list of ``items`` entries on the device's screen."""
+        return self._sample(items * s_per_item)
+
+    def navigate(self, nav_s: float) -> float:
+        """Find and activate one link/button/menu entry."""
+        return self._sample(nav_s)
+
+    def read_page(self, seconds: float = 3.0) -> float:
+        """Absorb a freshly loaded page before acting."""
+        return self._sample(seconds)

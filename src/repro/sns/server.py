@@ -1,0 +1,109 @@
+"""The centralized SNS server: pages over a database.
+
+Every user action hits the central server ("users access the
+centralized server through a web page", §3.2) and comes back as a
+:class:`PageLoad` — the unit the access device turns into seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sns.database import SnsDatabase
+from repro.sns.sites import SiteProfile
+
+
+@dataclass(frozen=True)
+class PageLoad:
+    """One page served by the SNS.
+
+    Attributes:
+        description: What the page is (for workflow breakdowns).
+        size_kb: Page weight.
+        server_time_s: Server processing before first byte.
+        cached: Whether the client has this page's assets cached.
+        data: Content the workflow needs (search hits, member lists...).
+    """
+
+    description: str
+    size_kb: float
+    server_time_s: float
+    cached: bool = False
+    data: Any = None
+
+
+class SnsServer:
+    """One site's server: the four Table 8 flows as page sequences."""
+
+    def __init__(self, site: SiteProfile, database: SnsDatabase) -> None:
+        self.site = site
+        self.database = database
+        self.pages_served = 0
+
+    def _page(self, description: str, size_kb: float, cached: bool = False,
+              data: Any = None) -> PageLoad:
+        self.pages_served += 1
+        return PageLoad(description=description, size_kb=size_kb,
+                        server_time_s=self.site.server_time_s,
+                        cached=cached, data=data)
+
+    # -- flows -------------------------------------------------------------
+
+    def home_page(self) -> PageLoad:
+        """The portal/login landing page (first visit: cold cache)."""
+        return self._page("portal page", self.site.home_kb)
+
+    def search_form(self) -> PageLoad:
+        """The group-search entry page (assets now cached)."""
+        return self._page("search form", self.site.search_form_kb, cached=True)
+
+    def search(self, query: str) -> PageLoad:
+        """Run a group search; data carries the result groups.
+
+        Like the 2008 sites, a sparse result page is padded with
+        related/popular groups up to the site's usual result count —
+        the human scans the whole page either way.
+        """
+        limit = self.site.search_results
+        hits = self.database.search_groups(query, limit=limit)
+        if len(hits) < limit:
+            for group in self.database.search_groups("", limit=limit * 2):
+                if group not in hits:
+                    hits.append(group)
+                if len(hits) >= limit:
+                    break
+        return self._page(f"search results for {query!r}",
+                          self.site.results_kb, cached=True, data=hits)
+
+    def group_page(self, group_name: str) -> PageLoad:
+        """A group's landing page."""
+        group = self.database.group(group_name)
+        return self._page(f"group page {group_name!r}",
+                          self.site.group_page_kb, cached=True, data=group)
+
+    def join_flow(self, group_name: str, user_id: str) -> list[PageLoad]:
+        """The POST(s) that make ``user_id`` a member.
+
+        Facebook 2008 needed one confirmation load; Hi5 two
+        (:attr:`SiteProfile.join_pages`).
+        """
+        self.database.join_group(group_name, user_id)
+        return [self._page(f"join confirmation {index + 1}",
+                           self.site.join_confirm_kb, cached=True)
+                for index in range(self.site.join_pages)]
+
+    def members_page(self, group_name: str, page: int = 0) -> PageLoad:
+        """One page of the group's member list."""
+        members = self.database.members_of(group_name)
+        per_page = self.site.members_per_page
+        window = members[page * per_page:(page + 1) * per_page]
+        return self._page(f"members of {group_name!r} page {page}",
+                          self.site.members_page_kb, cached=True, data=window)
+
+    def profile_page(self, user_id: str) -> PageLoad:
+        """A member's profile page (Hi5's barely cache at all)."""
+        user = self.database.user(user_id)
+        return self._page(f"profile of {user_id!r}",
+                          self.site.profile_page_kb,
+                          cached=self.site.profile_cached, data=user)

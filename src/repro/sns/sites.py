@@ -1,0 +1,111 @@
+"""Site profiles: what makes Facebook-2008 heavier than Hi5-2008.
+
+Each profile describes the page weights (kilobytes) and server
+processing of the pages the four Table 8 tasks touch, plus flow shape
+(how many result items a search returns, whether joining needs a
+confirmation page).  Values are calibrated so the simulated workflows
+land near the paper's measured cells; EXPERIMENTS.md records
+paper-vs-measured for every cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SiteProfile:
+    """One 2008-era social networking site.
+
+    Attributes:
+        name: Site name as in Table 8.
+        home_kb: The portal/login landing page (cold cache) opened at
+            the start of the search task.
+        search_form_kb / results_kb / group_page_kb / join_confirm_kb /
+            members_page_kb / profile_page_kb: Page weights.
+        server_time_s: Server-side processing per page.
+        search_results: Result items a group search typically returns
+            (the human scans these).
+        join_pages: Page loads the join flow needs after the group page
+            (Facebook 2008 joined with one POST; Hi5 interposed a
+            confirmation page).
+        members_per_page: Group-member entries shown per page.
+        profile_cached: Whether profile pages benefit from the asset
+            cache (Hi5's media-stuffed profiles largely did not).
+        profile_sections: Profile sections the reader scrolls through.
+    """
+
+    name: str
+    home_kb: float
+    search_form_kb: float
+    results_kb: float
+    group_page_kb: float
+    join_confirm_kb: float
+    members_page_kb: float
+    profile_page_kb: float
+    server_time_s: float
+    search_results: int
+    join_pages: int
+    members_per_page: int
+    profile_cached: bool
+    profile_sections: int
+
+
+#: Facebook as of 2008: heavy portal, heavy pages, single-step join,
+#: disciplined (cacheable) profile pages.
+FACEBOOK_2008 = SiteProfile(
+    name="Facebook",
+    home_kb=300.0,
+    search_form_kb=170.0,
+    results_kb=260.0,
+    group_page_kb=310.0,
+    join_confirm_kb=150.0,
+    members_page_kb=130.0,
+    profile_page_kb=290.0,
+    server_time_s=0.40,
+    search_results=12,
+    join_pages=1,
+    members_per_page=20,
+    profile_cached=True,
+    profile_sections=6,
+)
+
+#: Facebook's 2008 mobile site (m.facebook.com): the same flows at a
+#: fraction of the page weight.  Not part of Table 8 — the paper's
+#: testers used the full sites — but the obvious what-if, exercised by
+#: the mobile-site ablation bench.
+FACEBOOK_MOBILE_2008 = SiteProfile(
+    name="Facebook (mobile site)",
+    home_kb=45.0,
+    search_form_kb=25.0,
+    results_kb=40.0,
+    group_page_kb=50.0,
+    join_confirm_kb=30.0,
+    members_page_kb=35.0,
+    profile_page_kb=55.0,
+    server_time_s=0.40,
+    search_results=10,
+    join_pages=1,
+    members_per_page=10,
+    profile_cached=True,
+    profile_sections=6,
+)
+
+#: Hi5 as of 2008: lighter portal and search, but a confirmation page
+#: on join and media-stuffed, cache-hostile profile pages.
+HI5_2008 = SiteProfile(
+    name="HI5",
+    home_kb=230.0,
+    search_form_kb=140.0,
+    results_kb=210.0,
+    group_page_kb=260.0,
+    join_confirm_kb=230.0,
+    members_page_kb=300.0,
+    profile_page_kb=360.0,
+    server_time_s=0.55,
+    search_results=14,
+    join_pages=2,
+    members_per_page=15,
+    profile_cached=False,
+    profile_sections=8,
+)

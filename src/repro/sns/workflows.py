@@ -1,0 +1,116 @@
+"""The four Table 8 tasks, end to end, against a simulated SNS.
+
+Each task returns the seconds a human on the given device needs,
+combining page loads (network + render) with human actions (navigate,
+type, scan, read).  The task boundaries follow the paper exactly:
+
+1. **Group search** — from opening the site's search to having found
+   the target group in the results.
+2. **Group join** — open the group page and complete the join flow.
+3. **View member list** — open the group's member list and scan it.
+4. **View one member profile** — open one member's profile and read it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from repro.sns.devices import AccessDevice
+from repro.sns.human import HumanModel
+from repro.sns.server import PageLoad, SnsServer
+
+
+@dataclass(frozen=True)
+class TaskTimes:
+    """Per-task seconds for one full workflow run (one Table 8 column)."""
+
+    search_s: float
+    join_s: float
+    member_list_s: float
+    profile_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Total time, as in Table 8's last row."""
+        return self.search_s + self.join_s + self.member_list_s + self.profile_s
+
+
+class SnsWorkflow:
+    """Drives one (site, device, human) combination through the tasks."""
+
+    def __init__(self, server: SnsServer, device: AccessDevice,
+                 rng: Random, human_speed: float = 1.0) -> None:
+        self.server = server
+        self.device = device
+        self.human = HumanModel(rng, speed=human_speed)
+        self.page_log: list[tuple[str, float]] = []
+
+    def _load(self, page: PageLoad) -> float:
+        seconds = self.device.page_time(page.size_kb, page.server_time_s,
+                                        page.cached)
+        self.page_log.append((page.description, seconds))
+        return seconds
+
+    # -- tasks --------------------------------------------------------------
+
+    def search_group(self, query: str) -> tuple[float, list]:
+        """Task 1: find the interest group.  Returns (seconds, hits).
+
+        Starts from a cold browser: portal/login page first (as the
+        paper's testers did), then the search form, the typed query,
+        the result page, and the scan for the target group.
+        """
+        human, device = self.human, self.device
+        elapsed = self._load(self.server.home_page())
+        elapsed += human.read_page(2.0)                   # orient on the portal
+        elapsed += human.navigate(device.nav_s)           # to group search
+        elapsed += self._load(self.server.search_form())
+        elapsed += human.type_text(query, device.type_s_per_char)
+        elapsed += human.think(1.0)                       # hit "search"
+        results = self.server.search(query)
+        elapsed += self._load(results)
+        hits = results.data or []
+        elapsed += human.scan_list(len(hits), device.scan_s_per_item)
+        return elapsed, hits
+
+    def join_group(self, group_name: str, user_id: str) -> float:
+        """Task 2: join the found group."""
+        human, device = self.human, self.device
+        elapsed = human.navigate(device.nav_s)            # click the hit
+        elapsed += self._load(self.server.group_page(group_name))
+        elapsed += human.navigate(device.nav_s)           # find "join"
+        for page in self.server.join_flow(group_name, user_id):
+            elapsed += self._load(page)
+            elapsed += human.think(1.0)
+        return elapsed
+
+    def view_member_list(self, group_name: str) -> tuple[float, list]:
+        """Task 3: open and scan the group's member list."""
+        human, device = self.human, self.device
+        elapsed = human.navigate(device.nav_s)            # members tab
+        page = self.server.members_page(group_name)
+        elapsed += self._load(page)
+        members = page.data or []
+        elapsed += human.scan_list(len(members), device.scan_s_per_item)
+        return elapsed, members
+
+    def view_profile(self, user_id: str) -> float:
+        """Task 4: open one member's profile and scroll through it."""
+        human, device = self.human, self.device
+        elapsed = human.navigate(device.nav_s)            # click the member
+        elapsed += self._load(self.server.profile_page(user_id))
+        elapsed += human.scan_list(self.server.site.profile_sections,
+                                   device.scan_s_per_item)
+        elapsed += human.read_page(2.0)
+        return elapsed
+
+    def run_table8_tasks(self, query: str, group_name: str,
+                         user_id: str) -> TaskTimes:
+        """All four tasks in the paper's order."""
+        search_s, _ = self.search_group(query)
+        join_s = self.join_group(group_name, user_id)
+        member_list_s, members = self.view_member_list(group_name)
+        target = members[0].user_id if members else user_id
+        profile_s = self.view_profile(target)
+        return TaskTimes(search_s, join_s, member_list_s, profile_s)

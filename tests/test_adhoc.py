@@ -1,0 +1,242 @@
+"""Tests for the multi-hop ad-hoc overlay: graph, routing, relays and
+k-hop group discovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adhoc import (
+    NeighborGraph,
+    OverlayGroupDiscovery,
+    RelayNode,
+    RouteDiscovery,
+    open_multihop,
+)
+from repro.community import protocol
+from repro.eval.testbed import Testbed
+from repro.mobility import Point
+from repro.radio.standards import BLUETOOTH
+
+
+def _chain_bed(count: int = 4, spacing: float = 8.0):
+    """A straight chain of community members, 8 m apart (BT range 10 m),
+    so each device reaches only its chain neighbours."""
+    bed = Testbed(seed=55, technologies=("bluetooth",))
+    members = []
+    for index in range(count):
+        members.append(bed.add_member(
+            chr(ord("a") + index), ["football"],
+            position=Point(60.0 + index * spacing, 100.0)))
+    relays = {member.device_id: RelayNode(bed.env, member.device.stack,
+                                          BLUETOOTH)
+              for member in members}
+    graph = NeighborGraph(bed.medium, "bluetooth")
+    return bed, members, relays, graph
+
+
+class TestNeighborGraph:
+    def test_chain_adjacency(self):
+        bed, members, _, graph = _chain_bed()
+        assert graph.neighbors("a") == ["b"]
+        assert graph.neighbors("b") == ["a", "c"]
+        bed.stop()
+
+    def test_k_hop_neighbors_with_distances(self):
+        bed, _, _, graph = _chain_bed()
+        assert graph.k_hop_neighbors("a", 1) == {"b": 1}
+        assert graph.k_hop_neighbors("a", 2) == {"b": 1, "c": 2}
+        assert graph.k_hop_neighbors("a", 3) == {"b": 1, "c": 2, "d": 3}
+        bed.stop()
+
+    def test_k_validation(self):
+        bed, _, _, graph = _chain_bed()
+        with pytest.raises(ValueError):
+            graph.k_hop_neighbors("a", 0)
+        bed.stop()
+
+    def test_shortest_path_and_partition(self):
+        bed, _, _, graph = _chain_bed()
+        assert graph.shortest_path("a", "d") == ["a", "b", "c", "d"]
+        bed.world.move_node("c", Point(180.0, 180.0))  # break the chain
+        assert graph.shortest_path("a", "d") is None
+        bed.stop()
+
+    def test_connected_component(self):
+        bed, _, _, graph = _chain_bed()
+        assert graph.is_connected_component(["a", "b", "c", "d"])
+        bed.world.move_node("d", Point(180.0, 180.0))
+        assert not graph.is_connected_component(["a", "d"])
+        bed.stop()
+
+
+class TestRouteDiscovery:
+    def test_route_found_with_hop_cost(self):
+        bed, _, _, graph = _chain_bed()
+        router = RouteDiscovery(bed.env, graph, "a")
+        start = bed.env.now
+        record = bed.execute(router.find_route("d"))
+        assert record.path == ("a", "b", "c", "d")
+        assert record.hops == 3
+        # RREQ out + RREP back: 6 hop-latencies of virtual time.
+        assert bed.env.now - start == pytest.approx(
+            router.hop_latency_s * 6.0, rel=1e-6)
+        bed.stop()
+
+    def test_cache_hit_skips_flood(self):
+        bed, _, _, graph = _chain_bed()
+        router = RouteDiscovery(bed.env, graph, "a")
+        bed.execute(router.find_route("d"))
+        assert router.floods == 1
+        bed.execute(router.find_route("d"))
+        assert router.floods == 1  # served from cache
+        bed.stop()
+
+    def test_cache_invalidated_by_mobility(self):
+        bed, _, _, graph = _chain_bed()
+        router = RouteDiscovery(bed.env, graph, "a")
+        bed.execute(router.find_route("d"))
+        bed.world.move_node("c", Point(180.0, 180.0))
+        assert router.cached_route("d") is None
+        bed.stop()
+
+    def test_no_route_returns_none_after_ring_cost(self):
+        bed, _, _, graph = _chain_bed()
+        bed.world.move_node("d", Point(180.0, 180.0))
+        router = RouteDiscovery(bed.env, graph, "a")
+        start = bed.env.now
+        record = bed.execute(router.find_route("d", max_hops=5))
+        assert record is None
+        assert bed.env.now > start  # the failed flood cost time
+        bed.stop()
+
+    def test_max_hops_limits_route(self):
+        bed, _, _, graph = _chain_bed()
+        router = RouteDiscovery(bed.env, graph, "a")
+        record = bed.execute(router.find_route("d", max_hops=2))
+        assert record is None
+        bed.stop()
+
+
+class TestRelayChannels:
+    def test_two_hop_request_response(self):
+        bed, members, _, graph = _chain_bed()
+        bed.run(30.0)  # service discovery settles
+
+        def probe():
+            channel = yield from open_multihop(
+                members[0].device.stack, BLUETOOTH,
+                ["a", "b", "c"], "PeerHoodCommunity")
+            channel.send(protocol.make_request(protocol.PS_GETINTERESTLIST))
+            reply = yield channel.recv()
+            channel.close()
+            return reply
+
+        reply = bed.execute(probe())
+        assert protocol.response_status(reply) == protocol.STATUS_OK
+        assert reply["member_id"] == "c"
+        bed.stop()
+
+    def test_three_hop_costs_more_than_one_hop(self):
+        bed, members, _, _ = _chain_bed()
+        bed.run(30.0)
+
+        def timed_probe(path):
+            def run():
+                channel = yield from open_multihop(
+                    members[0].device.stack, BLUETOOTH, path,
+                    "PeerHoodCommunity")
+                channel.send(protocol.make_request(
+                    protocol.PS_GETINTERESTLIST))
+                reply = yield channel.recv()
+                channel.close()
+                return reply
+
+            start = bed.env.now
+            bed.execute(run())
+            return bed.env.now - start
+
+        one_hop = timed_probe(["a", "b"])
+        three_hop = timed_probe(["a", "b", "c", "d"])
+        assert three_hop > one_hop * 2
+        bed.stop()
+
+    def test_relay_counts_forwarded_frames(self):
+        bed, members, relays, _ = _chain_bed()
+        bed.run(30.0)
+
+        def probe():
+            channel = yield from open_multihop(
+                members[0].device.stack, BLUETOOTH,
+                ["a", "b", "c"], "PeerHoodCommunity")
+            channel.send(protocol.make_request(protocol.PS_GETINTERESTLIST))
+            reply = yield channel.recv()
+            channel.close()
+            return reply
+
+        bed.execute(probe())
+        assert relays["b"].frames_forwarded >= 2  # request + reply
+        assert relays["b"].channels_opened == 1
+        bed.stop()
+
+    def test_path_validation(self):
+        bed, members, _, _ = _chain_bed()
+        with pytest.raises(ValueError):
+            bed.execute(open_multihop(members[0].device.stack, BLUETOOTH,
+                                      ["a"], "x"))
+        with pytest.raises(ValueError):
+            bed.execute(open_multihop(members[0].device.stack, BLUETOOTH,
+                                      ["b", "a"], "x"))
+        bed.stop()
+
+
+class TestOverlayGroupDiscovery:
+    def _overlay_for(self, bed, member):
+        graph = NeighborGraph(bed.medium, "bluetooth")
+        return OverlayGroupDiscovery(bed.env, member.device.stack, graph,
+                                     BLUETOOTH, member.app.store)
+
+    def test_k1_matches_radio_range(self):
+        bed, members, _, _ = _chain_bed()
+        bed.run(30.0)
+        overlay = self._overlay_for(bed, members[0])
+        bed.execute(overlay.discover(k=1))
+        assert overlay.members_of("football") == ["a", "b"]
+        assert overlay.reach() == 1
+        bed.stop()
+
+    def test_k3_reaches_the_whole_chain(self):
+        bed, members, _, _ = _chain_bed()
+        bed.run(30.0)
+        overlay = self._overlay_for(bed, members[0])
+        probes = bed.execute(overlay.discover(k=3), timeout=600.0)
+        assert overlay.members_of("football") == ["a", "b", "c", "d"]
+        assert overlay.reach() == 3
+        hops = {probe.device_id: probe.hops for probe in probes}
+        assert hops == {"b": 1, "c": 2, "d": 3}
+        bed.stop()
+
+    def test_probe_latency_grows_with_hops(self):
+        bed, members, _, _ = _chain_bed()
+        bed.run(30.0)
+        overlay = self._overlay_for(bed, members[0])
+        probes = bed.execute(overlay.discover(k=3), timeout=600.0)
+        by_device = {probe.device_id: probe.elapsed_s for probe in probes}
+        assert by_device["b"] < by_device["c"] < by_device["d"]
+        bed.stop()
+
+    def test_logged_out_member_not_grouped(self):
+        bed, members, _, _ = _chain_bed()
+        members[2].app.logout()  # c goes offline
+        bed.run(30.0)
+        overlay = self._overlay_for(bed, members[0])
+        bed.execute(overlay.discover(k=3), timeout=600.0)
+        assert "c" not in overlay.members_of("football")
+        bed.stop()
+
+    def test_requires_login(self):
+        bed, members, _, _ = _chain_bed()
+        members[0].app.logout()
+        overlay = self._overlay_for(bed, members[0])
+        with pytest.raises(PermissionError):
+            bed.execute(overlay.discover(k=1))
+        bed.stop()

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_msc_figure_range_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["msc", "10"])
+        args = build_parser().parse_args(["msc", "11"])
+        assert args.figure == 11
+
+    def test_ablation_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablation", "nonsense"])
+
+
+class TestCommands:
+    def test_demo_prints_groups(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "alice" in out
+        assert "football" in out
+
+    def test_msc_renders_figure(self, capsys):
+        assert main(["msc", "17"]) == 0
+        out = capsys.readouterr().out
+        assert "PS_MSG" in out
+        assert "Figure 17" in out
+
+    def test_ablation_semantics(self, capsys):
+        assert main(["ablation", "semantics"]) == 0
+        out = capsys.readouterr().out
+        assert "groups before teaching" in out
+
+    def test_seed_flag_changes_nothing_structural(self, capsys):
+        assert main(["--seed", "5", "demo"]) == 0
+        assert "football" in capsys.readouterr().out
+
+    def test_overlay_command(self, capsys):
+        assert main(["overlay"]) == 0
+        out = capsys.readouterr().out
+        assert "k=1" in out and "k=5" in out
+        assert "group size 6" in out  # whole chain reached at k=5

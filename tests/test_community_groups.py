@@ -1,0 +1,103 @@
+"""Tests for groups, the group registry and membership history."""
+
+from __future__ import annotations
+
+from repro.community.groups import Group, GroupRegistry
+
+
+class TestGroup:
+    def test_add_and_remove(self):
+        group = Group("football", 0.0)
+        assert group.add("alice", 1.0)
+        assert not group.add("alice", 2.0)  # already a member
+        assert "alice" in group
+        assert group.remove("alice", 3.0)
+        assert not group.remove("alice", 4.0)
+
+    def test_history_records_events(self):
+        group = Group("football", 0.0)
+        group.add("alice", 1.0)
+        group.remove("alice", 5.0, reason="departed")
+        kinds = [(event.member_id, event.joined, event.reason)
+                 for event in group.history]
+        assert kinds == [("alice", True, "dynamic"),
+                         ("alice", False, "departed")]
+
+    def test_manual_membership_tracked(self):
+        group = Group("football", 0.0)
+        group.add("alice", 1.0, reason="manual")
+        assert "alice" in group.manual_members
+        group.remove("alice", 2.0)
+        assert "alice" not in group.manual_members
+
+    def test_dynamic_then_manual_upgrade(self):
+        group = Group("g", 0.0)
+        group.add("alice", 1.0, reason="dynamic")
+        group.add("alice", 2.0, reason="manual")
+        assert "alice" in group.manual_members
+
+
+class TestGroupRegistry:
+    def test_ensure_creates_once(self):
+        registry = GroupRegistry()
+        group = registry.ensure("football", 1.0)
+        assert registry.ensure("football", 9.0) is group
+        assert group.created_at == 1.0
+
+    def test_names_sorted(self):
+        registry = GroupRegistry()
+        registry.ensure("zebra", 0.0)
+        registry.ensure("alpha", 0.0)
+        assert registry.names() == ["alpha", "zebra"]
+
+    def test_non_empty_filters(self):
+        registry = GroupRegistry()
+        registry.ensure("empty", 0.0)
+        registry.ensure("full", 0.0).add("alice", 1.0)
+        assert [group.interest for group in registry.non_empty()] == ["full"]
+
+    def test_groups_of_member(self):
+        registry = GroupRegistry()
+        registry.ensure("a", 0.0).add("alice", 1.0)
+        registry.ensure("b", 0.0).add("alice", 1.0)
+        registry.ensure("c", 0.0).add("bob", 1.0)
+        assert registry.groups_of("alice") == ["a", "b"]
+
+    def test_remove_member_everywhere(self):
+        registry = GroupRegistry()
+        registry.ensure("a", 0.0).add("alice", 1.0)
+        registry.ensure("b", 0.0).add("alice", 1.0)
+        affected = registry.remove_member_everywhere("alice", 2.0)
+        assert affected == ["a", "b"]
+        assert registry.groups_of("alice") == []
+
+    def test_drop_empty(self):
+        registry = GroupRegistry()
+        registry.ensure("a", 0.0)
+        registry.ensure("b", 0.0).add("x", 1.0)
+        assert registry.drop_empty() == 1
+        assert registry.names() == ["b"]
+
+    def test_merge_moves_members_and_preserves_manual(self):
+        registry = GroupRegistry()
+        cycling = registry.ensure("cycling", 0.0)
+        cycling.add("ben", 1.0)
+        cycling.add("cat", 1.0, reason="manual")
+        biking = registry.ensure("biking", 0.0)
+        biking.add("ann", 1.0)
+        registry.merge("cycling", "biking", 2.0)
+        merged = registry.get("biking")
+        assert merged.members == {"ann", "ben", "cat"}
+        assert "cat" in merged.manual_members
+        assert registry.get("cycling") is None
+
+    def test_merge_into_self_is_noop(self):
+        registry = GroupRegistry()
+        registry.ensure("a", 0.0).add("x", 1.0)
+        registry.merge("a", "a", 2.0)
+        assert registry.get("a").members == {"x"}
+
+    def test_merge_absent_source_is_noop(self):
+        registry = GroupRegistry()
+        registry.merge("ghost", "a", 1.0)
+        assert registry.names() == []

@@ -1,0 +1,239 @@
+"""Tests for interests, semantics, profiles and the protocol module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.community import protocol
+from repro.community.interests import InterestSet, normalize_interest
+from repro.community.profile import Profile, ProfileStore, SharedFile
+from repro.community.semantics import ExactMatcher, SemanticMatcher
+
+
+class TestNormalization:
+    def test_lowercase_and_trim(self):
+        assert normalize_interest("  England  Football ") == "england football"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_interest("   ")
+
+    def test_idempotent(self):
+        once = normalize_interest("Ice  Hockey")
+        assert normalize_interest(once) == once
+
+
+class TestInterestSet:
+    def test_preserves_insertion_order(self):
+        interests = InterestSet(["music", "football", "art"])
+        assert interests.as_list() == ["music", "football", "art"]
+
+    def test_deduplicates_lexically(self):
+        interests = InterestSet(["Football", "football ", "FOOTBALL"])
+        assert interests.as_list() == ["football"]
+
+    def test_contains_is_normalised(self):
+        interests = InterestSet(["football"])
+        assert "FootBall" in interests
+        assert "" not in interests
+
+    def test_remove(self):
+        interests = InterestSet(["a", "b"])
+        interests.remove("A")
+        assert interests.as_list() == ["b"]
+        with pytest.raises(KeyError):
+            interests.remove("a")
+
+    def test_matches_exact_only(self):
+        ours = InterestSet(["biking", "music"])
+        theirs = InterestSet(["cycling", "music"])
+        assert ours.matches(theirs) == ["music"]
+
+    def test_len(self):
+        assert len(InterestSet(["a", "b", "a"])) == 2
+
+
+class TestSemanticMatcher:
+    def test_untaught_terms_differ(self):
+        matcher = SemanticMatcher()
+        assert not matcher.same("biking", "cycling")
+
+    def test_teach_merges(self):
+        matcher = SemanticMatcher()
+        matcher.teach("biking", "cycling")
+        assert matcher.same("biking", "cycling")
+        assert matcher.canonical("cycling") == "biking"
+
+    def test_canonical_is_lexicographic_min_regardless_of_order(self):
+        forward = SemanticMatcher()
+        forward.teach("cycling", "biking")
+        backward = SemanticMatcher()
+        backward.teach("biking", "cycling")
+        assert (forward.canonical("cycling")
+                == backward.canonical("cycling") == "biking")
+
+    def test_transitive_classes(self):
+        matcher = SemanticMatcher()
+        matcher.teach("biking", "cycling")
+        matcher.teach("cycling", "riding bicycle")
+        assert matcher.same("biking", "riding bicycle")
+        assert matcher.synonyms_of("riding bicycle") == [
+            "biking", "cycling", "riding bicycle"]
+
+    def test_seeded_synonym_groups(self):
+        matcher = SemanticMatcher([["soccer", "football"],
+                                   ["films", "movies"]])
+        assert matcher.same("soccer", "football")
+        assert matcher.same("films", "movies")
+        assert not matcher.same("soccer", "movies")
+        assert matcher.class_count() == 2
+
+    def test_teach_same_class_is_noop(self):
+        matcher = SemanticMatcher()
+        matcher.teach("a", "b")
+        matcher.teach("b", "a")
+        assert matcher.same("a", "b")
+
+    def test_exact_matcher_is_identity(self):
+        matcher = ExactMatcher()
+        assert matcher.canonical("Football ") == "football"
+        assert matcher.same("football", "FOOTBALL")
+        assert not matcher.same("biking", "cycling")
+
+
+class TestProfile:
+    def _profile(self) -> Profile:
+        return Profile("alice", "alice", "pw", "Alice",
+                       ["football", "music"])
+
+    def test_interest_management(self):
+        profile = self._profile()
+        profile.add_interest("Movies")
+        assert "movies" in profile.interests
+        profile.remove_interest("movies")
+        assert "movies" not in profile.interests
+
+    def test_trust_cycle(self):
+        profile = self._profile()
+        profile.add_trusted("bob")
+        assert profile.trusts("bob")
+        profile.remove_trusted("bob")
+        assert not profile.trusts("bob")
+
+    def test_cannot_trust_self(self):
+        with pytest.raises(ValueError):
+            self._profile().add_trusted("alice")
+
+    def test_share_and_unshare(self):
+        profile = self._profile()
+        profile.share_file("a.mp3", 1000)
+        assert "a.mp3" in profile.shared_files
+        profile.unshare_file("a.mp3")
+        assert not profile.shared_files
+
+    def test_shared_file_size_validated(self):
+        with pytest.raises(ValueError):
+            SharedFile("x", -1)
+
+    def test_records(self):
+        profile = self._profile()
+        profile.record_comment("bob", "hi", 1.0)
+        profile.record_view("carol", 2.0)
+        assert profile.comments[0].author == "bob"
+        assert profile.viewers[0].viewer == "carol"
+
+    def test_public_view_shape(self):
+        view = self._profile().public_view()
+        assert view["member_id"] == "alice"
+        assert view["interests"] == ["football", "music"]
+        assert "password" not in view
+
+
+class TestProfileStore:
+    def test_login_logout(self):
+        store = ProfileStore()
+        store.create_profile("alice", "alice", "pw")
+        assert store.active is None
+        profile = store.login("alice", "pw")
+        assert store.active is profile
+        store.logout()
+        assert store.active is None
+
+    def test_bad_credentials_rejected(self):
+        store = ProfileStore()
+        store.create_profile("alice", "alice", "pw")
+        with pytest.raises(PermissionError):
+            store.login("alice", "wrong")
+        with pytest.raises(PermissionError):
+            store.login("ghost", "pw")
+
+    def test_multiple_profiles_per_device(self):
+        store = ProfileStore()
+        store.create_profile("a", "work", "1")
+        store.create_profile("b", "home", "2")
+        assert len(store) == 2
+        store.login("home", "2")
+        assert store.active.member_id == "b"
+
+    def test_duplicate_username_rejected(self):
+        store = ProfileStore()
+        store.create_profile("a", "alice", "1")
+        with pytest.raises(ValueError):
+            store.create_profile("b", "alice", "2")
+
+
+class TestProtocol:
+    def test_all_table6_operations_present(self):
+        for op in ("PS_GETONLINEMEMBERLIST", "PS_GETINTERESTLIST",
+                   "PS_GETINTERESTEDMEMBERLIST", "PS_GETPROFILE",
+                   "PS_ADDPROFILECOMMENT", "PS_CHECKMEMBERID", "PS_MSG",
+                   "PS_SHAREDCONTENT"):
+            assert op in protocol.OPERATIONS
+
+    def test_msc_only_operations_present(self):
+        for op in ("PS_GETTRUSTEDFRIEND", "PS_CHECKTRUSTED",
+                   "PS_GETSHAREDCONTENT"):
+            assert op in protocol.OPERATIONS
+
+    def test_make_request_validates_fields(self):
+        request = protocol.make_request(protocol.PS_GETPROFILE,
+                                        member_id="bob", requester="alice")
+        assert request["op"] == protocol.PS_GETPROFILE
+        with pytest.raises(protocol.ProtocolError):
+            protocol.make_request(protocol.PS_GETPROFILE, member_id="bob")
+        with pytest.raises(protocol.ProtocolError):
+            protocol.make_request(protocol.PS_GETPROFILE, member_id="b",
+                                  requester="a", extra="nope")
+        with pytest.raises(protocol.ProtocolError):
+            protocol.make_request("PS_NOT_A_THING")
+
+    def test_parse_request_round_trip(self):
+        request = protocol.make_request(protocol.PS_MSG, receiver="b",
+                                        sender="a", subject="s", body="t")
+        op, params = protocol.parse_request(request)
+        assert op == protocol.PS_MSG
+        assert params == {"receiver": "b", "sender": "a",
+                          "subject": "s", "body": "t"}
+
+    def test_parse_request_rejects_garbage(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_request("not a dict")
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_request({"no_op": True})
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_request({"op": "PS_GETPROFILE"})
+
+    def test_response_status_validation(self):
+        response = protocol.make_response(protocol.NO_MEMBERS_YET)
+        assert protocol.response_status(response) == protocol.NO_MEMBERS_YET
+        with pytest.raises(protocol.ProtocolError):
+            protocol.make_response("MYSTERY_STATUS")
+        with pytest.raises(protocol.ProtocolError):
+            protocol.response_status({"status": "MYSTERY_STATUS"})
+        with pytest.raises(protocol.ProtocolError):
+            protocol.response_status([])
+
+    def test_paper_spelling_of_unsuccessfull(self):
+        # The thesis spells it "UNSUCCESSFULL" (Figure 17); the wire
+        # constant keeps that spelling for fidelity.
+        assert protocol.UNSUCCESSFULL == "UNSUCCESSFULL"

@@ -1,0 +1,164 @@
+"""Edge-case tests for the dynamic group discovery engine and the
+PeerHood daemon's less-travelled paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.testbed import Testbed
+from repro.mobility import Point
+
+
+class TestEngineEdgeCases:
+    def test_device_lost_during_probe_is_harmless(self):
+        """A peer that vanishes between service discovery and the
+        interest probe must not wedge the engine."""
+        bed = Testbed(seed=201, technologies=("bluetooth",))
+        alice = bed.add_member("alice", ["x"])
+        bed.add_member("bob", ["x"])
+        # Let discovery find bob, then yank him away the moment his
+        # services are reported (the probe will fail to connect).
+        alice.device.daemon.on_services_updated(
+            lambda device_id: bed.world.move_node("bob", Point(250, 250)))
+        bed.run(60.0)
+        assert alice.app.group_members("x") in ([], ["alice"])
+        # The engine is still functional for later arrivals.
+        bed.add_member("carol", ["x"], position=Point(102, 100))
+        bed.run(60.0)
+        assert "carol" in alice.app.group_members("x")
+        bed.stop()
+
+    def test_same_member_on_two_devices_survives_one_departure(self):
+        """Multi-device users: the member stays grouped while any of
+        their devices remains in range."""
+        bed = Testbed(seed=203, technologies=("bluetooth",))
+        alice = bed.add_member("alice", ["x"])
+        # 'bob' the person carries two PTDs with the same member id.
+        phone = bed.add_device("bob-phone", position=Point(102, 100))
+        tablet = bed.add_device("bob-tablet", position=Point(103, 100))
+        from repro.community.app import CommunityApp
+
+        for device in (phone, tablet):
+            app = CommunityApp(device.library)
+            app.create_profile("bob", "bob", "pw", interests=["x"])
+            app.login("bob", "pw")
+            app.start()
+        bed.run(40.0)
+        assert alice.app.group_members("x") == ["alice", "bob"]
+        bed.world.move_node("bob-phone", Point(250, 250))
+        bed.run(40.0)
+        # The tablet still anchors bob's membership.
+        assert alice.app.group_members("x") == ["alice", "bob"]
+        bed.world.move_node("bob-tablet", Point(250, 250))
+        bed.run(40.0)
+        assert alice.app.group_members("x") == ["alice"]
+        bed.stop()
+
+    def test_interest_edit_plus_refresh_updates_groups(self, bed, trio):
+        alice, bob, _ = trio
+        alice.app.profile.add_interest("movies")
+        alice.app.engine.refresh()
+        assert "movies" in alice.app.my_groups()
+        assert set(alice.app.group_members("movies")) == {"alice", "bob",
+                                                          "carol"}
+        alice.app.profile.remove_interest("movies")
+        alice.app.engine.refresh()
+        assert "movies" not in alice.app.my_groups()
+
+    def test_probe_retry_gives_up_after_max_retries(self):
+        bed = Testbed(seed=207, technologies=("bluetooth",))
+        alice = bed.add_member("alice", ["x"])
+        alice.app.engine.max_retries = 1
+        alice.app.engine.retry_interval = 5.0
+        sleeper = bed.add_member("sleeper", ["x"], auto_login=False)
+        bed.run(120.0)  # discovery + 1 retry, both find nobody logged in
+        probe_count_after_giving_up = len(alice.app.engine.probe_log)
+        sleeper.app.login("sleeper", "pw")
+        bed.run(60.0)
+        # No further retries were scheduled: the login is only noticed
+        # if something else (re-appearance) triggers a probe.
+        assert len(alice.app.engine.probe_log) == probe_count_after_giving_up
+        bed.stop()
+
+    def test_engine_start_is_idempotent(self, bed, trio):
+        alice, _, _ = trio
+        alice.app.engine.start()
+        alice.app.engine.start()
+        assert alice.app.group_members("football") == ["alice", "bob"]
+
+
+class TestDaemonEdgeCases:
+    def test_preference_falls_back_when_bluetooth_disabled(self):
+        bed = Testbed(seed=211)  # bluetooth + wlan
+        a = bed.add_device("a", position=Point(100, 100))
+        b = bed.add_device("b", position=Point(103, 100))
+        b.library.register_service("Echo", None, lambda conn: None)
+        bed.run(30.0)
+        bed.medium.adapter("a", "bluetooth").enabled = False
+
+        def connect():
+            connection = yield from a.library.connect("b", "Echo")
+            return connection.technology.name
+
+        assert bed.execute(connect()) == "wlan"
+        bed.stop()
+
+    def test_daemon_stop_freezes_neighbourhood(self):
+        bed = Testbed(seed=213, technologies=("bluetooth",))
+        a = bed.add_device("a", position=Point(100, 100))
+        b = bed.add_device("b", position=Point(103, 100))
+        bed.run(30.0)
+        assert a.daemon.knows("b")
+        a.daemon.stop()
+        bed.world.move_node("b", Point(250, 250))
+        bed.run(60.0)
+        # No scans ran, so the stale entry remains (frozen table).
+        assert a.daemon.knows("b")
+        assert not a.daemon.running
+        bed.stop()
+
+    def test_control_channel_tolerates_garbage(self):
+        bed = Testbed(seed=217, technologies=("bluetooth",))
+        a = bed.add_device("a", position=Point(100, 100))
+        bed.add_device("b", position=Point(103, 100))
+        bed.run(30.0)
+
+        def send_garbage():
+            connection = yield from a.daemon.plugins["bluetooth"].connect(
+                "b", "_phd")
+            connection.send(["not", "a", "dict"])
+            return connection
+
+        connection = bed.execute(send_garbage())
+        bed.run(10.0)  # the remote daemon must not crash
+        assert bed.devices["b"].daemon.running
+        connection.close()
+        bed.stop()
+
+    def test_unregistered_service_disappears_from_remote_view(self):
+        bed = Testbed(seed=219, technologies=("bluetooth",))
+        a = bed.add_device("a", position=Point(100, 100))
+        b = bed.add_device("b", position=Point(103, 100))
+        b.library.register_service("Ephemeral", None, lambda conn: None)
+        bed.run(30.0)
+        assert a.library.devices_with_service("Ephemeral") == ["b"]
+        b.library.unregister_service("Ephemeral")
+        # The next appearance cycle refreshes the view: b leaves and
+        # returns (e.g. walks out and back).
+        bed.world.move_node("b", Point(250, 250))
+        bed.run(40.0)
+        bed.world.move_node("b", Point(103, 100))
+        bed.run(40.0)
+        assert a.library.devices_with_service("Ephemeral") == []
+        bed.stop()
+
+    def test_two_isolated_clusters_never_mix(self):
+        bed = Testbed(seed=223, technologies=("bluetooth",))
+        bed.add_member("a1", ["x"], position=Point(50, 50))
+        bed.add_member("a2", ["x"], position=Point(53, 50))
+        bed.add_member("b1", ["x"], position=Point(150, 150))
+        bed.add_member("b2", ["x"], position=Point(153, 150))
+        bed.run(40.0)
+        assert bed.members["a1"].app.group_members("x") == ["a1", "a2"]
+        assert bed.members["b1"].app.group_members("x") == ["b1", "b2"]
+        bed.stop()

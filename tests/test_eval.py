@@ -1,0 +1,180 @@
+"""Tests for the evaluation harness: testbed, workloads, Table 8,
+ablations, the paper testbed catalogue and reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.ablations import (
+    run_scan_interval_sweep,
+    run_semantics_ablation,
+    run_technology_ablation,
+)
+from repro.eval.paperbed import (
+    HARDWARE_SPECS,
+    SOFTWARE_SPECS,
+    build_paper_testbed,
+)
+from repro.eval.reporting import format_table, seconds
+from repro.eval.table8 import (
+    PAPER_TABLE8,
+    format_table8,
+    run_peerhood_column,
+    run_sns_column,
+)
+from repro.eval.testbed import Testbed
+from repro.eval.workloads import populate_neighborhood, random_interests
+from repro.sns.devices import NOKIA_N810
+from repro.sns.sites import FACEBOOK_2008
+
+
+class TestTestbed:
+    def test_duplicate_device_rejected(self, bed):
+        bed.add_device("a")
+        with pytest.raises(ValueError):
+            bed.add_device("a")
+
+    def test_default_placement_keeps_cluster_in_bt_range(self, bed):
+        for index in range(7):
+            bed.add_device(f"d{index}")
+        ids = [f"d{index}" for index in range(7)]
+        for a in ids:
+            for b in ids:
+                if a != b:
+                    assert bed.world.distance_between(a, b) <= 15.0
+
+    def test_member_handle_exposes_ids(self, bed):
+        member = bed.add_member("alice", ["x"])
+        assert member.device_id == "alice"
+        assert member.member_id == "alice"
+
+    def test_member_without_login_raises_on_member_id(self, bed):
+        member = bed.add_member("alice", ["x"], auto_login=False)
+        with pytest.raises(RuntimeError):
+            _ = member.member_id
+
+    def test_execute_timeout(self, bed):
+        from repro.simenv import Delay
+
+        def forever():
+            while True:
+                yield Delay(10.0)
+
+        with pytest.raises(TimeoutError):
+            bed.execute(forever(), timeout=5.0)
+
+    def test_execute_propagates_exceptions_and_keeps_running(self, bed):
+        def failing():
+            yield from ()
+            raise ValueError("bad op")
+
+        with pytest.raises(ValueError):
+            bed.execute(failing())
+        bed.run(5.0)  # must not raise SimulationError afterwards
+
+    def test_gprs_testbed_registers_gateway(self):
+        bed = Testbed(seed=1, technologies=("gprs",))
+        assert bed.medium.has_gateway("gprs")
+        bed.stop()
+
+
+class TestWorkloads:
+    def test_random_interests_bounds(self, bed):
+        rng = bed.env.random.stream("t")
+        for _ in range(50):
+            interests = random_interests(rng)
+            assert 1 <= len(interests) <= 4
+            assert len(set(interests)) == len(interests)
+
+    def test_populate_neighborhood_shared_interest(self, bed):
+        members = populate_neighborhood(bed, 5, shared_interest="football")
+        assert len(members) == 5
+        for member in members:
+            assert "football" in member.app.profile.interests
+        bed.run(60.0)
+        group = members[0].app.group_members("football")
+        assert len(group) == 5
+
+
+class TestPaperTestbed:
+    def test_specs_match_tables_4_and_5(self):
+        assert SOFTWARE_SPECS[0].software == "PeerHood"
+        assert SOFTWARE_SPECS[0].version == "Version 0.2"
+        names = [spec.name for spec in HARDWARE_SPECS]
+        assert names == ["Desktop PC1", "Desktop PC2",
+                         "Laptop (IBM ThinkPad T40)"]
+        assert HARDWARE_SPECS[0].memory_mb == 1005.0
+        assert HARDWARE_SPECS[1].processor.startswith("Intel(R) Pentium(R) III")
+
+    def test_paper_testbed_forms_football_group(self):
+        bed, members = build_paper_testbed(seed=2)
+        bed.run(60.0)
+        group = members["pc1"].app.group_members("football")
+        assert group == ["pc1", "pc2", "t40"]
+        bed.stop()
+
+    def test_paper_testbed_is_bluetooth_only(self):
+        bed, members = build_paper_testbed(seed=2)
+        assert list(members["pc1"].device.daemon.plugins) == ["bluetooth"]
+        bed.stop()
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["A", "Long header"],
+                             [["1", "2"], ["333", "4"]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "Long header" in lines[1]
+        assert len({len(line) for line in lines[1:2]}) == 1
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["A"], [["1", "2"]])
+
+    def test_seconds_formatting(self):
+        assert seconds(57.6) == "58 Seconds"
+
+
+class TestTable8:
+    def test_sns_column_deterministic(self):
+        a = run_sns_column(FACEBOOK_2008, NOKIA_N810, seed=1, trials=2)
+        b = run_sns_column(FACEBOOK_2008, NOKIA_N810, seed=1, trials=2)
+        assert a == b
+
+    def test_peerhood_column_matches_paper_shape(self):
+        column = run_peerhood_column(seed=0, trials=2)
+        paper = PAPER_TABLE8["PeerHood Community"]
+        assert column.join_s == 0.0
+        assert column.search_s == pytest.approx(paper.search_s, rel=0.5)
+        assert column.total_s < 60.0
+
+    def test_peerhood_faster_than_every_sns_cell(self):
+        phc = run_peerhood_column(seed=0, trials=2)
+        sns = run_sns_column(FACEBOOK_2008, NOKIA_N810, seed=0, trials=2)
+        assert phc.total_s < sns.total_s
+
+    def test_format_table8_includes_paper_reference(self):
+        measured = {"PeerHood Community": PAPER_TABLE8["PeerHood Community"]}
+        text = format_table8(measured)
+        assert "paper: 11" in text
+        assert "Average Group search Time" in text
+
+
+class TestAblations:
+    def test_semantics_ablation_merges_groups(self):
+        result = run_semantics_ablation(seed=1)
+        assert "biking" in result.groups_before
+        assert set(result.biking_members_before) == {"ann", "cat"}
+        assert set(result.merged_members_after) == {"ann", "ben", "cat"}
+
+    def test_technology_ablation_ordering(self):
+        rows = {row.technology: row for row in run_technology_ablation(seed=1)}
+        assert rows["wlan"].formation_time_s < rows["bluetooth"].formation_time_s
+        assert rows["gprs"].cost > 0.0
+        assert rows["bluetooth"].cost == 0.0
+        assert rows["wlan"].cost == 0.0
+
+    def test_scan_interval_sweep_monotone_tail(self):
+        points = run_scan_interval_sweep(intervals=(2.0, 20.0), seed=1)
+        assert points[0].formation_time_s < points[1].formation_time_s

@@ -1,0 +1,42 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples double as end-to-end system tests — each drives the full
+stack through a different scenario — so a broken example means a
+broken deliverable.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+#: Command-line arguments per example (scripted input where needed).
+ARGUMENTS = {
+    "interactive_menu.py": ["1", "2", "4", "7", "0"],
+    "table8_comparison.py": ["1"],  # one trial keeps the test fast
+}
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[s.name for s in EXAMPLES])
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv",
+                        [script.name] + ARGUMENTS.get(script.name, []))
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Done" in out or "PeerHood" in out
+
+
+def test_quickstart_output_shows_the_headline_behaviour(capsys,
+                                                        monkeypatch):
+    script = Path(__file__).parent.parent / "examples" / "quickstart.py"
+    monkeypatch.setattr(sys, "argv", [script.name])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "alice is in groups: ['football', 'music']" in out
+    assert "NOT_TRUSTED_YET" in out           # trust gating visible
+    assert "SUCCESSFULLY_WRITTEN" in out      # messaging worked

@@ -1,0 +1,101 @@
+"""Tests for trust-gated chunked file transfer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.community import protocol
+from repro.community.filetransfer import (
+    DEFAULT_CHUNK_BYTES,
+    FileDownloader,
+    PS_GETFILECHUNK,
+)
+from repro.eval.testbed import Testbed
+
+
+@pytest.fixture
+def sharing_bed():
+    bed = Testbed(seed=51, technologies=("bluetooth",))
+    alice = bed.add_member("alice", ["x"])
+    bob = bed.add_member("bob", ["x"])
+    bob.app.accept_trusted("alice")
+    bob.app.share_file("big.bin", 100_000)
+    bob.app.share_file("tiny.txt", 10)
+    bed.run(30.0)
+    yield bed, alice, bob
+    bed.stop()
+
+
+class TestDownload:
+    def test_full_download_completes(self, sharing_bed):
+        bed, alice, bob = sharing_bed
+        progress = bed.execute(alice.app.download_file("bob", "big.bin"),
+                               timeout=600.0)
+        assert progress.complete
+        assert progress.received_bytes == 100_000
+        assert progress.total_bytes == 100_000
+        expected_chunks = -(-100_000 // DEFAULT_CHUNK_BYTES)
+        assert progress.chunks == expected_chunks
+        assert bob.app.server.file_service.bytes_served == 100_000
+
+    def test_small_file_single_chunk(self, sharing_bed):
+        bed, alice, _ = sharing_bed
+        progress = bed.execute(alice.app.download_file("bob", "tiny.txt"))
+        assert progress.complete
+        assert progress.chunks == 1
+
+    def test_transfer_takes_virtual_time_proportional_to_size(self,
+                                                              sharing_bed):
+        bed, alice, _ = sharing_bed
+        start = bed.env.now
+        bed.execute(alice.app.download_file("bob", "tiny.txt"))
+        small_time = bed.env.now - start
+        start = bed.env.now
+        bed.execute(alice.app.download_file("bob", "big.bin"),
+                    timeout=600.0)
+        large_time = bed.env.now - start
+        assert large_time > small_time * 5
+
+    def test_untrusted_download_refused(self, sharing_bed):
+        bed, alice, bob = sharing_bed
+        bob.app.remove_trusted("alice")
+        progress = bed.execute(alice.app.download_file("bob", "big.bin"))
+        assert not progress.complete
+        assert progress.failed == protocol.NOT_TRUSTED_YET
+
+    def test_missing_file_fails_cleanly(self, sharing_bed):
+        bed, alice, _ = sharing_bed
+        progress = bed.execute(alice.app.download_file("bob", "ghost.bin"))
+        assert not progress.complete
+        assert progress.failed == protocol.UNSUCCESSFULL
+
+    def test_unknown_member_raises(self, sharing_bed):
+        bed, alice, _ = sharing_bed
+        with pytest.raises(LookupError):
+            bed.execute(alice.app.download_file("nobody", "big.bin"))
+
+    def test_history_tracks_transfers(self, sharing_bed):
+        bed, alice, _ = sharing_bed
+        bed.execute(alice.app.download_file("bob", "tiny.txt"))
+        bed.execute(alice.app.download_file("bob", "ghost.bin"))
+        downloader = alice.app.downloader
+        assert len(downloader.history) == 2
+        assert len(downloader.completed_transfers) == 1
+
+    def test_chunk_request_validation(self, sharing_bed):
+        bed, alice, bob = sharing_bed
+
+        def bad_range():
+            payload = yield from alice.app.client._single(
+                "bob", protocol.make_request(
+                    PS_GETFILECHUNK, member_id="bob", requester="alice",
+                    name="big.bin", offset=-5, length=100))
+            return payload
+
+        payload = bed.execute(bad_range())
+        assert protocol.response_status(payload) == protocol.UNSUCCESSFULL
+
+    def test_downloader_rejects_bad_chunk_size(self, sharing_bed):
+        _, alice, _ = sharing_bed
+        with pytest.raises(ValueError):
+            FileDownloader(alice.app.store, alice.app.pool, chunk_bytes=0)

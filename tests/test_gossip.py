@@ -1,0 +1,107 @@
+"""Tests for gossip-based neighbourhood expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adhoc import GossipDiscovery, NeighborGraph, OverlayGroupDiscovery, RelayNode
+from repro.eval.testbed import Testbed
+from repro.mobility import Point
+from repro.radio.standards import BLUETOOTH
+
+
+def _chain_bed(count: int = 5):
+    bed = Testbed(seed=401, technologies=("bluetooth",))
+    members = []
+    for index in range(count):
+        member = bed.add_member(chr(ord("a") + index), ["football"],
+                                position=Point(60.0 + index * 8.0, 100.0))
+        RelayNode(bed.env, member.device.stack, BLUETOOTH)
+        members.append(member)
+    bed.run(30.0)  # daemons learn their 1-hop tables
+    return bed, members
+
+
+def _gossip_for(bed, member) -> GossipDiscovery:
+    return GossipDiscovery(bed.env, member.device.stack,
+                           member.device.daemon, BLUETOOTH)
+
+
+class TestGossipExpansion:
+    def test_depth_one_is_the_local_table(self):
+        bed, members = _chain_bed()
+        result = bed.execute(_gossip_for(bed, members[0]).collect(1))
+        assert set(result.paths) == {"b"}
+        assert result.paths["b"] == ("a", "b")
+        assert result.queries == 0  # depth 1 needs no network
+        bed.stop()
+
+    def test_expansion_learns_paths_hop_by_hop(self):
+        bed, members = _chain_bed()
+        result = bed.execute(_gossip_for(bed, members[0]).collect(4),
+                             timeout=600.0)
+        assert result.paths == {
+            "b": ("a", "b"),
+            "c": ("a", "b", "c"),
+            "d": ("a", "b", "c", "d"),
+            "e": ("a", "b", "c", "d", "e"),
+        }
+        assert result.hop_count("e") == 4
+        assert result.queries == 3  # asked b, c and d
+        assert result.elapsed_s > 0.0
+        bed.stop()
+
+    def test_expansion_stops_early_when_exhausted(self):
+        bed, members = _chain_bed(count=3)
+        result = bed.execute(_gossip_for(bed, members[0]).collect(10),
+                             timeout=600.0)
+        assert set(result.paths) == {"b", "c"}
+        bed.stop()
+
+    def test_k_validation(self):
+        bed, members = _chain_bed(count=2)
+        with pytest.raises(ValueError):
+            bed.execute(_gossip_for(bed, members[0]).collect(0))
+        bed.stop()
+
+    def test_gossip_costs_grow_with_depth(self):
+        bed, members = _chain_bed()
+        shallow = bed.execute(_gossip_for(bed, members[0]).collect(2),
+                              timeout=600.0)
+        deep = bed.execute(_gossip_for(bed, members[0]).collect(4),
+                           timeout=600.0)
+        assert deep.elapsed_s > shallow.elapsed_s
+        assert deep.queries > shallow.queries
+        bed.stop()
+
+
+class TestGossipOverlayDiscovery:
+    def test_gossip_variant_matches_oracle_membership(self):
+        bed, members = _chain_bed()
+        graph = NeighborGraph(bed.medium, "bluetooth")
+
+        oracle = OverlayGroupDiscovery(bed.env, members[0].device.stack,
+                                       graph, BLUETOOTH,
+                                       members[0].app.store)
+        bed.execute(oracle.discover(k=4), timeout=1200.0)
+
+        gossip = OverlayGroupDiscovery(bed.env, members[0].device.stack,
+                                       graph, BLUETOOTH,
+                                       members[0].app.store)
+        bed.execute(gossip.discover_gossip(4, members[0].device.daemon),
+                    timeout=1200.0)
+        assert gossip.members_of("football") == oracle.members_of("football")
+        assert gossip.reach() == oracle.reach() == 4
+        bed.stop()
+
+    def test_gossip_probes_record_hop_counts(self):
+        bed, members = _chain_bed()
+        graph = NeighborGraph(bed.medium, "bluetooth")
+        overlay = OverlayGroupDiscovery(bed.env, members[0].device.stack,
+                                        graph, BLUETOOTH,
+                                        members[0].app.store)
+        bed.execute(overlay.discover_gossip(3, members[0].device.daemon),
+                    timeout=1200.0)
+        hops = {probe.device_id: probe.hops for probe in overlay.probes}
+        assert hops == {"b": 1, "c": 2, "d": 3}
+        bed.stop()

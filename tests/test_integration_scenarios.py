@@ -1,0 +1,177 @@
+"""End-to-end scenario tests crossing all subsystems: the paper's
+motivating situations (§5.1) plus failure injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.community import protocol
+from repro.eval.testbed import Testbed
+from repro.mobility import BusRoute, LinearCrossing, Point, Rect
+from repro.peerhood.seamless import SeamlessConnectivityManager
+
+
+class TestUniversityScenario:
+    """'Instant local communities like in university or pub' (§5.1)."""
+
+    def test_crowded_room_forms_overlapping_groups(self):
+        bed = Testbed(seed=101)
+        interests = {
+            "s0": ["football", "music"],
+            "s1": ["football", "gaming"],
+            "s2": ["music", "gaming"],
+            "s3": ["football", "music", "gaming"],
+            "s4": ["chess"],
+        }
+        members = {name: bed.add_member(name, wanted)
+                   for name, wanted in interests.items()}
+        bed.run(60.0)
+        view = members["s3"].app
+        assert view.group_members("football") == ["s0", "s1", "s3"]
+        assert view.group_members("music") == ["s0", "s2", "s3"]
+        assert view.group_members("gaming") == ["s1", "s2", "s3"]
+        assert members["s4"].groups() == []  # chess is lonely
+        bed.stop()
+
+    def test_full_social_session(self):
+        """Profile -> comment -> trust -> share -> message, end to end."""
+        bed = Testbed(seed=103)
+        alice = bed.add_member("alice", ["football"])
+        bob = bed.add_member("bob", ["football"])
+        bed.run(30.0)
+
+        profile = bed.execute(alice.app.view_member_profile("bob"))
+        assert profile["member_id"] == "bob"
+        assert bed.execute(alice.app.comment_profile("bob", "hi bob"))
+        bob.app.accept_trusted("alice")
+        bob.app.share_file("notes.pdf", 80_000)
+        files = bed.execute(alice.app.view_shared_content("bob"))
+        assert [f["name"] for f in files] == ["notes.pdf"]
+        status = bed.execute(alice.app.send_message("bob", "thanks",
+                                                    "got the notes"))
+        assert status == protocol.SUCCESSFULLY_WRITTEN
+        # Bob's side saw everything land on his own device.
+        assert bob.app.profile.comments[0].text == "hi bob"
+        assert bob.app.profile.inbox[0].subject == "thanks"
+        assert bob.app.profile.viewers[0].viewer == "alice"
+        bed.stop()
+
+
+class TestBusScenario:
+    """'Mobile community like in bus or airplane while travelling' (§5.1):
+    passengers move together, so their groups persist while the bus
+    drives; a pedestrian left behind drops out."""
+
+    def test_bus_community_persists_while_moving(self):
+        bed = Testbed(seed=107, bounds=Rect(0, 0, 1000, 1000),
+                      technologies=("bluetooth",))
+        route = [Point(100, 100), Point(800, 100), Point(800, 800)]
+        passengers = []
+        for index in range(3):
+            # One shared BusRoute per passenger with identical speed
+            # keeps them rigidly co-located.
+            passengers.append(bed.add_member(
+                f"rider{index}", ["travel"],
+                position=Point(100 + index * 2.0, 100),
+                model=BusRoute(route, speed=8.0)))
+        left_behind = bed.add_member("stayer", ["travel"],
+                                     position=Point(100, 104))
+        bed.run(45.0)  # groups form while the bus is near the stop... and
+        assert "travel" in passengers[0].groups()
+        bed.run(120.0)  # ...the bus has long driven away
+        members = passengers[0].app.group_members("travel")
+        assert set(members) >= {"rider0", "rider1", "rider2"}
+        assert "stayer" not in members
+        assert "travel" not in left_behind.groups() or \
+            left_behind.app.group_members("travel") == []
+        bed.stop()
+
+
+class TestFailureInjection:
+    def test_operation_during_peer_departure_skips_dead_server(self):
+        bed = Testbed(seed=109, technologies=("bluetooth",))
+        alice = bed.add_member("alice", ["x"])
+        bed.add_member("bob", ["x"])
+        walker = bed.add_member("walker", ["x"],
+                                model=LinearCrossing(Point(103, 100),
+                                                     Point(400, 100), 6.0))
+        bed.world.move_node("walker", Point(103, 100))
+        bed.run(25.0)
+        # Walker is sprinting away; member list must still complete
+        # using whoever stays reachable.
+        members = bed.execute(alice.app.view_all_members(), timeout=120.0)
+        ids = [m["member_id"] for m in members]
+        assert "bob" in ids
+        bed.stop()
+
+    def test_server_logout_midway_yields_no_members(self):
+        bed = Testbed(seed=113)
+        alice = bed.add_member("alice", ["x"])
+        bob = bed.add_member("bob", ["x"])
+        bed.run(30.0)
+        bob.app.logout()
+        assert bed.execute(alice.app.view_member_profile("bob")) is None
+
+    def test_radio_disabled_midway_breaks_then_recovers(self):
+        bed = Testbed(seed=127, technologies=("bluetooth",))
+        alice = bed.add_member("alice", ["x"])
+        bed.add_member("bob", ["x"])
+        bed.run(30.0)
+        adapter = bed.medium.adapter("bob", "bluetooth")
+        adapter.enabled = False
+        bed.run(40.0)
+        assert alice.app.group_members("x") in ([], ["alice"])
+        adapter.enabled = True
+        bed.run(40.0)
+        assert alice.app.group_members("x") == ["alice", "bob"]
+        bed.stop()
+
+
+class TestSeamlessScenario:
+    def test_community_connection_survives_bt_loss_via_wlan(self):
+        """A pooled community connection handed over mid-session."""
+        bed = Testbed(seed=131)  # bluetooth + wlan
+        alice = bed.add_member("alice", ["x"])
+        bob = bed.add_member("bob", ["x"])
+        bed.run(30.0)
+        manager = SeamlessConnectivityManager(alice.device.daemon)
+        bed.execute(alice.app.view_all_members())
+        connection = alice.app.pool.connection_to("bob")
+        assert connection is not None
+        assert connection.technology.name == "bluetooth"
+        manager.supervise(connection)
+        # Bob strolls out of Bluetooth range but stays within WLAN.
+        bed.world.node("bob").model = LinearCrossing(
+            bed.world.node("bob").position, Point(140, 100), 2.0)
+        bed.run(40.0)
+        assert connection.technology.name == "wlan"
+        assert not connection.closed
+        # The pooled connection still serves operations.
+        members = bed.execute(alice.app.view_all_members())
+        assert "bob" in [m["member_id"] for m in members]
+        bed.stop()
+
+
+class TestMultiTechnologyNeighborhood:
+    def test_gprs_only_peer_reachable_through_gateway(self):
+        bed = Testbed(seed=137, technologies=("bluetooth", "gprs"),
+                      bounds=Rect(0, 0, 2000, 2000))
+        near = bed.add_member("near", ["x"], position=Point(100, 100))
+        far = bed.add_member("far", ["x"], position=Point(1900, 1900))
+        bed.run(40.0)
+        # Far is beyond Bluetooth reach; only the GPRS proxy connects
+        # them, so the group still forms.
+        assert near.app.group_members("x") == ["far", "near"]
+        assert bed.gateway.relayed_messages > 0
+        bed.stop()
+
+    def test_member_list_works_across_mixed_technologies(self):
+        bed = Testbed(seed=139, technologies=("bluetooth", "gprs"),
+                      bounds=Rect(0, 0, 2000, 2000))
+        near = bed.add_member("near", ["x"], position=Point(100, 100))
+        bed.add_member("close", ["y"], position=Point(104, 100))
+        bed.add_member("far", ["z"], position=Point(1900, 1900))
+        bed.run(40.0)
+        members = bed.execute(near.app.view_all_members(), timeout=120.0)
+        assert [m["member_id"] for m in members] == ["close", "far"]
+        bed.stop()

@@ -1,0 +1,139 @@
+"""Tests for churn/discovery metrics and the lossy-link model."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.community.groups import Group
+from repro.eval.metrics import churn_stats, discovery_stats, summarize_engine
+from repro.eval.testbed import Testbed
+from repro.mobility import Point
+from repro.net.stack import NetworkStack, StackRegistry
+from repro.radio import BLUETOOTH, Technology
+from repro.simenv import Environment
+
+
+class TestChurnStats:
+    def test_counts_and_peak(self):
+        group = Group("g", 0.0)
+        group.add("a", 1.0)
+        group.add("b", 2.0)
+        group.remove("a", 5.0)
+        group.add("c", 6.0)
+        stats = churn_stats(group)
+        assert stats.joins == 3
+        assert stats.leaves == 1
+        assert stats.unique_members == 3
+        assert stats.peak_size == 2
+
+    def test_mean_stay_completed_only(self):
+        group = Group("g", 0.0)
+        group.add("a", 0.0)
+        group.remove("a", 10.0)
+        group.add("b", 5.0)  # still present
+        stats = churn_stats(group)
+        assert stats.mean_stay_s == pytest.approx(10.0)
+
+    def test_mean_stay_truncates_open_stays_at_now(self):
+        group = Group("g", 0.0)
+        group.add("a", 0.0)
+        group.remove("a", 10.0)
+        group.add("b", 5.0)
+        stats = churn_stats(group, now=25.0)
+        assert stats.mean_stay_s == pytest.approx((10.0 + 20.0) / 2.0)
+
+    def test_empty_history(self):
+        stats = churn_stats(Group("g", 0.0))
+        assert stats.joins == 0
+        assert stats.mean_stay_s is None
+
+
+class TestDiscoveryStats:
+    def test_live_engine_stats(self):
+        bed = Testbed(seed=81, technologies=("bluetooth",))
+        alice = bed.add_member("alice", ["football"])
+        bed.add_member("bob", ["football"])
+        bed.add_member("carol", ["chess"])
+        bed.run(40.0)
+        stats = discovery_stats(alice.app.engine)
+        assert stats.probes == 2
+        assert stats.matched_probes == 1  # only bob matches
+        assert stats.mean_probe_s is not None and stats.mean_probe_s > 0
+        assert stats.max_probe_s >= stats.mean_probe_s
+
+        summary = summarize_engine(alice.app.engine, now=bed.env.now)
+        assert "football" in summary["groups"]
+        assert summary["groups"]["football"].peak_size == 2
+        bed.stop()
+
+    def test_empty_engine(self):
+        bed = Testbed(seed=83)
+        alice = bed.add_member("alice", ["x"])
+        stats = discovery_stats(alice.app.engine)
+        assert stats.probes == 0
+        assert stats.mean_probe_s is None
+        bed.stop()
+
+
+class TestLossyLinks:
+    def _lossy_pair(self, loss: float):
+        env = Environment(seed=5)
+        from repro.mobility.world import World
+        from repro.radio.medium import Medium
+
+        world = World(env)
+        world.add_node("a", Point(0, 0))
+        world.add_node("b", Point(3, 0))
+        medium = Medium(world)
+        lossy = dataclasses.replace(BLUETOOTH, frame_loss_rate=loss)
+        medium.attach("a", lossy)
+        medium.attach("b", lossy)
+        registry = StackRegistry()
+        stack_a = NetworkStack(env, medium, "a", registry)
+        stack_b = NetworkStack(env, medium, "b", registry)
+        accepted = []
+        stack_b.listen("svc", accepted.append)
+
+        def client():
+            connection = yield from stack_a.connect("b", "svc", lossy)
+            return connection
+
+        process = env.spawn(client())
+        env.run(until=30.0)
+        return env, world, process.result
+
+    def test_loss_rate_validation(self):
+        with pytest.raises(ValueError):
+            Technology("t", 10.0, 1000.0, 0.0, 0.0, 0.0, frame_loss_rate=1.0)
+        with pytest.raises(ValueError):
+            Technology("t", 10.0, 1000.0, 0.0, 0.0, 0.0, frame_loss_rate=-0.1)
+
+    def test_no_loss_means_no_retransmissions(self):
+        env, world, connection = self._lossy_pair(0.0)
+        for _ in range(50):
+            connection.send({"x": 1})
+        assert connection.retransmissions == 0
+        world.stop()
+
+    def test_loss_inflates_transfer_time_but_delivers(self):
+        env, world, connection = self._lossy_pair(0.4)
+        times = [connection.send({"x": index}) for index in range(100)]
+        assert connection.retransmissions > 0
+        env.run(until=env.now + 60.0)
+        # Reliable delivery: every message arrives despite loss.
+        assert connection.peer.pending() == 100
+        # Retransmitted frames took proportionally longer.
+        base = min(times)
+        assert max(times) >= 2 * base
+        world.stop()
+
+    def test_lossy_runs_are_deterministic(self):
+        _, world_a, connection_a = self._lossy_pair(0.3)
+        times_a = [connection_a.send({"x": i}) for i in range(20)]
+        world_a.stop()
+        _, world_b, connection_b = self._lossy_pair(0.3)
+        times_b = [connection_b.send({"x": i}) for i in range(20)]
+        world_b.stop()
+        assert times_a == times_b

@@ -1,0 +1,266 @@
+"""Unit tests for framing, connections and the per-device stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mobility import Point
+from repro.net import (
+    Connection,
+    ConnectionClosedError,
+    FrameError,
+    ListenerExistsError,
+    NetworkStack,
+    NoListenerError,
+    StackRegistry,
+    deserialize,
+    frame_size,
+    serialize,
+)
+from repro.radio import BLUETOOTH, WLAN
+from repro.radio.medium import NotReachableError
+
+
+class TestFraming:
+    def test_round_trip(self):
+        payload = {"op": "PS_MSG", "body": "hello", "n": 3, "ok": True}
+        assert deserialize(serialize(payload)) == payload
+
+    def test_deterministic_encoding(self):
+        assert serialize({"b": 1, "a": 2}) == serialize({"a": 2, "b": 1})
+
+    def test_frame_size_counts_prefix(self):
+        assert frame_size({}) == len(serialize({}))
+        assert frame_size({}) == 4 + 2  # prefix + "{}"
+
+    def test_unserialisable_payload_rejected(self):
+        with pytest.raises(FrameError):
+            serialize({"bad": object()})
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(FrameError):
+            deserialize(b"\x00")
+
+    def test_length_mismatch_rejected(self):
+        frame = serialize({"a": 1})
+        with pytest.raises(FrameError):
+            deserialize(frame[:-1])
+
+    def test_garbage_body_rejected(self):
+        with pytest.raises(FrameError):
+            deserialize(b"\x00\x00\x00\x03abc")
+
+    def test_nested_structures_survive(self):
+        payload = {"list": [1, [2, {"x": None}]], "unicode": "föötball"}
+        assert deserialize(serialize(payload)) == payload
+
+
+def _connect(env, stack_a, stack_b, port="svc", technology=BLUETOOTH):
+    """Helper: server listens, client connects; returns both halves."""
+    accepted = []
+    if not stack_b.listening_on(port):
+        stack_b.listen(port, accepted.append)
+
+    def client():
+        connection = yield from stack_a.connect("b", port, technology)
+        return connection
+
+    process = env.spawn(client())
+    env.run(until=env.now + 30.0)
+    return process.result, accepted
+
+
+class TestConnections:
+    def test_connect_pays_setup_time(self, env, linked_pair):
+        stack_a, stack_b = linked_pair
+        stack_b.listen("svc", lambda conn: None)
+        start = env.now
+
+        def client():
+            connection = yield from stack_a.connect("b", "svc", BLUETOOTH)
+            return env.now - start
+
+        process = env.spawn(client())
+        env.run(until=30.0)
+        assert process.result >= BLUETOOTH.setup_time_s
+
+    def test_send_and_receive(self, env, linked_pair):
+        stack_a, stack_b = linked_pair
+        local, accepted = _connect(env, stack_a, stack_b)
+        local.send({"hello": 1})
+        env.run(until=env.now + 5.0)
+        server_side = accepted[0]
+        assert server_side.pending() == 1
+
+        def reader():
+            payload = yield server_side.recv()
+            return payload
+
+        process = env.spawn(reader())
+        env.run(until=env.now + 1.0)
+        assert process.result == {"hello": 1}
+
+    def test_transfer_time_scales_with_size(self, env, linked_pair):
+        stack_a, stack_b = linked_pair
+        local, _ = _connect(env, stack_a, stack_b)
+        small = local.send({"x": "a"})
+        large = local.send({"x": "a" * 100_000})
+        assert large > small
+
+    def test_send_on_closed_raises(self, env, linked_pair):
+        stack_a, stack_b = linked_pair
+        local, _ = _connect(env, stack_a, stack_b)
+        local.close()
+        with pytest.raises(ConnectionClosedError):
+            local.send({})
+
+    def test_close_propagates_to_peer(self, env, linked_pair):
+        stack_a, stack_b = linked_pair
+        local, accepted = _connect(env, stack_a, stack_b)
+        local.close()
+        assert accepted[0].closed
+
+    def test_link_break_detected_at_send(self, env, world, linked_pair):
+        stack_a, stack_b = linked_pair
+        local, _ = _connect(env, stack_a, stack_b)
+        world.move_node("b", Point(150.0, 150.0))  # out of both ranges
+        with pytest.raises(NotReachableError):
+            local.send({"x": 1})
+        assert local.closed
+
+    def test_pending_recv_resumes_with_none_on_close(self, env, linked_pair):
+        stack_a, stack_b = linked_pair
+        local, accepted = _connect(env, stack_a, stack_b)
+
+        def reader():
+            payload = yield accepted[0].recv()
+            return payload
+
+        process = env.spawn(reader())
+        local.close()
+        env.run(until=env.now + 1.0)
+        assert process.result is None
+
+    def test_migrate_switches_technology_both_halves(self, env, linked_pair):
+        stack_a, stack_b = linked_pair
+        local, accepted = _connect(env, stack_a, stack_b)
+        local.migrate(WLAN)
+        assert local.technology is WLAN
+        assert accepted[0].technology is WLAN
+
+    def test_messages_account_traffic(self, env, medium, linked_pair):
+        stack_a, stack_b = linked_pair
+        local, _ = _connect(env, stack_a, stack_b)
+        local.send({"payload": "x" * 100})
+        adapter = medium.adapter("a", "bluetooth")
+        assert adapter.bytes_sent > 100
+
+    def test_delivery_is_fifo_regardless_of_size(self, env, linked_pair):
+        """A big frame sent first must arrive before a small frame sent
+        second (ordered delivery, the L2CAP contract)."""
+        stack_a, stack_b = linked_pair
+        local, accepted = _connect(env, stack_a, stack_b)
+        local.send({"tag": "big", "pad": "x" * 50_000})
+        local.send({"tag": "small"})
+        env.run(until=env.now + 10.0)
+        server_side = accepted[0]
+
+        def reader():
+            first = yield server_side.recv()
+            second = yield server_side.recv()
+            return first["tag"], second["tag"]
+
+        process = env.spawn(reader())
+        env.run(until=env.now + 1.0)
+        assert process.result == ("big", "small")
+
+    def test_back_to_back_sends_serialise_on_the_link(self, env,
+                                                      linked_pair):
+        stack_a, stack_b = linked_pair
+        local, _ = _connect(env, stack_a, stack_b)
+        first = local.send({"pad": "x" * 10_000})
+        second = local.send({"pad": "y" * 10_000})
+        # The second frame queues behind the first: its completion time
+        # (relative to now) is at least twice the first's.
+        assert second >= first * 2 * 0.99
+
+    def test_repr(self, env, linked_pair):
+        stack_a, stack_b = linked_pair
+        local, _ = _connect(env, stack_a, stack_b)
+        assert "a->b" in repr(local)
+
+
+class TestStack:
+    def test_connect_without_listener_refused(self, env, linked_pair):
+        stack_a, _ = linked_pair
+
+        def client():
+            yield from stack_a.connect("b", "nothing-here", BLUETOOTH)
+
+        process = env.spawn(client())
+        with pytest.raises(Exception) as excinfo:
+            env.run(until=30.0)
+        assert isinstance(excinfo.value.__cause__, NoListenerError)
+
+    def test_connect_unreachable_peer_fails_fast(self, env, world, medium,
+                                                 registry):
+        world.add_node("a", Point(0, 0))
+        world.add_node("z", Point(190, 190))
+        medium.attach("a", BLUETOOTH)
+        medium.attach("z", BLUETOOTH)
+        stack_a = NetworkStack(env, medium, "a", registry)
+        NetworkStack(env, medium, "z", registry)
+
+        def client():
+            try:
+                yield from stack_a.connect("z", "svc", BLUETOOTH)
+            except NotReachableError:
+                return "unreachable"
+
+        process = env.spawn(client())
+        env.run(until=10.0)
+        assert process.result == "unreachable"
+
+    def test_peer_moving_away_during_setup_fails(self, env, world,
+                                                 linked_pair):
+        stack_a, stack_b = linked_pair
+        stack_b.listen("svc", lambda conn: None)
+
+        def client():
+            try:
+                yield from stack_a.connect("b", "svc", BLUETOOTH)
+            except NotReachableError:
+                return "lost during setup"
+
+        process = env.spawn(client())
+        # Teleport b away while the setup delay is pending.
+        env.call_in(BLUETOOTH.setup_time_s / 2.0,
+                    world.move_node, "b", Point(150.0, 150.0))
+        env.run(until=30.0)
+        assert process.result == "lost during setup"
+
+    def test_duplicate_listener_rejected(self, linked_pair):
+        _, stack_b = linked_pair
+        stack_b.listen("svc", lambda conn: None)
+        with pytest.raises(ListenerExistsError):
+            stack_b.listen("svc", lambda conn: None)
+
+    def test_unlisten_then_relisten(self, linked_pair):
+        _, stack_b = linked_pair
+        stack_b.listen("svc", lambda conn: None)
+        stack_b.unlisten("svc")
+        assert not stack_b.listening_on("svc")
+        stack_b.listen("svc", lambda conn: None)
+
+    def test_registry_rejects_duplicate_device(self, env, medium, registry,
+                                               world):
+        world.add_node("a", Point(0, 0))
+        NetworkStack(env, medium, "a", registry)
+        with pytest.raises(ValueError):
+            NetworkStack(env, medium, "a", registry)
+
+    def test_registry_remove(self, env, medium, registry, world):
+        world.add_node("a", Point(0, 0))
+        NetworkStack(env, medium, "a", registry)
+        registry.remove("a")
+        assert registry.stack_of("a") is None

@@ -1,0 +1,99 @@
+"""Tests for store-and-forward messaging and group-wide messaging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.community import protocol
+from repro.community.offline import OfflineOutbox
+from repro.eval.testbed import Testbed
+from repro.mobility import Point
+
+
+class TestGroupMessaging:
+    def test_message_reaches_every_group_member(self, bed, trio):
+        alice, bob, carol = trio
+        alice.app.join_group("movies")  # bob and carol are both in it
+        outcomes = bed.execute(alice.app.send_group_message(
+            "movies", "meetup", "cinema at eight?"))
+        assert outcomes == {"bob": protocol.SUCCESSFULLY_WRITTEN,
+                            "carol": protocol.SUCCESSFULLY_WRITTEN}
+        assert bob.app.profile.inbox[0].subject == "meetup"
+        assert carol.app.profile.inbox[0].subject == "meetup"
+
+    def test_sender_not_messaged(self, bed, trio):
+        alice, _, _ = trio
+        outcomes = bed.execute(alice.app.send_group_message(
+            "football", "hi", "anyone up?"))
+        assert "alice" not in outcomes
+        assert alice.app.profile.inbox == []
+
+    def test_requires_login(self, bed, trio):
+        alice, _, _ = trio
+        alice.app.logout()
+        with pytest.raises(PermissionError):
+            bed.execute(alice.app.send_group_message("football", "s", "b"))
+
+    def test_empty_group_means_no_sends(self, bed, trio):
+        alice, _, _ = trio
+        outcomes = bed.execute(alice.app.send_group_message(
+            "nonexistent-group", "s", "b"))
+        assert outcomes == {}
+
+
+class TestOfflineOutbox:
+    def _bed_with_outbox(self):
+        bed = Testbed(seed=87, technologies=("bluetooth",))
+        alice = bed.add_member("alice", ["football"])
+        outbox = OfflineOutbox(alice.app)
+        outbox.install()
+        return bed, alice, outbox
+
+    def test_live_send_bypasses_queue(self):
+        bed, alice, outbox = self._bed_with_outbox()
+        bob = bed.add_member("bob", ["football"])
+        bed.run(30.0)
+        status = bed.execute(outbox.send_or_queue("bob", "now", "hello"))
+        assert status == protocol.SUCCESSFULLY_WRITTEN
+        assert outbox.pending == []
+        bed.stop()
+
+    def test_message_to_absent_member_is_queued(self):
+        bed, alice, outbox = self._bed_with_outbox()
+        bed.run(20.0)
+        status = bed.execute(outbox.send_or_queue("bob", "later", "hello"))
+        assert status == "QUEUED"
+        assert [m.member_id for m in outbox.pending] == ["bob"]
+        assert outbox.queued_for("bob")[0].subject == "later"
+        bed.stop()
+
+    def test_queued_message_delivered_on_reappearance(self):
+        bed, alice, outbox = self._bed_with_outbox()
+        bed.run(20.0)
+        bed.execute(outbox.send_or_queue("bob", "later", "see you"))
+        assert outbox.pending
+        # Bob arrives; discovery finds him; the outbox flushes.
+        bob = bed.add_member("bob", ["football"], position=Point(103, 100))
+        bed.run(60.0)
+        assert outbox.pending == []
+        assert len(outbox.receipts) == 1
+        assert [(m.sender, m.subject) for m in bob.app.profile.inbox] == [
+            ("alice", "later")]
+        bed.stop()
+
+    def test_flush_only_delivers_to_the_right_member(self):
+        bed, alice, outbox = self._bed_with_outbox()
+        bed.run(20.0)
+        bed.execute(outbox.send_or_queue("bob", "for bob", "x"))
+        bed.execute(outbox.send_or_queue("dave", "for dave", "y"))
+        bed.add_member("bob", ["football"], position=Point(103, 100))
+        bed.run(60.0)
+        assert [m.member_id for m in outbox.pending] == ["dave"]
+        bed.stop()
+
+    def test_install_is_idempotent(self):
+        bed, alice, outbox = self._bed_with_outbox()
+        outbox.install()
+        outbox.install()
+        bed.run(5.0)
+        bed.stop()

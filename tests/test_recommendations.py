@@ -1,0 +1,84 @@
+"""Tests for interest recommendations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.community.recommendations import InterestRecommender, _share_stem
+from repro.eval.testbed import Testbed
+
+
+@pytest.fixture
+def crowd():
+    bed = Testbed(seed=19, technologies=("bluetooth",))
+    alice = bed.add_member("alice", ["football"])
+    bed.add_member("bob", ["football", "chess", "music"])
+    bed.add_member("carol", ["chess", "music"])
+    bed.add_member("dave", ["chess"])
+    bed.run(40.0)
+    yield bed, alice
+    bed.stop()
+
+
+class TestRecommend:
+    def test_ranked_by_popularity(self, crowd):
+        bed, alice = crowd
+        recommender = InterestRecommender(alice.app.engine)
+        recommendations = recommender.recommend()
+        assert [r.interest for r in recommendations] == ["chess", "music"]
+        assert recommendations[0].score == 3
+        assert recommendations[0].holders == ("bob", "carol", "dave")
+
+    def test_own_interests_excluded(self, crowd):
+        bed, alice = crowd
+        recommendations = InterestRecommender(alice.app.engine).recommend()
+        assert "football" not in [r.interest for r in recommendations]
+
+    def test_limit_respected(self, crowd):
+        bed, alice = crowd
+        recommendations = InterestRecommender(
+            alice.app.engine).recommend(limit=1)
+        assert len(recommendations) == 1
+
+    def test_requires_login(self, crowd):
+        bed, alice = crowd
+        alice.app.logout()
+        with pytest.raises(PermissionError):
+            InterestRecommender(alice.app.engine).recommend()
+
+    def test_adopt_joins_the_group_immediately(self, crowd):
+        bed, alice = crowd
+        recommender = InterestRecommender(alice.app.engine)
+        members = recommender.adopt("chess")
+        assert "alice" in members
+        assert set(members) == {"alice", "bob", "carol", "dave"}
+        assert "chess" in alice.app.profile.interests
+        assert "chess" in alice.app.my_groups()
+
+    def test_empty_neighbourhood_recommends_nothing(self):
+        bed = Testbed(seed=23)
+        alice = bed.add_member("alice", ["football"])
+        bed.run(10.0)
+        assert InterestRecommender(alice.app.engine).recommend() == []
+        bed.stop()
+
+
+class TestSynonymCandidates:
+    def test_stem_heuristic(self):
+        assert _share_stem("biking", "bike rides")
+        assert _share_stem("england football", "football")
+        assert not _share_stem("chess", "music")
+        assert not _share_stem("art", "arts")  # stems shorter than 4
+
+    def test_candidates_found_in_neighbourhood(self):
+        bed = Testbed(seed=27, semantic=True, technologies=("bluetooth",))
+        ann = bed.add_member("ann", ["biking"])
+        bed.add_member("ben", ["bike touring"])
+        bed.run(40.0)
+        recommender = InterestRecommender(ann.app.engine)
+        assert ("bike touring", "biking") in recommender.synonym_candidates()
+        # Teaching the pair removes it from the candidate list.
+        ann.app.engine.teach_semantics("bike touring", "biking")
+        assert ("bike touring", "biking") not in \
+            recommender.synonym_candidates()
+        bed.stop()

@@ -1,0 +1,122 @@
+"""Tests (incl. property-based) for Bluetooth scatternet formation."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio.bluetooth import Piconet
+from repro.radio.scatternet import PiconetPlan, form_scatternet
+
+
+def _chain(n: int) -> nx.Graph:
+    graph = nx.Graph()
+    names = [f"n{i:02d}" for i in range(n)]
+    graph.add_nodes_from(names)
+    graph.add_edges_from(zip(names, names[1:]))
+    return graph
+
+
+class TestFormation:
+    def test_single_node_is_its_own_piconet(self):
+        graph = nx.Graph()
+        graph.add_node("solo")
+        net = form_scatternet(graph)
+        assert net.covered_devices() == {"solo"}
+        assert net.bridges == set()
+
+    def test_small_room_fits_one_piconet(self):
+        graph = nx.complete_graph(5)
+        graph = nx.relabel_nodes(graph, {i: f"d{i}" for i in range(5)})
+        net = form_scatternet(graph)
+        assert len(net.piconets) == 1
+        assert len(net.piconets[0].slaves) == 4
+
+    def test_nine_device_clique_needs_two_piconets(self):
+        graph = nx.complete_graph(9)
+        graph = nx.relabel_nodes(graph, {i: f"d{i}" for i in range(9)})
+        net = form_scatternet(graph)
+        assert len(net.piconets) >= 2
+        for plan in net.piconets:
+            assert len(plan.slaves) <= Piconet.MAX_ACTIVE_SLAVES
+        assert net.preserves_connectivity(graph)
+        assert net.bridges  # the piconets must share bridge nodes
+
+    def test_chain_preserves_connectivity(self):
+        graph = _chain(12)
+        net = form_scatternet(graph)
+        assert net.covered_devices() == set(graph.nodes)
+        assert net.preserves_connectivity(graph)
+
+    def test_disconnected_components_stay_separate(self):
+        graph = _chain(4)
+        graph.add_edge("x0", "x1")
+        net = form_scatternet(graph)
+        overlay = net.overlay_graph()
+        assert not nx.has_path(overlay, "n00", "x0")
+
+    def test_plan_materialises_to_live_piconet(self):
+        plan = PiconetPlan(master="m", slaves={"a", "b"})
+        piconet = plan.as_piconet()
+        assert piconet.slaves == frozenset({"a", "b"})
+
+    def test_max_slaves_validation(self):
+        with pytest.raises(ValueError):
+            form_scatternet(nx.Graph(), max_slaves=0)
+
+    def test_piconets_of_bridge_node(self):
+        net = form_scatternet(_chain(12))
+        for bridge in net.bridges:
+            assert len(net.piconets_of(bridge)) >= 2
+
+
+@st.composite
+def connectivity_graphs(draw):
+    """Random geometric-flavoured graphs up to 24 nodes."""
+    n = draw(st.integers(min_value=1, max_value=24))
+    names = [f"v{i:02d}" for i in range(n)]
+    graph = nx.Graph()
+    graph.add_nodes_from(names)
+    if n > 1:
+        possible = [(a, b) for i, a in enumerate(names)
+                    for b in names[i + 1:]]
+        edges = draw(st.lists(st.sampled_from(possible),
+                              max_size=min(len(possible), 60)))
+        graph.add_edges_from(edges)
+    return graph
+
+
+class TestScatternetProperties:
+    @settings(deadline=None, max_examples=60)
+    @given(graph=connectivity_graphs())
+    def test_invariants(self, graph):
+        net = form_scatternet(graph)
+        # 1. Full coverage.
+        assert net.covered_devices() == set(graph.nodes)
+        # 2. Piconet size limit.
+        for plan in net.piconets:
+            assert len(plan.slaves) <= Piconet.MAX_ACTIVE_SLAVES
+            assert plan.master not in plan.slaves
+        # 3. Every master masters exactly one piconet.
+        masters = [plan.master for plan in net.piconets]
+        assert len(masters) == len(set(masters))
+        # 4. Master-slave edges only exist where radio edges exist
+        #    (isolated self-piconets aside).
+        for plan in net.piconets:
+            for slave in plan.slaves:
+                assert graph.has_edge(plan.master, slave)
+        # 5. Radio connectivity is preserved by the overlay.
+        assert net.preserves_connectivity(graph)
+        # 6. Bridges are exactly multi-piconet members.
+        for bridge in net.bridges:
+            assert len(net.piconets_of(bridge)) >= 2
+
+    @settings(deadline=None, max_examples=30)
+    @given(graph=connectivity_graphs())
+    def test_formation_is_deterministic(self, graph):
+        first = form_scatternet(graph)
+        second = form_scatternet(graph)
+        assert [(p.master, sorted(p.slaves)) for p in first.piconets] == \
+            [(p.master, sorted(p.slaves)) for p in second.piconets]

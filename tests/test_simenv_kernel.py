@@ -1,0 +1,171 @@
+"""Unit tests for the discrete-event kernel: clock, queue, environment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simenv import Environment, EventQueue, SimClock, SimulationError
+from repro.simenv.clock import SimClock as Clock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(start=5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(start=-1.0)
+
+    def test_advance_forward(self):
+        clock = SimClock()
+        clock.advance_to(3.5)
+        assert clock.now == 3.5
+
+    def test_advance_to_same_time_allowed(self):
+        clock = SimClock()
+        clock.advance_to(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_advance_backwards_rejected(self):
+        clock = SimClock()
+        clock.advance_to(2.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(1.0)
+
+    def test_repr_mentions_time(self):
+        assert "now=" in repr(Clock())
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(3.0, lambda: fired.append(3))
+        queue.push(1.0, lambda: fired.append(1))
+        queue.push(2.0, lambda: fired.append(2))
+        while queue:
+            queue.pop().callback()
+        assert fired == [1, 2, 3]
+
+    def test_ties_broken_by_schedule_order(self):
+        queue = EventQueue()
+        fired = []
+        for label in ("first", "second", "third"):
+            queue.push(1.0, lambda label=label: fired.append(label))
+        while queue:
+            queue.pop().callback()
+        assert fired == ["first", "second", "third"]
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        assert len(queue) == 1
+        assert queue.pop().time == 2.0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        event.cancel()
+        assert queue.peek_time() == 5.0
+
+    def test_peek_time_empty_is_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_bool_false_when_all_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        assert not queue
+
+
+class TestEnvironment:
+    def test_run_advances_time(self, env: Environment):
+        env.call_in(5.0, lambda: None)
+        assert env.run() == 5.0
+
+    def test_run_until_stops_early(self, env: Environment):
+        fired = []
+        env.call_in(10.0, lambda: fired.append("late"))
+        env.run(until=5.0)
+        assert env.now == 5.0
+        assert fired == []
+        env.run(until=15.0)
+        assert fired == ["late"]
+
+    def test_run_until_advances_clock_when_idle(self, env: Environment):
+        env.run(until=7.0)
+        assert env.now == 7.0
+
+    def test_call_at_in_past_rejected(self, env: Environment):
+        env.call_in(1.0, lambda: None)
+        env.run()
+        with pytest.raises(ValueError):
+            env.call_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self, env: Environment):
+        with pytest.raises(ValueError):
+            env.call_in(-1.0, lambda: None)
+
+    def test_call_with_args(self, env: Environment):
+        got = []
+        env.call_in(1.0, got.append, "value")
+        env.run()
+        assert got == ["value"]
+
+    def test_step_returns_false_when_idle(self, env: Environment):
+        assert env.step() is False
+
+    def test_step_executes_one_event(self, env: Environment):
+        fired = []
+        env.call_in(1.0, lambda: fired.append(1))
+        env.call_in(2.0, lambda: fired.append(2))
+        assert env.step() is True
+        assert fired == [1]
+
+    def test_nested_scheduling_runs(self, env: Environment):
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            env.call_in(1.0, lambda: fired.append("inner"))
+
+        env.call_in(1.0, outer)
+        env.run()
+        assert fired == ["outer", "inner"]
+        assert env.now == 2.0
+
+    def test_timeout_signal_fires_with_value(self, env: Environment):
+        signal = env.timeout_signal(3.0, value="done")
+        env.run()
+        assert signal.fired
+        assert signal.value == "done"
+
+    def test_unobserved_process_failure_raises(self, env: Environment):
+        def exploding():
+            yield from ()
+            raise RuntimeError("boom")
+
+        env.spawn(exploding(), name="exploder")
+        with pytest.raises(SimulationError, match="exploder"):
+            env.run()
+
+    def test_determinism_same_seed_same_draws(self):
+        draws_a = [Environment(seed=9).random.stream("s").random()
+                   for _ in range(1)]
+        draws_b = [Environment(seed=9).random.stream("s").random()
+                   for _ in range(1)]
+        assert draws_a == draws_b
+
+    def test_repr(self, env: Environment):
+        assert "Environment" in repr(env)

@@ -1,0 +1,219 @@
+"""Tests for the centralized SNS baseline: database, server, devices,
+human model, workflows and the Table 2 census."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.sns import (
+    CENSUS,
+    FACEBOOK_2008,
+    HI5_2008,
+    HumanModel,
+    NOKIA_N810,
+    NOKIA_N95,
+    SnsDatabase,
+    SnsServer,
+    SnsWorkflow,
+    seed_database_from_census,
+)
+from repro.sns.census import census_row
+
+
+class TestDatabase:
+    def _database(self) -> SnsDatabase:
+        database = SnsDatabase()
+        database.register_user("u1", "User One", ["football"])
+        database.register_user("u2", "User Two", ["music"])
+        database.create_group("England Football")
+        database.create_group("Football Fans")
+        database.create_group("Knitting")
+        return database
+
+    def test_register_duplicate_rejected(self):
+        database = self._database()
+        with pytest.raises(ValueError):
+            database.register_user("u1", "Again")
+
+    def test_group_duplicate_rejected(self):
+        database = self._database()
+        with pytest.raises(ValueError):
+            database.create_group("england football")
+
+    def test_search_substring_case_insensitive(self):
+        database = self._database()
+        names = [group.name for group in database.search_groups("FOOTBALL")]
+        assert set(names) == {"England Football", "Football Fans"}
+
+    def test_search_orders_by_membership(self):
+        database = self._database()
+        database.join_group("Football Fans", "u1")
+        names = [group.name for group in database.search_groups("football")]
+        assert names[0] == "Football Fans"
+
+    def test_join_requires_known_user(self):
+        database = self._database()
+        with pytest.raises(KeyError):
+            database.join_group("Knitting", "ghost")
+
+    def test_members_sorted(self):
+        database = self._database()
+        database.join_group("Knitting", "u2")
+        database.join_group("Knitting", "u1")
+        assert [user.user_id for user in database.members_of("Knitting")] == [
+            "u1", "u2"]
+
+
+class TestCensus:
+    def test_census_matches_paper_table2(self):
+        by_site = {row.site: row for row in CENSUS}
+        assert by_site["MySpace"].registered_users == 217_000_000
+        assert by_site["Facebook"].registered_users == 58_000_000
+        assert by_site["Flickr"].registered_users == 4_000_000
+        assert len(CENSUS) == 8
+
+    def test_census_is_sorted_descending_like_the_paper(self):
+        counts = [row.registered_users for row in CENSUS]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_seeding_scales_population(self):
+        database = SnsDatabase()
+        row = census_row("Flickr")
+        created = seed_database_from_census(database, row, Random(1),
+                                            scale=100_000)
+        assert created == row.registered_users // 100_000
+        assert database.user_count == created
+        assert database.group_count > 0
+
+    def test_unknown_site_raises(self):
+        with pytest.raises(KeyError):
+            census_row("Orkut")
+
+
+class TestDevicesAndHuman:
+    def test_page_time_scales_with_size(self):
+        small = NOKIA_N810.page_time(50.0, 0.3)
+        large = NOKIA_N810.page_time(500.0, 0.3)
+        assert large > small
+
+    def test_cache_reduces_time(self):
+        cold = NOKIA_N810.page_time(300.0, 0.3, cached=False)
+        warm = NOKIA_N810.page_time(300.0, 0.3, cached=True)
+        assert warm < cold
+
+    def test_n95_slower_than_n810_on_same_page(self):
+        assert (NOKIA_N95.page_time(300.0, 0.3)
+                > NOKIA_N810.page_time(300.0, 0.3))
+
+    def test_human_determinism(self):
+        a = HumanModel(Random(5)).type_text("england football", 0.5)
+        b = HumanModel(Random(5)).type_text("england football", 0.5)
+        assert a == b
+
+    def test_human_speed_multiplier(self):
+        slow = HumanModel(Random(5), speed=2.0).think(2.0)
+        fast = HumanModel(Random(5), speed=0.5).think(2.0)
+        assert slow > fast
+
+    def test_human_zero_jitter_is_exact(self):
+        human = HumanModel(Random(1), jitter=0.0)
+        assert human.scan_list(10, 0.5) == pytest.approx(5.0)
+
+    def test_human_validation(self):
+        with pytest.raises(ValueError):
+            HumanModel(Random(1), speed=0.0)
+        with pytest.raises(ValueError):
+            HumanModel(Random(1), jitter=1.0)
+
+
+def _server(site) -> SnsServer:
+    database = SnsDatabase()
+    seed_database_from_census(database, census_row("Flickr"), Random(3),
+                              scale=100_000)
+    database.create_group("England Football 2008")
+    database.register_user("tester", "The Tester")
+    return SnsServer(site, database)
+
+
+class TestServerFlows:
+    def test_search_pads_to_site_result_count(self):
+        server = _server(FACEBOOK_2008)
+        page = server.search("england football 2008")
+        assert len(page.data) == FACEBOOK_2008.search_results
+        assert page.data[0].name == "England Football 2008"
+
+    def test_join_flow_adds_member_and_returns_pages(self):
+        server = _server(HI5_2008)
+        pages = server.join_flow("England Football 2008", "tester")
+        assert len(pages) == HI5_2008.join_pages
+        assert "tester" in server.database.group(
+            "England Football 2008").members
+
+    def test_members_page_windows(self):
+        server = _server(FACEBOOK_2008)
+        server.database.create_group("Fresh Group")
+        for index in range(30):
+            server.database.join_group("Fresh Group", f"user{index:06d}")
+        page0 = server.members_page("Fresh Group", page=0)
+        page1 = server.members_page("Fresh Group", page=1)
+        assert len(page0.data) == FACEBOOK_2008.members_per_page
+        assert len(page1.data) == 30 - FACEBOOK_2008.members_per_page
+
+    def test_profile_page_caching_differs_by_site(self):
+        assert _server(FACEBOOK_2008).profile_page("tester").cached
+        assert not _server(HI5_2008).profile_page("tester").cached
+
+    def test_pages_served_counted(self):
+        server = _server(FACEBOOK_2008)
+        server.home_page()
+        server.search("x")
+        assert server.pages_served == 2
+
+
+class TestWorkflows:
+    def test_full_task_set_is_positive_and_ordered(self):
+        server = _server(FACEBOOK_2008)
+        workflow = SnsWorkflow(server, NOKIA_N810, Random(7))
+        times = workflow.run_table8_tasks("england football 2008",
+                                          "England Football 2008", "tester")
+        assert times.search_s > 0
+        assert times.join_s > 0
+        assert times.member_list_s > 0
+        assert times.profile_s > 0
+        assert times.total_s == pytest.approx(
+            times.search_s + times.join_s + times.member_list_s
+            + times.profile_s)
+
+    def test_n95_total_exceeds_n810_total(self):
+        def total(device):
+            workflow = SnsWorkflow(_server(FACEBOOK_2008), device, Random(7))
+            return workflow.run_table8_tasks("england football 2008",
+                                             "England Football 2008",
+                                             "tester").total_s
+
+        assert total(NOKIA_N95) > total(NOKIA_N810)
+
+    def test_mobile_site_is_faster_but_not_free(self):
+        from repro.sns.sites import FACEBOOK_MOBILE_2008
+
+        def total(site):
+            workflow = SnsWorkflow(_server(site), NOKIA_N95, Random(9))
+            return workflow.run_table8_tasks("england football 2008",
+                                             "England Football 2008",
+                                             "tester")
+
+        full = total(FACEBOOK_2008)
+        mobile = total(FACEBOOK_MOBILE_2008)
+        assert mobile.total_s < full.total_s
+        # The human costs (typing, scanning, join round trips) remain.
+        assert mobile.search_s > 15.0
+        assert mobile.join_s > 0.0
+
+    def test_page_log_records_loads(self):
+        workflow = SnsWorkflow(_server(FACEBOOK_2008), NOKIA_N810, Random(7))
+        workflow.search_group("england football 2008")
+        descriptions = [description for description, _ in workflow.page_log]
+        assert descriptions[0] == "portal page"
+        assert any("search results" in d for d in descriptions)

@@ -1,0 +1,97 @@
+"""Tests for file-backed profile persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.community.profile import MailMessage, ProfileStore
+from repro.community.storage import (
+    load_store,
+    profile_from_dict,
+    profile_to_dict,
+    save_store,
+)
+
+
+def _rich_store() -> ProfileStore:
+    store = ProfileStore()
+    profile = store.create_profile("alice", "alice", "secret", "Alice",
+                                   ["football", "music"])
+    profile.record_comment("bob", "hello", 12.5)
+    profile.record_view("carol", 13.0)
+    profile.add_trusted("bob")
+    profile.share_file("mix.mp3", 9001)
+    profile.deliver_mail(MailMessage("bob", "alice", "hi", "body", 14.0))
+    profile.sent.append(MailMessage("alice", "bob", "re: hi", "reply", 15.0))
+    store.create_profile("alice-work", "work", "pw2", "Alice (work)",
+                         ["networking"])
+    return store
+
+
+class TestSerialization:
+    def test_profile_round_trip_is_lossless(self):
+        original = _rich_store().login("alice", "secret")
+        restored = profile_from_dict(profile_to_dict(original))
+        assert restored.member_id == original.member_id
+        assert restored.password == original.password
+        assert restored.interests.as_list() == original.interests.as_list()
+        assert restored.comments == original.comments
+        assert restored.viewers == original.viewers
+        assert restored.trusted == original.trusted
+        assert restored.shared_files == original.shared_files
+        assert restored.inbox == original.inbox
+        assert restored.sent == original.sent
+
+    def test_version_checked(self):
+        data = profile_to_dict(_rich_store().login("alice", "secret"))
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            profile_from_dict(data)
+
+    def test_dict_is_json_serialisable(self):
+        data = profile_to_dict(_rich_store().login("alice", "secret"))
+        assert json.loads(json.dumps(data)) == data
+
+
+class TestStorePersistence:
+    def test_save_and_load_store(self, tmp_path):
+        store = _rich_store()
+        written = save_store(store, tmp_path)
+        assert len(written) == 2
+        assert all(path.exists() for path in written)
+
+        restored = load_store(tmp_path)
+        assert len(restored) == 2
+        profile = restored.login("alice", "secret")
+        assert profile.trusts("bob")
+        assert profile.inbox[0].subject == "hi"
+
+    def test_active_login_not_persisted(self, tmp_path):
+        store = _rich_store()
+        store.login("alice", "secret")
+        save_store(store, tmp_path)
+        restored = load_store(tmp_path)
+        assert restored.active is None  # reboot lands on the login screen
+
+    def test_load_empty_directory(self, tmp_path):
+        restored = load_store(tmp_path)
+        assert len(restored) == 0
+
+    def test_save_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "profiles"
+        save_store(_rich_store(), target)
+        assert target.is_dir()
+
+    def test_reboot_cycle_preserves_community_state(self, tmp_path):
+        """Simulated device reboot: save, reload, state intact."""
+        store = _rich_store()
+        alice = store.login("alice", "secret")
+        alice.record_comment("dave", "before reboot", 20.0)
+        save_store(store, tmp_path)
+
+        rebooted = load_store(tmp_path)
+        profile = rebooted.login("alice", "secret")
+        assert [c.text for c in profile.comments] == ["hello",
+                                                      "before reboot"]
