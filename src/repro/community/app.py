@@ -18,6 +18,7 @@ from repro.community.profile import Profile, ProfileStore
 from repro.community.semantics import ExactMatcher, SemanticMatcher
 from repro.community.server import SERVICE_NAME, CommunityServer
 from repro.msc.trace import MscRecorder
+from repro.net.retry import Degraded, RetryPolicy, is_degraded
 from repro.peerhood.library import PeerHoodLibrary
 
 
@@ -30,12 +31,15 @@ class CommunityApp:
         semantic: Use a teachable :class:`SemanticMatcher` instead of
             the paper's default exact matching.
         trust_policy: Server-side policy for inbound trust requests.
+        retry_policy: Retry/timeout/backoff policy the client-side
+            exchanges run under (``None`` = layer defaults).
     """
 
     def __init__(self, library: PeerHoodLibrary,
                  recorder: MscRecorder | None = None,
                  *, semantic: bool = False,
-                 trust_policy: Callable[[str], bool] | None = None) -> None:
+                 trust_policy: Callable[[str], bool] | None = None,
+                 retry_policy: RetryPolicy | None = None) -> None:
         self.library = library
         self.store = ProfileStore()
         self.recorder = recorder
@@ -43,10 +47,12 @@ class CommunityApp:
         matcher = SemanticMatcher() if semantic else ExactMatcher()
         self.server = CommunityServer(library, self.store, recorder,
                                       trust_policy)
-        self.client = CommunityClient(library, self.store, self.pool, recorder)
+        self.client = CommunityClient(library, self.store, self.pool, recorder,
+                                      retry_policy=retry_policy)
         self.engine = DynamicGroupEngine(library, self.store, self.pool,
                                          matcher)
-        self.downloader = FileDownloader(self.store, self.pool)
+        self.downloader = FileDownloader(self.store, self.pool,
+                                         retry_policy=retry_policy)
 
     @property
     def device_id(self) -> str:
@@ -181,7 +187,8 @@ class CommunityApp:
             raise PermissionError("no member logged in")
         recipients = set(self.engine.members_of(interest))
         interested = yield from self.client.get_interested_members(interest)
-        recipients.update(member["member_id"] for member in interested)
+        if not is_degraded(interested):
+            recipients.update(member["member_id"] for member in interested)
         recipients.discard(active.member_id)
         outcomes: dict[str, str] = {}
         for member_id in sorted(recipients):
@@ -200,7 +207,22 @@ class CommunityApp:
         :class:`~repro.community.filetransfer.TransferProgress`.
         """
         device_id = yield from self.client.check_member_location(member_id)
+        if is_degraded(device_id):
+            # Location broadcast never completed; hand the typed
+            # degraded result to the caller rather than guessing.
+            return device_id
         if device_id is None:
+            report = self.client.last_exchange
+            if report is not None and report.failed:
+                # Some peers never answered — the member may well be on
+                # one of them, so "not found" is not trustworthy.
+                self.client.retry_counters.record_degraded()
+                return Degraded(
+                    operation=report.operation,
+                    reason=f"member {member_id!r} not located; "
+                           f"{len(report.failed)} peers unreachable",
+                    attempts=report.attempts,
+                    failed_peers=report.failed)
             raise LookupError(f"no neighbouring device hosts {member_id!r}")
         progress = yield from self.downloader.download(
             device_id, member_id, name, self.library.daemon.env)

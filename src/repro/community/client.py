@@ -8,10 +8,19 @@ Every public operation is a process generator implementing one of the
 paper's MSCs (Figures 11-17): the request goes out on **all** pooled
 connections simultaneously, replies are gathered, and the aggregated
 result is returned.
+
+Links are *expected* to fail mid-exchange (churn is the common case in
+a mobile neighbourhood), so every exchange runs under a
+:class:`~repro.net.retry.RetryPolicy`: per-attempt reply timeouts,
+capped exponential backoff with deterministic jitter, and a virtual-
+time retry budget.  A peer whose exchanges keep failing is dropped
+from the round; an operation whose *every* peer failed returns a typed
+:class:`~repro.net.retry.Degraded` result instead of raising.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Generator
 
 from repro.community import protocol
@@ -19,7 +28,47 @@ from repro.community.connections import PeerConnectionPool
 from repro.community.profile import MailMessage, ProfileStore
 from repro.msc.trace import MscRecorder
 from repro.net.connection import Connection
+from repro.net.retry import (
+    DEFAULT_CLIENT_POLICY,
+    AttemptTimeoutError,
+    CorruptReplyError,
+    Degraded,
+    RetryCounters,
+    RetryPolicy,
+    is_degraded,
+    recv_with_timeout,
+)
 from repro.peerhood.library import PeerHoodLibrary
+from repro.simenv import Delay
+
+#: Failures that justify retrying an exchange: the link died, the
+#: attempt timed out, or the frame failed protocol validation
+#: (corruption en route).  Anything else is a bug and must surface.
+RETRYABLE_ERRORS = (ConnectionError, OSError, protocol.ProtocolError)
+
+
+@dataclass(frozen=True)
+class ExchangeReport:
+    """Outcome of one broadcast round-set, for metrics and degradation.
+
+    Attributes:
+        operation: The ``PS_*`` operation performed.
+        targets: Devices the request was addressed to.
+        replied: Devices that produced a validated reply.
+        failed: Devices that never replied despite retries.
+        attempts: Total per-device attempts consumed.
+    """
+
+    operation: str
+    targets: tuple[str, ...]
+    replied: tuple[str, ...]
+    failed: tuple[str, ...]
+    attempts: int
+
+    @property
+    def total_failure(self) -> bool:
+        """There were peers to ask, and none of them answered."""
+        return bool(self.targets) and not self.replied
 
 
 class CommunityClient:
@@ -27,13 +76,19 @@ class CommunityClient:
 
     def __init__(self, library: PeerHoodLibrary, store: ProfileStore,
                  pool: PeerConnectionPool,
-                 recorder: MscRecorder | None = None) -> None:
+                 recorder: MscRecorder | None = None,
+                 retry_policy: RetryPolicy | None = None) -> None:
         self.library = library
         self.store = store
         self.pool = pool
         self.recorder = recorder
         self.env = library.daemon.env
         self.requests_sent = 0
+        self.retry_policy = retry_policy or DEFAULT_CLIENT_POLICY
+        self.retry_counters = RetryCounters()
+        self.last_exchange: ExchangeReport | None = None
+        self._backoff_rng = self.env.random.stream(
+            f"retry:{library.device_id}")
 
     @property
     def device_id(self) -> str:
@@ -49,65 +104,142 @@ class CommunityClient:
 
     # -- broadcast machinery --------------------------------------------------
 
-    def _connections(self) -> Generator:
-        """Ensure a connection to every neighbour advertising the service.
+    def _note_failure(self, device_id: str, exc: BaseException) -> None:
+        """Classify one failed exchange and reset the peer's connection."""
+        self.pool.drop(device_id)
+        if isinstance(exc, AttemptTimeoutError):
+            self.retry_counters.timeouts += 1
+        elif isinstance(exc, (CorruptReplyError, protocol.ProtocolError)):
+            self.retry_counters.corrupt_replies += 1
+
+    def _validated_reply(self, device_id: str, payload: Any) -> dict:
+        """Check one reply; raises a retryable error when unusable."""
+        if payload is None:
+            raise ConnectionError(
+                f"connection to {device_id!r} lost mid-exchange")
+        status = protocol.response_status(payload)  # ProtocolError if corrupt
+        if status == protocol.BAD_REQUEST:
+            # Our requests are built by make_request and always well
+            # formed; BAD_REQUEST therefore means the frame corrupted
+            # en route and the exchange is worth retrying.
+            raise CorruptReplyError(
+                f"{device_id!r} rejected a corrupted request")
+        return payload
+
+    def _broadcast(self, request: dict) -> Generator:
+        """Send ``request`` to every neighbour, gather validated replies.
 
         Mirrors Figure 9: "gets the list of all nearby PeerHood Capable
         devices [and] connects to the server of all those nearby
-        devices through the service PeerHoodCommunity".
+        devices through the service PeerHoodCommunity".  Sends first
+        (simultaneously), receives second, so the elapsed virtual time
+        is the *maximum* of the per-server round trips, not their sum —
+        matching the MSCs' parallel arrows.
+
+        Peers whose exchange failed are retried in later rounds (one
+        shared backoff per round keeps the arrows parallel) until the
+        policy's attempts or budget run out; survivors' replies are
+        returned as ``[(device_id, response), ...]`` and the full
+        outcome is recorded in :attr:`last_exchange`.
         """
+        operation = str(request.get("op", "?"))
+        policy = self.retry_policy
         targets = self.library.devices_with_service(self.pool.service_name)
-        connections: list[Connection] = []
-        for device_id in targets:
-            try:
-                connection = yield from self.pool.ensure(device_id)
-            except (ConnectionError, OSError):
-                continue  # peer moved away mid-setup; skip it
-            connections.append(connection)
-        return connections
-
-    def _broadcast(self, request: dict) -> Generator:
-        """Send ``request`` on every connection, then gather replies.
-
-        Sends first (simultaneously), receives second, so the elapsed
-        virtual time is the *maximum* of the per-server round trips,
-        not their sum — matching the MSCs' parallel arrows.
-
-        Returns ``[(device_id, response), ...]``; servers whose link
-        died mid-operation are dropped.
-        """
-        connections = yield from self._connections()
-        live: list[Connection] = []
-        for connection in connections:
-            try:
-                connection.send(request)
-            except (ConnectionError, OSError):
-                self.pool.drop(connection.remote_id)
-                continue
-            self.requests_sent += 1
-            live.append(connection)
+        pending = list(targets)
         replies: list[tuple[str, dict]] = []
-        for connection in live:
-            try:
-                payload = yield connection.recv()
-            except (ConnectionError, OSError):
-                self.pool.drop(connection.remote_id)
-                continue
-            if payload is None:
-                self.pool.drop(connection.remote_id)
-                continue
-            replies.append((connection.remote_id, payload))
+        attempts = 0
+        started = self.env.now
+        for attempt in range(1, policy.max_attempts + 1):
+            if not pending:
+                break
+            if attempt > 1:
+                if not policy.within_budget(started, self.env.now):
+                    break
+                delay = policy.backoff_delay(attempt - 1, self._backoff_rng)
+                self.retry_counters.record_backoff(delay)
+                yield Delay(delay)
+            live: list[tuple[str, Connection]] = []
+            failed: list[str] = []
+            for device_id in pending:
+                self.retry_counters.record_attempt()
+                if attempt > 1:
+                    self.retry_counters.record_retry(operation)
+                attempts += 1
+                try:
+                    connection = yield from self.pool.ensure(device_id)
+                    connection.send(request)
+                except RETRYABLE_ERRORS as exc:
+                    self._note_failure(device_id, exc)
+                    failed.append(device_id)
+                    continue
+                self.requests_sent += 1
+                live.append((device_id, connection))
+            for device_id, connection in live:
+                try:
+                    payload = yield from recv_with_timeout(
+                        self.env, connection, policy.attempt_timeout_s)
+                    payload = self._validated_reply(device_id, payload)
+                except RETRYABLE_ERRORS as exc:
+                    self._note_failure(device_id, exc)
+                    failed.append(device_id)
+                    continue
+                replies.append((device_id, payload))
+            pending = failed
+        for _ in pending:
+            self.retry_counters.record_giveup()
+        self.last_exchange = ExchangeReport(
+            operation, tuple(targets),
+            tuple(device_id for device_id, _ in replies),
+            tuple(pending), attempts)
         return replies
 
+    def _degraded(self, partial: Any = None) -> Degraded:
+        """Typed degraded result for the exchange in :attr:`last_exchange`."""
+        report = self.last_exchange
+        self.retry_counters.record_degraded()
+        return Degraded(operation=report.operation,
+                        reason="no peer completed the exchange",
+                        attempts=report.attempts,
+                        failed_peers=report.failed,
+                        partial=partial)
+
     def _single(self, device_id: str, request: dict) -> Generator:
-        """One request/response exchange with one specific server."""
-        connection = yield from self.pool.ensure(device_id)
-        connection.send(request)
-        self.requests_sent += 1
-        payload = yield connection.recv()
-        if payload is None:
-            raise ConnectionError(f"connection to {device_id!r} lost")
-        return payload
+        """One request/response exchange with one specific server.
+
+        Retries under the client policy; returns the reply payload, or
+        a :class:`Degraded` result once retries are exhausted.
+        """
+        operation = str(request.get("op", "?"))
+        policy = self.retry_policy
+        started = self.env.now
+        reason = "no attempt ran"
+        attempts = 0
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                if not policy.within_budget(started, self.env.now):
+                    break
+                delay = policy.backoff_delay(attempt - 1, self._backoff_rng)
+                self.retry_counters.record_backoff(delay)
+                yield Delay(delay)
+                self.retry_counters.record_retry(operation)
+            self.retry_counters.record_attempt()
+            attempts += 1
+            try:
+                connection = yield from self.pool.ensure(device_id)
+                connection.send(request)
+                self.requests_sent += 1
+                payload = yield from recv_with_timeout(
+                    self.env, connection, policy.attempt_timeout_s)
+                payload = self._validated_reply(device_id, payload)
+            except RETRYABLE_ERRORS as exc:
+                self._note_failure(device_id, exc)
+                reason = f"{type(exc).__name__}: {exc}"
+                continue
+            return payload
+        self.retry_counters.record_giveup()
+        self.retry_counters.record_degraded()
+        return Degraded(operation=operation, reason=reason,
+                        attempts=attempts, failed_peers=(device_id,))
 
     # -- operations (Figures 11-17) ------------------------------------------
 
@@ -115,6 +247,8 @@ class CommunityClient:
         """Figure 11: list the online members across the neighbourhood."""
         request = protocol.make_request(protocol.PS_GETONLINEMEMBERLIST)
         replies = yield from self._broadcast(request)
+        if self.last_exchange.total_failure:
+            return self._degraded(partial=[])
         members: list[dict] = []
         seen: set[str] = set()
         for _, payload in replies:
@@ -137,6 +271,8 @@ class CommunityClient:
         active = self.store.active
         if active is not None:
             interests.extend(active.interests.as_list())
+        if self.last_exchange.total_failure:
+            return self._degraded(partial=interests)
         for _, payload in replies:
             if protocol.response_status(payload) == protocol.STATUS_OK:
                 for interest in payload.get("interests", []):
@@ -149,6 +285,8 @@ class CommunityClient:
         request = protocol.make_request(protocol.PS_GETINTERESTEDMEMBERLIST,
                                         interest=interest)
         replies = yield from self._broadcast(request)
+        if self.last_exchange.total_failure:
+            return self._degraded(partial=[])
         members: list[dict] = []
         seen: set[str] = set()
         for _, payload in replies:
@@ -166,6 +304,8 @@ class CommunityClient:
                                         member_id=member_id,
                                         requester=requester)
         replies = yield from self._broadcast(request)
+        if self.last_exchange.total_failure:
+            return self._degraded()
         for _, payload in replies:
             if protocol.response_status(payload) == protocol.STATUS_OK:
                 return payload["profile"]
@@ -179,6 +319,8 @@ class CommunityClient:
                                         requester=requester,
                                         comment=comment)
         replies = yield from self._broadcast(request)
+        if self.last_exchange.total_failure:
+            return self._degraded()
         for _, payload in replies:
             if protocol.response_status(payload) == protocol.SUCCESSFULLY_WRITTEN:
                 return True
@@ -189,6 +331,8 @@ class CommunityClient:
         request = protocol.make_request(protocol.PS_GETTRUSTEDFRIEND,
                                         member_id=member_id)
         replies = yield from self._broadcast(request)
+        if self.last_exchange.total_failure:
+            return self._degraded()
         for _, payload in replies:
             if protocol.response_status(payload) == protocol.STATUS_OK:
                 return payload.get("trusted", [])
@@ -206,6 +350,8 @@ class CommunityClient:
                                       member_id=member_id,
                                       requester=requester)
         replies = yield from self._broadcast(check)
+        if self.last_exchange.total_failure:
+            return self._degraded()
         holder: str | None = None
         for device_id, payload in replies:
             status = protocol.response_status(payload)
@@ -219,6 +365,8 @@ class CommunityClient:
                                       member_id=member_id,
                                       requester=requester)
         payload = yield from self._single(holder, fetch)
+        if is_degraded(payload):
+            return payload
         if protocol.response_status(payload) == protocol.STATUS_OK:
             return payload.get("files", [])
         return protocol.response_status(payload)
@@ -235,6 +383,8 @@ class CommunityClient:
                                         receiver=member_id, sender=sender,
                                         subject=subject, body=body)
         replies = yield from self._broadcast(request)
+        if self.last_exchange.total_failure:
+            return self._degraded()
         outcome = protocol.NO_MEMBERS_YET
         for _, payload in replies:
             status = protocol.response_status(payload)
@@ -258,6 +408,8 @@ class CommunityClient:
                                         member_id=member_id,
                                         requester=requester)
         replies = yield from self._broadcast(request)
+        if self.last_exchange.total_failure:
+            return self._degraded()
         for _, payload in replies:
             if protocol.response_status(payload) == protocol.SUCCESSFULLY_WRITTEN:
                 return True
@@ -268,6 +420,8 @@ class CommunityClient:
         request = protocol.make_request(protocol.PS_CHECKMEMBERID,
                                         member_id=member_id)
         replies = yield from self._broadcast(request)
+        if self.last_exchange.total_failure:
+            return self._degraded()
         for device_id, payload in replies:
             if (protocol.response_status(payload) == protocol.STATUS_OK
                     and payload.get("match")):

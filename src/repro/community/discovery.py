@@ -62,7 +62,8 @@ class DynamicGroupEngine:
     def __init__(self, library: PeerHoodLibrary, store: ProfileStore,
                  pool: PeerConnectionPool,
                  matcher: ExactMatcher | SemanticMatcher | None = None,
-                 *, retry_interval: float = 15.0, max_retries: int = 3) -> None:
+                 *, retry_interval: float = 15.0, max_retries: int = 3,
+                 reconcile_interval: float = 30.0) -> None:
         self.library = library
         self.store = store
         self.pool = pool
@@ -73,6 +74,8 @@ class DynamicGroupEngine:
         self.probe_log: list[ProbeRecord] = []
         self.retry_interval = retry_interval
         self.max_retries = max_retries
+        self.reconcile_interval = reconcile_interval
+        self.reconcile_probes = 0
         self._probing: set[str] = set()
         self._started = False
 
@@ -88,6 +91,9 @@ class DynamicGroupEngine:
         for neighbor in daemon.device_listing():
             if neighbor.services_fresh:
                 self._handle_services_updated(neighbor.device_id)
+        if self.reconcile_interval > 0:
+            self.env.spawn(self._reconcile_loop(),
+                           name=f"dgd:{self.library.device_id}:reconcile")
 
     # -- event handlers -------------------------------------------------------
 
@@ -128,12 +134,31 @@ class DynamicGroupEngine:
             connection.send(request)
             payload = yield connection.recv()
         except (ConnectionError, OSError):
+            # Transient link failure: the peer is probably still there
+            # (churn, flap).  Retry like the nobody-logged-in case
+            # instead of silently forgetting the device.
+            self.pool.drop(device_id)
             self._probing.discard(device_id)
+            if attempt < self.max_retries:
+                self.env.call_in(self.retry_interval,
+                                 self._retry_probe, device_id, attempt + 1)
             return None
         if payload is None:
             self._probing.discard(device_id)
+            if attempt < self.max_retries:
+                self.env.call_in(self.retry_interval,
+                                 self._retry_probe, device_id, attempt + 1)
             return None
-        status = protocol.response_status(payload)
+        try:
+            status = protocol.response_status(payload)
+        except protocol.ProtocolError:
+            # Corrupted-in-flight reply; same treatment as a lost one.
+            self.pool.drop(device_id)
+            self._probing.discard(device_id)
+            if attempt < self.max_retries:
+                self.env.call_in(self.retry_interval,
+                                 self._retry_probe, device_id, attempt + 1)
+            return None
         if status == protocol.NO_MEMBERS_YET:
             # Nobody logged in over there yet; retry a few times.
             self._probing.discard(device_id)
@@ -143,6 +168,11 @@ class DynamicGroupEngine:
             return None
         if status != protocol.STATUS_OK:
             self._probing.discard(device_id)
+            if status == protocol.BAD_REQUEST and attempt < self.max_retries:
+                # Our request corrupted en route; the probe is worth
+                # repeating — the peer itself is fine.
+                self.env.call_in(self.retry_interval,
+                                 self._retry_probe, device_id, attempt + 1)
             return None
         member_id = payload["member_id"]
         interests = list(payload.get("interests", []))
@@ -154,6 +184,41 @@ class DynamicGroupEngine:
             matched=tuple(matched)))
         self._probing.discard(device_id)
         return matched
+
+    def reconcile(self) -> int:
+        """Probe service-advertising neighbours missing from the directory.
+
+        Anti-entropy pass for the fault-injected world: a probe chain
+        that exhausted its retries during a bad patch leaves a visible
+        neighbour with no directory entry — and no event will ever
+        re-probe it, because ``services_updated`` fires once per
+        (re)discovery.  Returns the number of probes started.
+        """
+        started = 0
+        for neighbor in self.library.daemon.device_listing():
+            device_id = neighbor.device_id
+            if device_id in self.directory or device_id in self._probing:
+                continue
+            services = self.library.get_service_listing(device_id)
+            if not any(service.name == self.pool.service_name
+                       for service in services):
+                continue
+            self._probing.add(device_id)
+            self.reconcile_probes += 1
+            started += 1
+            self.env.spawn(
+                self._probe(device_id, attempt=0),
+                name=f"dgd:{self.library.device_id}:reconcile:{device_id}")
+        return started
+
+    def _reconcile_loop(self) -> Generator:
+        from repro.simenv import Delay
+        while self._started and self.library.daemon.running:
+            yield Delay(self.reconcile_interval)
+            if not self._started or not self.library.daemon.running:
+                break
+            self.reconcile()
+        return None
 
     def _retry_probe(self, device_id: str, attempt: int) -> None:
         if device_id in self._probing or device_id in self.directory:

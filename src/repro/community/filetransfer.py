@@ -28,6 +28,15 @@ from typing import Generator
 from repro.community import protocol
 from repro.community.connections import PeerConnectionPool
 from repro.community.profile import ProfileStore
+from repro.net.retry import (
+    DEFAULT_TRANSFER_POLICY,
+    AttemptTimeoutError,
+    CorruptReplyError,
+    RetryCounters,
+    RetryPolicy,
+    recv_with_timeout,
+)
+from repro.simenv import Delay
 
 #: Added to the protocol vocabulary at import time (kept separate from
 #: Table 6 because the paper's table does not include it).
@@ -59,6 +68,11 @@ class TransferProgress:
     started_at: float = 0.0
     finished_at: float | None = None
     failed: str | None = None
+    #: Chunk attempts beyond the first (link died / reply corrupt).
+    retries: int = 0
+    #: Times the transfer re-attached after a broken connection and
+    #: continued from the current offset instead of starting over.
+    resumes: int = 0
 
     @property
     def complete(self) -> bool:
@@ -110,44 +124,86 @@ class FileDownloader:
     """Client-side chunked download driver."""
 
     def __init__(self, store: ProfileStore, pool: PeerConnectionPool,
-                 chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> None:
+                 chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+                 retry_policy: RetryPolicy | None = None) -> None:
         if chunk_bytes <= 0:
             raise ValueError(f"chunk_bytes must be positive, got {chunk_bytes!r}")
         self.store = store
         self.pool = pool
         self.chunk_bytes = chunk_bytes
+        self.retry_policy = retry_policy or DEFAULT_TRANSFER_POLICY
+        self.retry_counters = RetryCounters()
         self.history: list[TransferProgress] = []
+
+    def _fetch_chunk(self, device_id: str, request: dict, env) -> Generator:
+        """One chunk attempt: ensure, send, receive, validate.
+
+        Raises a retryable error (``ConnectionError``/``OSError``/
+        ``ProtocolError``) when the exchange must be redone.
+        """
+        connection = yield from self.pool.ensure(device_id)
+        connection.send(request)
+        reply = yield from recv_with_timeout(
+            env, connection, self.retry_policy.attempt_timeout_s)
+        if reply is None:
+            raise ConnectionError("connection closed mid-transfer")
+        status = protocol.response_status(reply)  # ProtocolError if corrupt
+        if status == protocol.BAD_REQUEST:
+            raise CorruptReplyError("chunk request corrupted en route")
+        return reply
 
     def download(self, device_id: str, member_id: str, name: str,
                  env) -> Generator:
         """Process generator fetching one shared file chunk by chunk.
 
-        Returns the final :class:`TransferProgress`; inspect
+        A broken link does not abort the transfer: the downloader backs
+        off (capped exponential, deterministic jitter), re-attaches and
+        *resumes from the current offset* — the server side is
+        stateless, so only the in-flight chunk is re-fetched.  Only an
+        exhausted retry budget or a non-OK protocol status fails the
+        transfer.  Returns the final :class:`TransferProgress`; inspect
         ``progress.complete`` / ``progress.failed``.
         """
         active = self.store.active
         if active is None:
             raise PermissionError("no member logged in")
+        policy = self.retry_policy
+        rng = env.random.stream(f"retry:transfer:{self.pool.library.device_id}")
         progress = TransferProgress(name=name, started_at=env.now)
         self.history.append(progress)
         offset = 0
+        failures = 0  # consecutive failed attempts on the current chunk
+        started = env.now
         while True:
             request = protocol.make_request(
                 PS_GETFILECHUNK, member_id=member_id,
                 requester=active.member_id, name=name,
                 offset=offset, length=self.chunk_bytes)
+            self.retry_counters.record_attempt()
             try:
-                connection = yield from self.pool.ensure(device_id)
-                connection.send(request)
-                reply = yield connection.recv()
-            except (ConnectionError, OSError) as exc:
-                progress.failed = f"connection lost: {exc}"
-                progress.finished_at = env.now
-                return progress
-            if reply is None:
-                progress.failed = "connection closed mid-transfer"
-                progress.finished_at = env.now
-                return progress
+                reply = yield from self._fetch_chunk(device_id, request, env)
+            except (ConnectionError, OSError, protocol.ProtocolError) as exc:
+                self.pool.drop(device_id)
+                if isinstance(exc, AttemptTimeoutError):
+                    self.retry_counters.timeouts += 1
+                elif isinstance(exc, (CorruptReplyError, protocol.ProtocolError)):
+                    self.retry_counters.corrupt_replies += 1
+                failures += 1
+                out_of_budget = not policy.within_budget(started, env.now)
+                if failures >= policy.max_attempts or out_of_budget:
+                    self.retry_counters.record_giveup()
+                    progress.failed = f"connection lost: {exc}"
+                    progress.finished_at = env.now
+                    return progress
+                delay = policy.backoff_delay(failures, rng)
+                self.retry_counters.record_backoff(delay)
+                self.retry_counters.record_retry(PS_GETFILECHUNK)
+                yield Delay(delay)
+                progress.retries += 1
+                if offset > 0:
+                    progress.resumes += 1
+                continue
+            failures = 0
             status = protocol.response_status(reply)
             if status != protocol.STATUS_OK:
                 progress.failed = status

@@ -20,6 +20,7 @@ from typing import Generator
 
 from repro.community import protocol
 from repro.community.app import CommunityApp
+from repro.net.retry import is_degraded
 
 
 @dataclass(frozen=True)
@@ -63,10 +64,16 @@ class OfflineOutbox:
     def send_or_queue(self, member_id: str, subject: str,
                       body: str) -> Generator:
         """Try to send now; queue for later delivery when the member is
-        not around.  Returns ``"QUEUED"`` or the live send status."""
+        not around.  Returns ``"QUEUED"`` or the live send status.
+
+        A degraded send (every neighbour's link failed despite retries)
+        queues too: from the sender's perspective the member is as good
+        as absent, and the flush-on-reappearance machinery is exactly
+        the right recovery path.
+        """
         status = yield from self.app.client.send_message(member_id, subject,
                                                          body)
-        if status == protocol.NO_MEMBERS_YET:
+        if status == protocol.NO_MEMBERS_YET or is_degraded(status):
             self.pending.append(QueuedMessage(member_id, subject, body,
                                               self.env.now))
             return "QUEUED"

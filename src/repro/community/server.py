@@ -47,6 +47,11 @@ class CommunityServer:
         self.trust_policy = trust_policy
         self.env = library.daemon.env
         self.requests_served = 0
+        #: Requests that failed protocol validation (malformed or
+        #: corrupted-in-flight frames answered with ``BAD_REQUEST``).
+        self.bad_requests = 0
+        #: Replies we could not deliver because the link died first.
+        self.send_failures = 0
         self.file_service = FileTransferService(store)
         self._started = False
 
@@ -86,6 +91,7 @@ class CommunityServer:
             try:
                 op, params = protocol.parse_request(payload)
             except protocol.ProtocolError:
+                self.bad_requests += 1
                 response = protocol.make_response(protocol.BAD_REQUEST)
             else:
                 try:
@@ -94,12 +100,16 @@ class CommunityServer:
                     # Required fields present but of the wrong shape
                     # (e.g. a list where a string belongs).  A remote
                     # peer must never be able to crash the server.
+                    self.bad_requests += 1
                     response = protocol.make_response(protocol.BAD_REQUEST)
                 self.requests_served += 1
             self._trace_out(connection, response)
             try:
                 connection.send(response)
             except (ConnectionError, OSError):
+                # The client's retry loop re-sends on a fresh
+                # connection; the dead one is already deregistered.
+                self.send_failures += 1
                 return None
         return None
 

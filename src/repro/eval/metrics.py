@@ -11,9 +11,17 @@ probe log.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
 
 from repro.community.discovery import DynamicGroupEngine
 from repro.community.groups import Group
+from repro.net.retry import RetryCounters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.community.app import CommunityApp
+    from repro.eval.testbed import Testbed
+    from repro.net.faults import FaultInjector
+    from repro.peerhood.daemon import PeerHoodDaemon
 
 
 @dataclass(frozen=True)
@@ -105,3 +113,55 @@ def summarize_engine(engine: DynamicGroupEngine,
         "groups": {name: churn_stats(engine.groups.get(name), now)
                    for name in engine.groups.names()},
     }
+
+
+# -- fault / retry accounting -------------------------------------------------
+
+def fault_retry_summary(apps: Iterable["CommunityApp"], *,
+                        injector: "FaultInjector | None" = None,
+                        daemons: Iterable["PeerHoodDaemon"] = ()) -> dict:
+    """Aggregate fault-injection and retry activity across a run.
+
+    Folds every community app's client and downloader
+    :class:`~repro.net.retry.RetryCounters` into one neighbourhood-wide
+    tally, adds server-side rejection counts, the daemons' flap-recovery
+    work and (when an injector is given) the injected-fault totals.
+    The result is a plain nested dict, JSON-ready for chaos reports.
+    """
+    client = RetryCounters()
+    transfer = RetryCounters()
+    bad_requests = 0
+    send_failures = 0
+    for app in apps:
+        client.merge(app.client.retry_counters)
+        transfer.merge(app.downloader.retry_counters)
+        bad_requests += app.server.bad_requests
+        send_failures += app.server.send_failures
+    rediscovery_probes = 0
+    stale_dropped = 0
+    for daemon in daemons:
+        rediscovery_probes += daemon.rediscovery_probes
+        stale_dropped += daemon.stale_connections_dropped
+    summary = {
+        "client": client.as_dict(),
+        "transfer": transfer.as_dict(),
+        "server": {
+            "bad_requests": bad_requests,
+            "send_failures": send_failures,
+        },
+        "daemon": {
+            "rediscovery_probes": rediscovery_probes,
+            "stale_connections_dropped": stale_dropped,
+        },
+    }
+    if injector is not None:
+        summary["faults"] = injector.counters.as_dict()
+    return summary
+
+
+def summarize_testbed_faults(bed: "Testbed") -> dict:
+    """:func:`fault_retry_summary` over everything a testbed holds."""
+    return fault_retry_summary(
+        (member.app for member in bed.members.values()),
+        injector=bed.faults,
+        daemons=(handle.daemon for handle in bed.devices.values()))

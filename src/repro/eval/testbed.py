@@ -17,6 +17,8 @@ from repro.mobility.geometry import Point, Rect
 from repro.mobility.models import MobilityModel
 from repro.mobility.world import World
 from repro.msc.trace import MscRecorder
+from repro.net.faults import FaultConfig, FaultInjector
+from repro.net.retry import RetryPolicy
 from repro.net.stack import NetworkStack, StackRegistry
 from repro.peerhood.daemon import PeerHoodDaemon
 from repro.peerhood.library import PeerHoodLibrary
@@ -102,9 +104,35 @@ class Testbed:
         self.semantic = semantic
         self.devices: dict[str, DeviceHandle] = {}
         self.members: dict[str, MemberHandle] = {}
+        self.faults: FaultInjector | None = None
         self._placement_index = 0
         if "gprs" in technologies:
             self.medium.register_gateway("gprs")
+
+    # -- fault injection ------------------------------------------------------
+
+    def enable_faults(self, config: FaultConfig | None = None, *,
+                      stream: str = "faults") -> FaultInjector:
+        """Install a seeded :class:`FaultInjector` on the shared medium.
+
+        Idempotent per testbed: a second call reconfigures the existing
+        injector (keeping its counters and RNG position) instead of
+        replacing it, so a chaos run can ramp rates mid-flight.
+        """
+        if self.faults is None:
+            self.faults = FaultInjector(self.env, self.medium, config,
+                                        stream=stream)
+            self.faults.install()
+        else:
+            if config is not None:
+                self.faults.config = config
+            self.faults.enabled = True
+        return self.faults
+
+    def disable_faults(self) -> None:
+        """Suspend injection (counters survive for the final report)."""
+        if self.faults is not None:
+            self.faults.enabled = False
 
     # -- building ----------------------------------------------------------
 
@@ -163,7 +191,8 @@ class Testbed:
                    model: MobilityModel | None = None,
                    technologies: tuple[str, ...] | None = None,
                    full_name: str = "", password: str = "pw",
-                   auto_login: bool = True) -> MemberHandle:
+                   auto_login: bool = True,
+                   retry_policy: RetryPolicy | None = None) -> MemberHandle:
         """Add a device running PeerHood Community with one profile.
 
         The member id, username and device id all equal ``name`` —
@@ -172,7 +201,8 @@ class Testbed:
         device = self.add_device(name, position=position, model=model,
                                  technologies=technologies)
         app = CommunityApp(device.library, self.recorder,
-                           semantic=self.semantic)
+                           semantic=self.semantic,
+                           retry_policy=retry_policy)
         app.create_profile(member_id=name, username=name, password=password,
                            full_name=full_name or name.capitalize(),
                            interests=interests)

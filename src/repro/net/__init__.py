@@ -6,10 +6,33 @@ This sits between the radio medium and PeerHood.  A
 :class:`~repro.net.connection.Connection` moves length-prefixed frames
 with latency derived from the technology's bandwidth, plus the gateway
 relay hop for GPRS.
+
+Resilience lives here too: :mod:`repro.net.faults` injects
+deterministic link failures (setup failures, mid-stream drops,
+corruption, latency spikes, device flaps) and :mod:`repro.net.retry`
+provides the retry/timeout/backoff vocabulary the protocol layers use
+to survive them.
 """
 
 from repro.net.connection import Connection, ConnectionClosedError
+from repro.net.faults import (
+    FaultConfig,
+    FaultCounters,
+    FaultInjector,
+    InjectedFaultError,
+    SendFault,
+)
 from repro.net.messages import FrameError, deserialize, frame_size, serialize
+from repro.net.retry import (
+    AttemptTimeoutError,
+    CorruptReplyError,
+    Degraded,
+    RetryCounters,
+    RetryPolicy,
+    is_degraded,
+    recv_with_timeout,
+    wait_process_with_timeout,
+)
 from repro.net.stack import (
     ListenerExistsError,
     NetworkStack,
@@ -18,14 +41,27 @@ from repro.net.stack import (
 )
 
 __all__ = [
+    "AttemptTimeoutError",
     "Connection",
     "ConnectionClosedError",
+    "CorruptReplyError",
+    "Degraded",
+    "FaultConfig",
+    "FaultCounters",
+    "FaultInjector",
     "FrameError",
+    "InjectedFaultError",
     "ListenerExistsError",
     "NetworkStack",
     "NoListenerError",
+    "RetryCounters",
+    "RetryPolicy",
+    "SendFault",
     "StackRegistry",
     "deserialize",
     "frame_size",
+    "is_degraded",
+    "recv_with_timeout",
     "serialize",
+    "wait_process_with_timeout",
 ]

@@ -22,6 +22,7 @@ from repro.radio.technology import Technology
 from repro.simenv import Environment, Signal, WaitSignal
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.stack import NetworkStack
     from repro.radio.gprs import GprsGateway
 
 
@@ -42,6 +43,7 @@ class Connection:
         self.technology = technology
         self.gateway = gateway
         self.peer: "Connection | None" = None  # wired by NetworkStack
+        self.owner: "NetworkStack | None" = None  # wired by NetworkStack
         self.closed = False
         self.bytes_sent = 0
         self.messages_sent = 0
@@ -70,17 +72,32 @@ class Connection:
             raise NotReachableError(
                 f"link {self.local_id}->{self.remote_id} over "
                 f"{self.technology.name} is down")
+        faults = self.medium.faults
+        fault = faults.on_send(self) if faults is not None else None
+        if fault is not None and fault.drop:
+            if fault.flap_device is not None:
+                faults.flap(fault.flap_device)
+            faults.note_drop()
+            self._break()
+            raise NotReachableError(
+                f"link {self.local_id}->{self.remote_id} over "
+                f"{self.technology.name} dropped mid-stream (injected)")
         frame = serialize(payload)
         attempts = self._transmission_attempts()
         transfer = self.technology.transfer_time(len(frame)) * attempts
         if self.technology.needs_gateway and self.gateway is not None:
             transfer += self.gateway.relay_time(len(frame))
+        if fault is not None and fault.latency_factor != 1.0:
+            faults.note_spike()
+            transfer *= fault.latency_factor
         self.retransmissions += attempts - 1
         self.medium.record_transfer(self.local_id, self.technology.name,
                                     len(frame))
         self.bytes_sent += len(frame)
         self.messages_sent += 1
         decoded = deserialize(frame)
+        if fault is not None and fault.corrupt:
+            decoded = faults.corrupt_payload(decoded)
         # Ordered delivery (the L2CAP contract): a frame cannot start
         # transmitting before the previous frame finished, so messages
         # on one connection never reorder regardless of size.
@@ -138,6 +155,8 @@ class Connection:
         if self.closed:
             return
         self.closed = True
+        if self.owner is not None:
+            self.owner._forget(self)
         if self.peer is not None and not self.peer.closed:
             self.peer.close()
         self._flush_waiters_with_error()

@@ -1,0 +1,291 @@
+"""Deterministic fault injection for the simulated network.
+
+The evaluation environment of the paper assumes clean links; this
+module makes the opposite assumption injectable.  A
+:class:`FaultInjector` installs itself on the shared
+:class:`~repro.radio.medium.Medium` and is consulted from the two
+choke points every exchange passes through:
+
+* :meth:`~repro.net.stack.NetworkStack.connect` — connection-setup
+  failures (the peer "moved away" exactly as setup completed);
+* :meth:`~repro.net.connection.Connection.send` — mid-stream drops
+  (the link breaks under an open ``PS_*`` exchange), payload
+  corruption (delivered frames that fail protocol validation), latency
+  spikes, and device *flaps* (every adapter of one endpoint goes down
+  for a while, then returns — discovery loses and must re-find it).
+
+All draws come from one named stream of the environment's seeded RNG,
+so a fault schedule is a pure function of ``(root seed, stream name)``:
+chaos runs replay byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Generator, Iterable
+
+from repro.radio.medium import Medium, NotReachableError
+from repro.simenv import Delay, Environment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.connection import Connection
+
+
+class InjectedFaultError(NotReachableError):
+    """A fault-injected link failure (subclass of the organic error).
+
+    Protocol layers treat it exactly like a real
+    :class:`~repro.radio.medium.NotReachableError`; the distinct type
+    exists so tests and metrics can tell injected faults from organic
+    ones.
+    """
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-event fault probabilities and magnitudes.
+
+    All rates are per *event* (per connection attempt, per frame sent),
+    not per second, which keeps them meaningful independently of
+    traffic volume.
+    """
+
+    connect_failure_rate: float = 0.0
+    drop_rate: float = 0.0
+    corruption_rate: float = 0.0
+    latency_spike_rate: float = 0.0
+    latency_spike_factor: float = 10.0
+    flap_rate: float = 0.0
+    flap_down_s: float = 8.0
+
+    def __post_init__(self) -> None:
+        for name in ("connect_failure_rate", "drop_rate", "corruption_rate",
+                     "latency_spike_rate", "flap_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        if self.latency_spike_factor < 1.0:
+            raise ValueError("latency_spike_factor must be >= 1")
+        if self.flap_down_s < 0.0:
+            raise ValueError("flap_down_s must be non-negative")
+
+    @classmethod
+    def chaos(cls, level: float = 0.2) -> "FaultConfig":
+        """A balanced chaos profile scaled by ``level`` (drop rate).
+
+        ``level`` is the mid-stream drop probability; the other faults
+        scale with it at fixed ratios that keep runs lively without
+        making every exchange fail.
+        """
+        return cls(connect_failure_rate=level / 2.0,
+                   drop_rate=level,
+                   corruption_rate=level / 4.0,
+                   latency_spike_rate=level / 2.0,
+                   flap_rate=level / 10.0)
+
+    def scaled(self, factor: float) -> "FaultConfig":
+        """A copy with every probability multiplied by ``factor``."""
+        return replace(
+            self,
+            connect_failure_rate=min(1.0, self.connect_failure_rate * factor),
+            drop_rate=min(1.0, self.drop_rate * factor),
+            corruption_rate=min(1.0, self.corruption_rate * factor),
+            latency_spike_rate=min(1.0, self.latency_spike_rate * factor),
+            flap_rate=min(1.0, self.flap_rate * factor))
+
+
+@dataclass
+class FaultCounters:
+    """Tally of every fault the injector actually fired."""
+
+    connect_failures: int = 0
+    drops: int = 0
+    corruptions: int = 0
+    latency_spikes: int = 0
+    flaps: int = 0
+    flapped_devices: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        """All injected faults."""
+        return (self.connect_failures + self.drops + self.corruptions
+                + self.latency_spikes + self.flaps)
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot for reports."""
+        return {
+            "connect_failures": self.connect_failures,
+            "drops": self.drops,
+            "corruptions": self.corruptions,
+            "latency_spikes": self.latency_spikes,
+            "flaps": self.flaps,
+            "total": self.total,
+            "flapped_devices": dict(self.flapped_devices),
+        }
+
+
+@dataclass(frozen=True)
+class SendFault:
+    """Decision the injector makes about one outbound frame."""
+
+    drop: bool = False
+    corrupt: bool = False
+    latency_factor: float = 1.0
+    flap_device: str | None = None
+
+
+#: The no-op decision, shared to avoid per-send allocation when clean.
+CLEAN_SEND = SendFault()
+
+
+class FaultInjector:
+    """Seeded fault source installed on a :class:`Medium`.
+
+    Usage::
+
+        injector = FaultInjector(env, medium, FaultConfig.chaos(0.2))
+        injector.install()
+        ... run the workload ...
+        injector.uninstall()
+        report = injector.counters.as_dict()
+
+    The injector starts enabled; toggle :attr:`enabled` to suspend
+    injection (e.g. to let a chaos run converge fault-free at the end)
+    without losing counters or RNG position.
+    """
+
+    def __init__(self, env: Environment, medium: Medium,
+                 config: FaultConfig | None = None, *,
+                 stream: str = "faults") -> None:
+        self.env = env
+        self.medium = medium
+        self.config = config or FaultConfig()
+        self.rng = env.random.stream(stream)
+        self.counters = FaultCounters()
+        self.enabled = True
+        #: Devices currently flapped down (guards double-flap).
+        self._down: set[str] = set()
+
+    # -- installation -------------------------------------------------------
+
+    def install(self) -> "FaultInjector":
+        """Attach to the medium so stacks and connections consult us."""
+        self.medium.faults = self
+        return self
+
+    def uninstall(self) -> None:
+        """Detach from the medium (counters are kept)."""
+        if self.medium.faults is self:
+            self.medium.faults = None
+
+    # -- hook: connection setup ---------------------------------------------
+
+    def fail_connect(self, local_id: str, remote_id: str,
+                     technology_name: str) -> None:
+        """Raise :class:`InjectedFaultError` when setup should fail."""
+        if not self.enabled:
+            return
+        if self.rng.random() < self.config.connect_failure_rate:
+            self.counters.connect_failures += 1
+            raise InjectedFaultError(
+                f"injected setup failure {local_id!r}->{remote_id!r} "
+                f"over {technology_name}")
+
+    # -- hook: per-frame ----------------------------------------------------
+
+    def on_send(self, connection: "Connection") -> SendFault:
+        """Decide the fate of one outbound frame."""
+        if not self.enabled:
+            return CLEAN_SEND
+        config = self.config
+        if config.flap_rate > 0.0 and self.rng.random() < config.flap_rate:
+            # The remote endpoint flaps mid-exchange: the frame is lost
+            # *and* the device disappears from the neighbourhood.
+            return SendFault(drop=True, flap_device=connection.remote_id)
+        if config.drop_rate > 0.0 and self.rng.random() < config.drop_rate:
+            return SendFault(drop=True)
+        corrupt = (config.corruption_rate > 0.0
+                   and self.rng.random() < config.corruption_rate)
+        factor = 1.0
+        if (config.latency_spike_rate > 0.0
+                and self.rng.random() < config.latency_spike_rate):
+            factor = config.latency_spike_factor
+        if not corrupt and factor == 1.0:
+            return CLEAN_SEND
+        return SendFault(corrupt=corrupt, latency_factor=factor)
+
+    def note_drop(self) -> None:
+        """Account one injected mid-stream drop."""
+        self.counters.drops += 1
+
+    def note_spike(self) -> None:
+        """Account one injected latency spike."""
+        self.counters.latency_spikes += 1
+
+    def corrupt_payload(self, payload: object) -> dict:
+        """Replace a payload with deterministic garbage.
+
+        The garbage is a dict that fails *every* protocol validator
+        (no ``op``, no ``status``) so both request and response paths
+        surface it as a typed :class:`ProtocolError`/``BAD_REQUEST``,
+        never an ``IndexError``/``KeyError`` deep in a handler.
+        """
+        self.counters.corruptions += 1
+        noise = self.rng.getrandbits(64)
+        return {"x-corrupt": f"{noise:016x}"}
+
+    # -- device flaps --------------------------------------------------------
+
+    def flap(self, device_id: str, down_s: float | None = None) -> bool:
+        """Take every adapter of ``device_id`` down, restore later.
+
+        Returns ``False`` (without counting) when the device is already
+        mid-flap.  Restoration is scheduled on the environment, so the
+        flap is itself a deterministic simulated event.
+        """
+        if device_id in self._down:
+            return False
+        adapters = self.medium.adapters_of(device_id)
+        if not adapters:
+            return False
+        self._down.add(device_id)
+        self.counters.flaps += 1
+        self.counters.flapped_devices[device_id] = (
+            self.counters.flapped_devices.get(device_id, 0) + 1)
+        was_enabled = [adapter for adapter in adapters if adapter.enabled]
+        for adapter in was_enabled:
+            adapter.enabled = False
+        self.env.call_in(self.config.flap_down_s if down_s is None else down_s,
+                         self._restore, device_id, was_enabled)
+        return True
+
+    def _restore(self, device_id: str, adapters: list) -> None:
+        for adapter in adapters:
+            adapter.enabled = True
+        self._down.discard(device_id)
+
+    def flapping(self, device_id: str) -> bool:
+        """Whether the device is currently mid-flap."""
+        return device_id in self._down
+
+    # -- background chaos ----------------------------------------------------
+
+    def chaos_flapper(self, device_ids: Iterable[str], *,
+                      mean_interval_s: float = 30.0,
+                      stop_at: float | None = None) -> Generator:
+        """Process generator flapping random devices at random times.
+
+        Spawn with ``env.spawn(injector.chaos_flapper([...]))``.  Flap
+        victims and intervals come from the injector's stream, so the
+        schedule is fixed by the seed.  Stops at virtual time
+        ``stop_at`` (or runs while the injector stays enabled).
+        """
+        victims = sorted(device_ids)
+        if not victims:
+            return None
+        while self.enabled and (stop_at is None or self.env.now < stop_at):
+            yield Delay(self.rng.expovariate(1.0 / mean_interval_s))
+            if not self.enabled:
+                break
+            self.flap(self.rng.choice(victims))
+        return None

@@ -43,6 +43,7 @@ class NetworkStack:
         self.registry = registry
         registry._add(device_id, self)
         self._listeners: dict[str, Callable[[Connection], None]] = {}
+        self._open: set[Connection] = set()
 
     # -- server side -------------------------------------------------------
 
@@ -89,6 +90,11 @@ class NetworkStack:
         if not self.medium.reachable(self.device_id, remote_id, technology.name):
             raise NotReachableError(
                 f"{remote_id!r} moved out of {technology.name} range during setup")
+        if self.medium.faults is not None:
+            # May raise InjectedFaultError: setup completed but the
+            # link failed before becoming usable.
+            self.medium.faults.fail_connect(self.device_id, remote_id,
+                                            technology.name)
         remote_stack = self.registry.stack_of(remote_id)
         if remote_stack is None or port not in remote_stack._listeners:
             raise NoListenerError(f"{remote_id!r} has no listener on {port!r}")
@@ -98,8 +104,43 @@ class NetworkStack:
                             technology, gateway)
         local.peer = remote
         remote.peer = local
+        local.owner = self
+        remote.owner = remote_stack
+        self._open.add(local)
+        remote_stack._open.add(remote)
         remote_stack._listeners[port](remote)
         return local
+
+    # -- open-connection registry -------------------------------------------
+
+    def open_connections(self, remote_id: str | None = None) -> list[Connection]:
+        """Live connection halves owned by this stack, optionally
+        restricted to one peer.  Deterministically ordered."""
+        halves = [connection for connection in self._open
+                  if remote_id is None or connection.remote_id == remote_id]
+        return sorted(halves, key=lambda c: (c.remote_id, id(c)))
+
+    def open_connection_count(self, remote_id: str | None = None) -> int:
+        """Number of live halves (to one peer, or in total)."""
+        return len(self.open_connections(remote_id))
+
+    def drop_peer(self, remote_id: str) -> int:
+        """Close every open connection to ``remote_id``.
+
+        Called when discovery loses a device: closing the halves wakes
+        any process blocked in ``recv`` (it resumes with ``None``) and
+        removes the registry entries, so an abrupt disconnect cannot
+        leak serving processes or connection state.  Returns the number
+        of connections closed.
+        """
+        stale = self.open_connections(remote_id)
+        for connection in stale:
+            connection.close()
+        return len(stale)
+
+    def _forget(self, connection: Connection) -> None:
+        """Deregister a closed connection (called by Connection.close)."""
+        self._open.discard(connection)
 
 
 class StackRegistry:
@@ -118,5 +159,12 @@ class StackRegistry:
         return self._stacks.get(device_id)
 
     def remove(self, device_id: str) -> None:
-        """Drop a device's stack (device left the simulation)."""
-        self._stacks.pop(device_id, None)
+        """Drop a device's stack (device left the simulation).
+
+        Closes the stack's open connections first so peers observe the
+        departure instead of waiting on a vanished device forever.
+        """
+        stack = self._stacks.pop(device_id, None)
+        if stack is not None:
+            for connection in stack.open_connections():
+                connection.close()

@@ -29,7 +29,7 @@ from repro.peerhood.device import NeighborDevice, ServiceInfo
 from repro.peerhood.errors import ServiceExistsError
 from repro.peerhood.plugins.base import Plugin
 from repro.radio.medium import Medium, NotReachableError
-from repro.simenv import Environment
+from repro.simenv import Delay, Environment
 
 #: Control port every daemon listens on, on every technology.
 PHD_PORT = "_phd"
@@ -61,6 +61,11 @@ class PeerHoodDaemon:
         self._services_callbacks: list[Callable[[str], None]] = []
         self._running = False
         self._loop_processes = []
+        #: Out-of-cycle scans run after a device disappeared (flap
+        #: recovery); devices being probed right now.
+        self.rediscovery_probes = 0
+        self.stale_connections_dropped = 0
+        self._rediscovering: set[str] = set()
         stack.listen(PHD_PORT, self._accept_control)
 
     # -- lifecycle ----------------------------------------------------------
@@ -208,25 +213,75 @@ class PeerHoodDaemon:
             self.env.spawn(self._query_services(device_id),
                            name=f"phd:{self.device_id}:svcq:{device_id}")
         for device_id in lost_devices:
+            # An abrupt disappearance (flap, walk-away) must not leave
+            # half-open connections behind: closing them wakes every
+            # process blocked on recv (it resumes with None) and clears
+            # the stack's registry entries.
+            self.stale_connections_dropped += self.stack.drop_peer(device_id)
             for callback in list(self._lost_callbacks):
                 callback(device_id)
+            if self._running and device_id not in self._rediscovering:
+                # Churn is often a flap, not a departure: probe again
+                # at short backoffs instead of waiting a full scan
+                # interval, so re-association is quick (§5.1 churn).
+                self._rediscovering.add(device_id)
+                self.env.spawn(self._rediscovery_probe(device_id),
+                               name=f"phd:{self.device_id}:rediscover:{device_id}")
 
-    def _query_services(self, device_id: str) -> Generator:
-        """Fetch the remote daemon's service list over the control port."""
-        plugin = self.plugin_for(device_id)
-        if plugin is None:
-            return None
+    def _rediscovery_probe(self, device_id: str) -> Generator:
+        """Short-backoff scans trying to re-find a just-lost device.
+
+        A flapped device comes back within seconds; waiting for the
+        next periodic scan would leave the neighbourhood (and every
+        layer above it) blind for up to ``scan_interval``.  Three
+        escalating probes cover the common flap window; a device that
+        stays gone is left to the periodic loop.
+        """
+        self.rediscovery_probes += 1
         try:
-            connection = yield from plugin.connect(device_id, PHD_PORT)
-        except (ConnectionError, OSError):
-            return None
-        try:
-            connection.send({"op": "get_services"})
-            reply = yield connection.recv()
-        except (ConnectionError, OSError):
+            for delay in (1.0, 2.0, 4.0):
+                yield Delay(delay)
+                if not self._running or device_id in self.neighbors:
+                    return None
+                for plugin in list(self.plugins.values()):
+                    found = yield from plugin.discover()
+                    if device_id in found:
+                        self._merge_scan(plugin.name, set(found))
+                        return None
             return None
         finally:
-            connection.close()
+            self._rediscovering.discard(device_id)
+
+    def _query_services(self, device_id: str) -> Generator:
+        """Fetch the remote daemon's service list over the control port.
+
+        One immediate retry covers the window where the peer was
+        discovered but its link is still settling; a device whose query
+        keeps failing stays serviceless until the next discovery round.
+        """
+        reply = None
+        for attempt in (1, 2):
+            plugin = self.plugin_for(device_id)
+            if plugin is None:
+                return None
+            try:
+                connection = yield from plugin.connect(device_id, PHD_PORT)
+            except (ConnectionError, OSError):
+                if attempt == 1:
+                    yield Delay(1.0)
+                    continue
+                return None
+            try:
+                connection.send({"op": "get_services"})
+                reply = yield connection.recv()
+            except (ConnectionError, OSError):
+                reply = None
+            finally:
+                connection.close()
+            if isinstance(reply, dict) and "services" in reply:
+                break
+            if attempt == 1:
+                yield Delay(1.0)
         neighbor = self.neighbors.get(device_id)
         if neighbor is None or not isinstance(reply, dict):
             return None
@@ -249,21 +304,30 @@ class PeerHoodDaemon:
             request = yield connection.recv()
         except (ConnectionError, OSError):
             return None
-        if not isinstance(request, dict):
-            return None
-        if request.get("op") == "get_services":
+        replied = False
+        operation = request.get("op") if isinstance(request, dict) else None
+        if operation == "get_services":
             services = [{"name": info.name,
                          "attributes": [list(pair) for pair in info.attributes]}
                         for info in self.local_services.values()]
             try:
                 connection.send({"services": services})
+                replied = True
             except (ConnectionError, OSError):
                 pass
-        elif request.get("op") == "get_neighbors":
+        elif operation == "get_neighbors":
             # Share our current neighbourhood table — the primitive
             # gossip-based overlay expansion builds on (repro.adhoc).
             try:
                 connection.send({"neighbors": sorted(self.neighbors)})
+                replied = True
             except (ConnectionError, OSError):
                 pass
+        if not replied:
+            # A request we could not answer (malformed — e.g. corrupted
+            # in flight — or the reply send failed) must not leave the
+            # peer blocked on recv: closing wakes it with ``None`` so
+            # its retry logic runs.  On success the *requester* closes,
+            # because closing here would discard the in-flight reply.
+            connection.close()
         return None

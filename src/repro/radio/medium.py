@@ -47,6 +47,9 @@ class Medium:
         self.world = world
         self._adapters: dict[tuple[str, str], Adapter] = {}
         self._gateways: set[str] = set()
+        #: Optional installed :class:`~repro.net.faults.FaultInjector`;
+        #: stacks and connections consult it at setup and send time.
+        self.faults = None
 
     # -- attachment ------------------------------------------------------
 

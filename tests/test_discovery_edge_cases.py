@@ -65,19 +65,22 @@ class TestEngineEdgeCases:
         alice.app.engine.refresh()
         assert "movies" not in alice.app.my_groups()
 
-    def test_probe_retry_gives_up_after_max_retries(self):
+    def test_probe_retry_gives_up_until_reconcile_pass(self):
         bed = Testbed(seed=207, technologies=("bluetooth",))
         alice = bed.add_member("alice", ["x"])
         alice.app.engine.max_retries = 1
         alice.app.engine.retry_interval = 5.0
         sleeper = bed.add_member("sleeper", ["x"], auto_login=False)
         bed.run(120.0)  # discovery + 1 retry, both find nobody logged in
-        probe_count_after_giving_up = len(alice.app.engine.probe_log)
+        # The event-driven retry chain gave up: no successful probe yet.
+        assert alice.app.group_members("x") == []
         sleeper.app.login("sleeper", "pw")
         bed.run(60.0)
-        # No further retries were scheduled: the login is only noticed
-        # if something else (re-appearance) triggers a probe.
-        assert len(alice.app.engine.probe_log) == probe_count_after_giving_up
+        # The periodic anti-entropy pass re-probes neighbours that are
+        # visible but missing from the directory, so the late login is
+        # noticed without any (re-)appearance event.
+        assert alice.app.engine.reconcile_probes > 0
+        assert alice.app.group_members("x") == ["alice", "sleeper"]
         bed.stop()
 
     def test_engine_start_is_idempotent(self, bed, trio):

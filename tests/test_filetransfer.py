@@ -11,6 +11,7 @@ from repro.community.filetransfer import (
     PS_GETFILECHUNK,
 )
 from repro.eval.testbed import Testbed
+from repro.net.faults import FaultConfig
 
 
 @pytest.fixture
@@ -99,3 +100,52 @@ class TestDownload:
         _, alice, _ = sharing_bed
         with pytest.raises(ValueError):
             FileDownloader(alice.app.store, alice.app.pool, chunk_bytes=0)
+
+
+class TestResume:
+    def test_zero_byte_file_downloads_complete(self, sharing_bed):
+        bed, alice, bob = sharing_bed
+        bob.app.share_file("empty.txt", 0)
+        progress = bed.execute(alice.app.download_file("bob", "empty.txt"))
+        assert progress.complete
+        assert progress.total_bytes == 0
+        assert progress.received_bytes == 0
+        assert progress.chunks == 1  # one round trip confirms the EOF
+        assert progress.retries == 0
+
+    def test_flap_mid_transfer_resumes_from_offset(self, sharing_bed):
+        """A broken link mid-download resumes, not restarts."""
+        bed, alice, bob = sharing_bed
+        injector = bed.enable_faults(FaultConfig(flap_down_s=3.0))
+
+        def flap_then_download():
+            # Break the link after the first chunks are through.
+            bed.env.call_in(1.0, injector.flap, "bob")
+            progress = yield from alice.app.download_file("bob", "big.bin")
+            return progress
+
+        progress = bed.execute(flap_then_download(), timeout=900.0)
+        assert progress.complete
+        assert progress.received_bytes == 100_000
+        assert progress.resumes >= 1
+        assert progress.retries >= 1
+        # Resume means the server re-served only the in-flight chunk:
+        # total bytes served stay well under a full second pass.
+        assert bob.app.server.file_service.bytes_served < 2 * 100_000
+
+    def test_exhausted_retries_fail_typed(self, sharing_bed):
+        """A link that never comes back fails the transfer gracefully."""
+        bed, alice, bob = sharing_bed
+        injector = bed.enable_faults(FaultConfig())
+
+        def kill_link_then_download():
+            bed.env.call_in(1.0, injector.flap, "bob", 10_000.0)
+            progress = yield from alice.app.download_file("bob", "big.bin")
+            return progress
+
+        progress = bed.execute(kill_link_then_download(), timeout=2000.0)
+        assert not progress.complete
+        assert progress.failed is not None
+        assert "connection lost" in progress.failed
+        assert alice.app.downloader.retry_counters.giveups == 1
+        assert 0 < progress.received_bytes < 100_000

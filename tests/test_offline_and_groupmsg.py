@@ -97,3 +97,48 @@ class TestOfflineOutbox:
         outbox.install()
         bed.run(5.0)
         bed.stop()
+
+    def test_queue_drains_after_reconnect(self):
+        """A member who departs and *returns* gets the queued backlog."""
+        bed, alice, outbox = self._bed_with_outbox()
+        bob = bed.add_member("bob", ["football"], position=Point(103, 100))
+        bed.run(30.0)
+        # Bob walks out of Bluetooth range; discovery loses him.
+        bed.world.move_node("bob", Point(900, 900))
+        bed.run(40.0)
+        assert not bed.devices["alice"].daemon.knows("bob")
+        status = bed.execute(outbox.send_or_queue("bob", "catch up", "hi"))
+        assert status == "QUEUED"
+        bed.execute(outbox.send_or_queue("bob", "still here", "hello again"))
+        assert len(outbox.queued_for("bob")) == 2
+        # Bob walks back; re-discovery + probe + flush must all run.
+        bed.world.move_node("bob", Point(103, 100))
+        bed.run(90.0)
+        assert outbox.pending == []
+        assert [receipt.status for receipt in outbox.receipts] == [
+            protocol.SUCCESSFULLY_WRITTEN] * 2
+        assert [(m.sender, m.subject) for m in bob.app.profile.inbox] == [
+            ("alice", "catch up"), ("alice", "still here")]
+        bed.stop()
+
+    def test_degraded_send_queues_instead_of_failing(self):
+        """Every-link-dead sends queue; the flush delivers later."""
+        from repro.net.faults import FaultConfig
+        bed, alice, outbox = self._bed_with_outbox()
+        bob = bed.add_member("bob", ["football"], position=Point(103, 100))
+        bed.run(30.0)
+        # All sends fail while bob is still formally in the
+        # neighbourhood: the degraded result must queue, not raise.
+        injector = bed.enable_faults(FaultConfig(drop_rate=1.0,
+                                                 connect_failure_rate=1.0))
+        status = bed.execute(outbox.send_or_queue("bob", "rough air", "x"))
+        assert status == "QUEUED"
+        injector.enabled = False
+        # Bob flaps out and back so the reappearance hook fires.
+        bed.world.move_node("bob", Point(900, 900))
+        bed.run(40.0)
+        bed.world.move_node("bob", Point(103, 100))
+        bed.run(90.0)
+        assert outbox.pending == []
+        assert [m.subject for m in bob.app.profile.inbox] == ["rough air"]
+        bed.stop()

@@ -1,0 +1,147 @@
+"""Property-based tests for the PS_* wire protocol.
+
+Invariant under test: whatever arrives off the wire — a well-formed
+frame, a truncated one, a bit-flipped one, or arbitrary JSON — the
+protocol layer either yields a valid ``(op, params)`` / status, or
+raises a *typed* error (:class:`FrameError` /
+:class:`~repro.community.protocol.ProtocolError`).  Never an
+``IndexError``/``KeyError``/``struct.error`` escaping from the guts.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.community import protocol
+from repro.net.messages import FrameError, deserialize, serialize
+
+# -- strategies ----------------------------------------------------------
+
+operations = st.sampled_from(sorted(protocol.OPERATIONS))
+
+field_values = st.one_of(
+    st.text(max_size=40),
+    st.integers(min_value=-2**31, max_value=2**31),
+    st.lists(st.text(max_size=10), max_size=4),
+)
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-2**31, max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=40),
+)
+json_payloads = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=10), children, max_size=5)),
+    max_leaves=20)
+
+
+@st.composite
+def requests(draw):
+    """A well-formed request for a random operation."""
+    op = draw(operations)
+    params = {name: draw(field_values)
+              for name in protocol.OPERATIONS[op]}
+    return protocol.make_request(op, **params)
+
+
+@st.composite
+def responses(draw):
+    """A well-formed response with random extra data fields."""
+    status = draw(st.sampled_from(protocol.ALL_STATUSES))
+    data = draw(st.dictionaries(
+        st.text(min_size=1, max_size=10).filter(lambda k: k != "status"),
+        field_values, max_size=4))
+    return protocol.make_response(status, **data)
+
+
+# -- round trips ----------------------------------------------------------
+
+class TestRoundTrips:
+    @given(request=requests())
+    def test_request_survives_the_wire(self, request):
+        received = deserialize(serialize(request))
+        op, params = protocol.parse_request(received)
+        assert op == request["op"]
+        assert params == {key: value for key, value in request.items()
+                          if key != "op"}
+
+    @given(response=responses())
+    def test_response_survives_the_wire(self, response):
+        received = deserialize(serialize(response))
+        assert protocol.response_status(received) == response["status"]
+        assert received == response
+
+
+# -- malformed input ------------------------------------------------------
+
+class TestMalformedInput:
+    @given(request=requests(), cut=st.integers(min_value=0, max_value=200))
+    def test_truncated_frame_raises_frame_error(self, request, cut):
+        frame = serialize(request)
+        assume(cut < len(frame))
+        with pytest.raises(FrameError):
+            deserialize(frame[:cut])
+
+    @given(request=requests(), position=st.integers(min_value=0),
+           delta=st.integers(min_value=1, max_value=255))
+    def test_bitflip_yields_only_typed_errors(self, request, position, delta):
+        frame = bytearray(serialize(request))
+        position %= len(frame)
+        frame[position] = (frame[position] + delta) % 256
+        try:
+            payload = deserialize(bytes(frame))
+        except FrameError:
+            return  # typed: the framing layer caught it
+        try:
+            protocol.parse_request(payload)
+        except protocol.ProtocolError:
+            pass  # typed: the protocol layer caught it
+
+    @given(junk=st.binary(max_size=64))
+    def test_random_bytes_raise_frame_error_or_decode(self, junk):
+        try:
+            deserialize(junk)
+        except FrameError:
+            pass
+
+    @given(payload=json_payloads)
+    def test_parse_request_never_raises_untyped(self, payload):
+        try:
+            protocol.parse_request(payload)
+        except protocol.ProtocolError:
+            pass
+
+    @given(payload=json_payloads)
+    def test_response_status_never_raises_untyped(self, payload):
+        try:
+            status = protocol.response_status(payload)
+        except protocol.ProtocolError:
+            pass
+        else:
+            assert status in protocol.ALL_STATUSES
+
+    @given(op=operations,
+           dropped=st.data())
+    def test_missing_required_field_is_typed(self, op, dropped):
+        required = protocol.OPERATIONS[op]
+        assume(required)
+        missing = dropped.draw(st.sampled_from(sorted(required)))
+        payload = {"op": op}
+        payload.update({name: "v" for name in required if name != missing})
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_request(payload)
+
+    def test_corruption_marker_fails_both_validators(self):
+        """The injector's garbage shape is rejected on both sides."""
+        garbage = {"x-corrupt": "deadbeefdeadbeef"}
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_request(garbage)
+        with pytest.raises(protocol.ProtocolError):
+            protocol.response_status(garbage)
