@@ -11,6 +11,17 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Mark everything in this directory ``bench``.
+
+    The suite is excluded from tier-1 (``testpaths`` points at
+    ``tests/``) and runs in CI's nightly non-blocking job via
+    ``-m bench``.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture
 def bench(benchmark):
     """pytest-benchmark wrapper with settings suited to simulation runs.

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.eval.testbed import Testbed
 from repro.eval.workloads import INTEREST_POOL, random_interests
-from repro.mobility.geometry import Point, Rect
+from repro.mobility.geometry import Rect
 from repro.mobility.models import RandomWaypoint
 
 

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Wall-clock benchmark runner — emits ``BENCH_v2.json``.
+
+Times the named scenarios in :mod:`repro.eval.bench` (testbed boot,
+discovery rounds at N = 4/16/64 devices, the Table 8 workflow, a
+``PS_*`` round-trip burst, a file transfer and the seed-101 chaos
+replay) and writes a schema-versioned report.
+
+Run:
+    PYTHONPATH=src python scripts/bench.py               # full, 3 repeats
+    PYTHONPATH=src python scripts/bench.py --quick       # CI mode, 1 repeat
+    PYTHONPATH=src python scripts/bench.py --profile     # + cProfile pstats
+    PYTHONPATH=src python scripts/bench.py --quick \\
+        --check benchmarks/baseline.json                 # regression gate
+
+Exit status: 0 on success, 1 when ``--check`` finds a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.eval.bench import (SCENARIOS, ScenarioResult,  # noqa: E402
+                              compare_reports, run_bench)
+
+
+def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="Time the wall-clock benchmark scenarios.")
+    parser.add_argument("--quick", action="store_true",
+                        help="one repeat and reduced workloads (CI mode)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and dump pstats next to "
+                             "the JSON output")
+    parser.add_argument("--scenario", action="append", dest="scenarios",
+                        metavar="NAME", choices=sorted(SCENARIOS),
+                        help="run only this scenario (repeatable)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="override repeat count (default: 1 quick, 3 full)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_v2.json",
+                        help="report path (default: BENCH_v2.json)")
+    parser.add_argument("--check", type=Path, metavar="BASELINE",
+                        help="compare against a baseline JSON and exit 1 "
+                             "on any >tolerance wall-clock regression")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed relative slowdown for --check "
+                             "(default 0.30)")
+    return parser.parse_args(argv)
+
+
+def _print_result(name: str, result: ScenarioResult) -> None:
+    print(f"  {name:20s} {result.wall_seconds:8.3f}s wall  "
+          f"{result.events_processed:8d} events  "
+          f"{result.events_per_sec:10.0f} ev/s  "
+          f"{result.rss_mb:7.1f} MiB peak", flush=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = parse_args(argv)
+    mode = "quick" if args.quick else "full"
+    print(f"running {mode} bench "
+          f"({len(args.scenarios or SCENARIOS)} scenarios)...")
+
+    profiler = None
+    if args.profile:
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
+    report = run_bench(quick=args.quick, scenarios=args.scenarios,
+                       repeats=args.repeats, progress=_print_result)
+    if profiler is not None:
+        profiler.disable()
+        pstats_path = args.output.with_suffix(".pstats")
+        profiler.dump_stats(str(pstats_path))
+        print(f"profile written to {pstats_path}")
+
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True)
+                           + "\n", encoding="utf-8")
+    print(f"report written to {args.output}")
+
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text(encoding="utf-8"))
+        problems = compare_reports(report, baseline,
+                                   tolerance=args.tolerance)
+        if problems:
+            print(f"PERF REGRESSION vs {args.check}:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.check} "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,7 +41,7 @@ from repro.simenv import Delay
 #: Added to the protocol vocabulary at import time (kept separate from
 #: Table 6 because the paper's table does not include it).
 PS_GETFILECHUNK = "PS_GETFILECHUNK"
-protocol.OPERATIONS.setdefault(
+protocol.register_operation(
     PS_GETFILECHUNK, ("member_id", "requester", "name", "offset", "length"))
 
 #: Default chunk size: one L2CAP-friendly lump.

@@ -9,13 +9,19 @@ on separately (:mod:`repro.community.semantics`).
 
 from __future__ import annotations
 
+from functools import lru_cache
 
+
+@lru_cache(maxsize=4096)
 def normalize_interest(raw: str) -> str:
     """Canonical surface form: trimmed, lower-case, single-spaced.
 
     Normalisation is *lexical* only — "England  Football" and "england
     football" are the same interest, but "biking" and "cycling" are
     not.  Raises ``ValueError`` for empty interests.
+
+    Pure string-to-string, so results are memoized: interest probes
+    re-normalise the same handful of strings on every discovery round.
     """
     cleaned = " ".join(raw.strip().lower().split())
     if not cleaned:

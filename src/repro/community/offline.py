@@ -15,7 +15,7 @@ to deliver.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator
 
 from repro.community import protocol

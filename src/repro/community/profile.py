@@ -8,7 +8,7 @@ member performs is a network request answered from these records.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.community.interests import InterestSet
 

@@ -58,6 +58,41 @@ BAD_REQUEST = "BAD_REQUEST"
 ALL_STATUSES = (STATUS_OK, NO_MEMBERS_YET, NOT_TRUSTED_YET,
                 SUCCESSFULLY_WRITTEN, UNSUCCESSFULL, BAD_REQUEST)
 
+#: Precompiled lookup tables for the per-message hot path: validating
+#: a request against a frozenset is O(fields) with C-level membership
+#: tests, versus rescanning the OPERATIONS tuples on every message.
+_REQUIRED_SETS: dict[str, frozenset[str]] = {
+    op: frozenset(fields) for op, fields in OPERATIONS.items()
+}
+_STATUS_SET = frozenset(ALL_STATUSES)
+
+
+def register_operation(op: str, fields: tuple[str, ...]) -> None:
+    """Extend the protocol vocabulary (e.g. the file-chunk op).
+
+    Idempotent for an identical re-registration; conflicting field
+    tuples for an existing op raise :class:`ProtocolError`.
+    """
+    existing = OPERATIONS.get(op)
+    if existing is not None and tuple(existing) != tuple(fields):
+        raise ProtocolError(f"operation {op!r} already registered "
+                            f"with fields {existing}")
+    OPERATIONS[op] = tuple(fields)
+    _REQUIRED_SETS[op] = frozenset(fields)
+
+
+def _required_fields(op: str) -> frozenset[str] | None:
+    """Precompiled field set, compiling lazily for operations added by
+    mutating :data:`OPERATIONS` directly (pre-``register_operation``
+    extension style)."""
+    required = _REQUIRED_SETS.get(op)
+    if required is None:
+        fields = OPERATIONS.get(op)
+        if fields is None:
+            return None
+        required = _REQUIRED_SETS[op] = frozenset(fields)
+    return required
+
 
 class ProtocolError(ValueError):
     """Malformed request or response."""
@@ -65,14 +100,14 @@ class ProtocolError(ValueError):
 
 def make_request(op: str, **params: Any) -> dict:
     """Build a validated request dict for ``op``."""
-    required = OPERATIONS.get(op)
+    required = _required_fields(op)
     if required is None:
         raise ProtocolError(f"unknown operation {op!r}")
-    missing = [name for name in required if name not in params]
-    if missing:
-        raise ProtocolError(f"{op} missing required fields {missing}")
-    extra = [name for name in params if name not in required]
-    if extra:
+    if params.keys() != required:
+        missing = [name for name in OPERATIONS[op] if name not in params]
+        if missing:
+            raise ProtocolError(f"{op} missing required fields {missing}")
+        extra = sorted(params.keys() - required)
         raise ProtocolError(f"{op} got unexpected fields {extra}")
     return {"op": op, **params}
 
@@ -84,19 +119,19 @@ def parse_request(payload: Any) -> tuple[str, dict]:
     op = payload["op"]
     if not isinstance(op, str):
         raise ProtocolError(f"operation must be a string, got {op!r}")
-    required = OPERATIONS.get(op)
+    required = _required_fields(op)
     if required is None:
         raise ProtocolError(f"unknown operation {op!r}")
     params = {key: value for key, value in payload.items() if key != "op"}
-    missing = [name for name in required if name not in params]
-    if missing:
+    if not required <= params.keys():
+        missing = [name for name in OPERATIONS[op] if name not in params]
         raise ProtocolError(f"{op} missing required fields {missing}")
     return op, params
 
 
 def make_response(status: str, **data: Any) -> dict:
     """Build a response dict with a known status code."""
-    if status not in ALL_STATUSES:
+    if status not in _STATUS_SET:
         raise ProtocolError(f"unknown status {status!r}")
     return {"status": status, **data}
 
@@ -106,6 +141,6 @@ def response_status(payload: Any) -> str:
     if not isinstance(payload, dict) or "status" not in payload:
         raise ProtocolError(f"not a response: {payload!r}")
     status = payload["status"]
-    if status not in ALL_STATUSES:
+    if status not in _STATUS_SET:
         raise ProtocolError(f"unknown status {status!r}")
     return status

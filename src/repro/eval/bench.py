@@ -1,0 +1,315 @@
+"""Wall-clock benchmark subsystem (``repro.eval.bench``).
+
+Everything else under ``repro.eval`` measures *simulated* seconds — the
+paper's Table 8 and Figures 11-17 numbers.  This module measures what
+the simulation costs the host CPU, so the repo finally has a wall-clock
+performance trajectory: named scenarios, an events/sec kernel metric,
+and a schema-versioned ``BENCH_v2.json`` that CI diffs against the
+checked-in ``benchmarks/baseline.json``.
+
+Scenarios cover the paths the ROADMAP's scaling work keeps hitting:
+testbed boot, one discovery round at N = 4/16/64 devices, the full
+Table 8 workflow, a ``PS_*`` request round-trip burst, a chunked file
+transfer, and a chaos replay at the pinned seed 101.
+
+Run via ``scripts/bench.py``; see the "Wall-clock performance" section
+of EXPERIMENTS.md for baseline numbers.
+"""
+
+from __future__ import annotations
+
+import gc
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.eval.testbed import Testbed
+from repro.net.faults import FaultConfig
+from repro.net.retry import RetryPolicy
+from repro.simenv import events as _events
+
+#: Bump when the JSON layout changes; consumers refuse unknown majors.
+BENCH_SCHEMA = "repro.bench/v2"
+BENCH_SCHEMA_VERSION = 2
+
+#: Keys every per-scenario record carries.
+SCENARIO_KEYS = ("wall_seconds", "events_processed", "events_per_sec",
+                 "rss_mb", "sim_seconds")
+
+#: Keys every report carries at the top level.
+REPORT_KEYS = ("schema", "schema_version", "git_sha", "python",
+               "platform", "quick", "calibration_seconds", "scenarios")
+
+
+def _rss_mb() -> float:
+    """Peak resident set size of this process in MiB."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX fallback
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes; normalise to MiB.
+    if sys.platform == "darwin":  # pragma: no cover
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+def git_sha() -> str:
+    """Current commit hash, or ``"unknown"`` outside a work tree."""
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"],
+                             capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def calibrate() -> float:
+    """Seconds a fixed pure-python workload takes on this host.
+
+    Stored in every report so regression checks can scale a baseline
+    recorded on one machine to the speed of another (a 30%% wall-clock
+    tolerance is meaningless across CI runner generations otherwise).
+    """
+    start = time.perf_counter()
+    total = 0
+    for i in range(400_000):
+        total += i % 7
+    assert total > 0
+    return time.perf_counter() - start
+
+
+# -- scenarios ---------------------------------------------------------------
+
+#: Retry policy for the chaos replay — mirrors tests/chaos CHAOS_POLICY
+#: so the bench exercises the same schedule shape CI pins.
+_CHAOS_POLICY = RetryPolicy(max_attempts=4, base_delay_s=0.5,
+                            max_delay_s=4.0, attempt_timeout_s=15.0,
+                            budget_s=120.0)
+
+_INTEREST_CYCLE = (["music", "biking"], ["music", "chess"],
+                   ["biking", "chess"], ["music"])
+
+
+def _populate(bed: Testbed, count: int) -> None:
+    for index in range(count):
+        bed.add_member(f"m{index:03d}",
+                       list(_INTEREST_CYCLE[index % len(_INTEREST_CYCLE)]))
+
+
+def _scenario_boot(quick: bool) -> float:
+    bed = Testbed(seed=11)
+    _populate(bed, 16)
+    bed.run(1.0)  # first world tick: daemons spin up, timers arm
+    bed.stop()
+    return bed.env.now
+
+
+def _discovery_round(n: int) -> Callable[[bool], float]:
+    def run(quick: bool) -> float:
+        bed = Testbed(seed=11)
+        _populate(bed, n)
+        # One full scan interval plus settle: every daemon completes at
+        # least one inquiry + service-discovery + interest-probe round.
+        bed.run(30.0)
+        bed.stop()
+        return bed.env.now
+    return run
+
+
+def _scenario_table8(quick: bool) -> float:
+    from repro.eval.table8 import run_table8
+    trials = 1 if quick else 3
+    run_table8(seed=0, trials=trials)
+    return 0.0
+
+
+def _scenario_ps_roundtrip(quick: bool) -> float:
+    bed = Testbed(seed=23)
+    _populate(bed, 8)
+    bed.run(30.0)
+    alice = bed.members["m000"].app
+    rounds = 40 if quick else 150
+    for _ in range(rounds):
+        members = bed.execute(alice.view_all_members())
+        assert isinstance(members, list) and members
+        profile = bed.execute(alice.view_member_profile("m001"))
+        assert profile is not None
+    bed.stop()
+    return bed.env.now
+
+
+def _scenario_file_transfer(quick: bool) -> float:
+    bed = Testbed(seed=31)
+    _populate(bed, 2)
+    size = (1 if quick else 4) * 1024 * 1024
+    bed.members["m001"].app.accept_trusted("m000")
+    bed.members["m001"].app.share_file("payload.bin", size)
+    bed.run(30.0)
+    alice = bed.members["m000"].app
+    outcome = bed.execute(alice.download_file("m001", "payload.bin"))
+    assert getattr(outcome, "complete", False), "fault-free download failed"
+    bed.stop()
+    return bed.env.now
+
+
+def _scenario_chaos_replay(quick: bool) -> float:
+    bed = Testbed(seed=101)
+    names = ("alice", "bob", "carol", "dave")
+    for name, interests in zip(names, _INTEREST_CYCLE):
+        bed.add_member(name, list(interests), retry_policy=_CHAOS_POLICY)
+    bed.members["bob"].app.accept_trusted("alice")
+    bed.members["bob"].app.share_file("mixtape.mp3", 96 * 1024)
+    bed.run(30.0)
+    bed.enable_faults(FaultConfig.chaos(0.2))
+    alice = bed.members["alice"].app
+    bed.execute(alice.view_all_members())
+    bed.execute(alice.view_interest_list())
+    bed.execute(alice.view_member_profile("bob"))
+    bed.execute(alice.comment_profile("bob", "nice mix"))
+    bed.execute(alice.view_trusted_friends("bob"))
+    bed.execute(alice.view_shared_content("bob"))
+    bed.execute(alice.send_message("bob", "hi", "hello"))
+    bed.disable_faults()
+    bed.run(60.0 if quick else 180.0)  # post-chaos convergence healing
+    bed.stop()
+    return bed.env.now
+
+
+#: Ordered scenario registry: name -> callable(quick) -> sim seconds.
+SCENARIOS: dict[str, Callable[[bool], float]] = {
+    "testbed_boot": _scenario_boot,
+    "discovery_n4": _discovery_round(4),
+    "discovery_n16": _discovery_round(16),
+    "discovery_n64": _discovery_round(64),
+    "table8_workflow": _scenario_table8,
+    "ps_roundtrip": _scenario_ps_roundtrip,
+    "file_transfer": _scenario_file_transfer,
+    "chaos_replay_101": _scenario_chaos_replay,
+}
+
+
+# -- running ------------------------------------------------------------------
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's wall-clock measurement."""
+
+    scenario: str
+    wall_seconds: float
+    events_processed: int
+    events_per_sec: float
+    rss_mb: float
+    sim_seconds: float
+
+    def as_dict(self) -> dict:
+        return {"wall_seconds": self.wall_seconds,
+                "events_processed": self.events_processed,
+                "events_per_sec": self.events_per_sec,
+                "rss_mb": self.rss_mb,
+                "sim_seconds": self.sim_seconds}
+
+
+def run_scenario(name: str, *, quick: bool = False,
+                 repeats: int | None = None) -> ScenarioResult:
+    """Time one named scenario; best-of-``repeats`` wall clock."""
+    fn = SCENARIOS[name]
+    if repeats is None:
+        repeats = 2 if quick else 3
+    best_wall = float("inf")
+    best_events = 0
+    sim_seconds = 0.0
+    for _ in range(repeats):
+        # Collect garbage left by earlier scenarios/repeats so each
+        # measurement starts from a quiet heap; otherwise scenario
+        # order leaks into the numbers through collector pauses.
+        gc.collect()
+        before = _events.events_popped_global
+        start = time.perf_counter()
+        sim_seconds = fn(quick)
+        wall = time.perf_counter() - start
+        events = _events.events_popped_global - before
+        if wall < best_wall:
+            best_wall, best_events = wall, events
+    rate = best_events / best_wall if best_wall > 0 else 0.0
+    return ScenarioResult(scenario=name, wall_seconds=best_wall,
+                          events_processed=best_events,
+                          events_per_sec=rate, rss_mb=_rss_mb(),
+                          sim_seconds=sim_seconds)
+
+
+def run_bench(*, quick: bool = False,
+              scenarios: list[str] | None = None,
+              repeats: int | None = None,
+              progress: Callable[[str, ScenarioResult], None] | None = None,
+              ) -> dict:
+    """Run scenarios and return the ``BENCH_v2.json`` report dict."""
+    names = list(SCENARIOS) if scenarios is None else scenarios
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        raise KeyError(f"unknown scenarios {unknown}; "
+                       f"known: {list(SCENARIOS)}")
+    report: dict = {
+        "schema": BENCH_SCHEMA,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "quick": quick,
+        "calibration_seconds": calibrate(),
+        "scenarios": {},
+    }
+    for name in names:
+        result = run_scenario(name, quick=quick, repeats=repeats)
+        report["scenarios"][name] = result.as_dict()
+        if progress is not None:
+            progress(name, result)
+    return report
+
+
+# -- regression checking -------------------------------------------------------
+
+
+def compare_reports(current: dict, baseline: dict, *,
+                    tolerance: float = 0.30,
+                    slack_seconds: float = 0.05) -> list[str]:
+    """Regression messages comparing ``current`` against ``baseline``.
+
+    A scenario regresses when its wall time exceeds the baseline's by
+    more than ``tolerance`` after scaling for host speed (ratio of the
+    two calibration workloads, clamped so a wildly different host
+    cannot mask — or fabricate — a regression).  ``slack_seconds`` of
+    absolute headroom keeps millisecond-scale scenarios from tripping
+    the relative gate on scheduler jitter.  Returns ``[]`` when
+    everything is within tolerance.
+    """
+    problems: list[str] = []
+    if baseline.get("schema_version") != BENCH_SCHEMA_VERSION:
+        return [f"baseline schema_version "
+                f"{baseline.get('schema_version')!r} != "
+                f"{BENCH_SCHEMA_VERSION} — regenerate the baseline"]
+    base_cal = float(baseline.get("calibration_seconds") or 0.0)
+    cur_cal = float(current.get("calibration_seconds") or 0.0)
+    scale = 1.0
+    if base_cal > 0 and cur_cal > 0:
+        scale = min(4.0, max(0.25, cur_cal / base_cal))
+    for name, base in baseline.get("scenarios", {}).items():
+        mine = current.get("scenarios", {}).get(name)
+        if mine is None:
+            problems.append(f"{name}: present in baseline but not run")
+            continue
+        allowed = (float(base["wall_seconds"]) * scale * (1.0 + tolerance)
+                   + slack_seconds)
+        if float(mine["wall_seconds"]) > allowed:
+            problems.append(
+                f"{name}: wall {mine['wall_seconds']:.3f}s exceeds "
+                f"baseline {base['wall_seconds']:.3f}s "
+                f"(host-scaled limit {allowed:.3f}s, "
+                f"events/sec {mine['events_per_sec']:.0f} "
+                f"vs baseline {base['events_per_sec']:.0f})")
+    return problems

@@ -14,9 +14,10 @@ what PeerHood's seamless-connectivity logic reacts to.
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from typing import TYPE_CHECKING, Any
 
-from repro.net.messages import deserialize, serialize
+from repro.net.messages import wire_copy
 from repro.radio.medium import Medium, NotReachableError
 from repro.radio.technology import Technology
 from repro.simenv import Environment, Signal, WaitSignal
@@ -31,7 +32,11 @@ class ConnectionClosedError(ConnectionError):
 
 
 class Connection:
-    """One endpoint of a simulated duplex link."""
+    """One endpoint of a simulated duplex link.
+
+    No ``__slots__``: the BT plugin decorates ``close`` per instance to
+    release its piconet slot.
+    """
 
     def __init__(self, env: Environment, medium: Medium,
                  local_id: str, remote_id: str, technology: Technology,
@@ -82,30 +87,37 @@ class Connection:
             raise NotReachableError(
                 f"link {self.local_id}->{self.remote_id} over "
                 f"{self.technology.name} dropped mid-stream (injected)")
-        frame = serialize(payload)
-        attempts = self._transmission_attempts()
-        transfer = self.technology.transfer_time(len(frame)) * attempts
-        if self.technology.needs_gateway and self.gateway is not None:
-            transfer += self.gateway.relay_time(len(frame))
+        # One encode + one decode: the frame's byte count prices the
+        # transfer, the decode hands the peer a decoupled copy (as a
+        # real socket would).
+        nbytes, decoded = wire_copy(payload)
+        technology = self.technology
+        attempts = (1 if technology.frame_loss_rate <= 0.0
+                    else self._transmission_attempts())
+        transfer = technology.transfer_time(nbytes) * attempts
+        if technology.needs_gateway and self.gateway is not None:
+            transfer += self.gateway.relay_time(nbytes)
         if fault is not None and fault.latency_factor != 1.0:
             faults.note_spike()
             transfer *= fault.latency_factor
         self.retransmissions += attempts - 1
-        self.medium.record_transfer(self.local_id, self.technology.name,
-                                    len(frame))
-        self.bytes_sent += len(frame)
+        self.medium.record_transfer(self.local_id, technology.name, nbytes)
+        self.bytes_sent += nbytes
         self.messages_sent += 1
-        decoded = deserialize(frame)
         if fault is not None and fault.corrupt:
             decoded = faults.corrupt_payload(decoded)
         # Ordered delivery (the L2CAP contract): a frame cannot start
         # transmitting before the previous frame finished, so messages
         # on one connection never reorder regardless of size.
-        start = max(self.env.now, self._busy_until)
+        env = self.env
+        now = env.clock.now
+        start = self._busy_until
+        if now > start:
+            start = now
         arrival = start + transfer
         self._busy_until = arrival
-        self.env.call_at(arrival, self.peer._deliver, decoded)
-        return arrival - self.env.now
+        env.queue.push(arrival, partial(self.peer._deliver, decoded))
+        return arrival - now
 
     def _transmission_attempts(self, cap: int = 8) -> int:
         """How many link-layer attempts this frame needs.
@@ -134,7 +146,9 @@ class Connection:
 
             payload = yield connection.recv()
         """
-        signal = Signal(f"recv:{self.local_id}<-{self.remote_id}")
+        # A constant name: the f-string alternative shows up in kernel
+        # profiles, and recv signals are anonymous one-shots anyway.
+        signal = Signal("recv")
         if self._inbox:
             signal.fire(self._inbox.popleft())
         elif self.closed:

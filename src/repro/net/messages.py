@@ -6,6 +6,11 @@ and therefore the same simulated transfer time.  A four-byte big-endian
 length prefix frames each message, mirroring the buffer-packaging the
 paper's server does before transmitting ("packages the desired
 information into buffers", §5.2.3.1).
+
+Encoding reuses one pre-configured :class:`json.JSONEncoder` instead of
+going through :func:`json.dumps` — ``dumps`` with non-default options
+builds a fresh encoder per call, which profiling showed as measurable
+overhead on the per-message hot path.
 """
 
 from __future__ import annotations
@@ -16,6 +21,16 @@ from typing import Any
 
 _LENGTH = struct.Struct(">I")
 
+#: Shared canonical encoder: sorted keys, no whitespace (stable bytes).
+#: ``ensure_ascii`` (the default) matters beyond canonicalisation: the
+#: encoded text is pure ASCII, so its length *is* its UTF-8 byte count
+#: and :func:`wire_copy` never has to materialise the bytes.
+_ENCODER = json.JSONEncoder(sort_keys=True, separators=(",", ":"))
+
+#: Shared decoder: ``json.loads`` re-dispatches (and, for bytes input,
+#: sniffs the encoding) on every call.
+_DECODER = json.JSONDecoder()
+
 #: Refuse absurd frames; the reference app moves profiles and file
 #: lists, not gigabytes.
 MAX_FRAME_BYTES = 16 * 1024 * 1024
@@ -25,13 +40,16 @@ class FrameError(ValueError):
     """Raised for malformed or oversized frames."""
 
 
-def serialize(payload: Any) -> bytes:
-    """Encode ``payload`` as a length-prefixed canonical-JSON frame."""
+def _encode_body(payload: Any) -> bytes:
     try:
-        body = json.dumps(payload, sort_keys=True,
-                          separators=(",", ":")).encode("utf-8")
+        return _ENCODER.encode(payload).encode("utf-8")
     except (TypeError, ValueError) as exc:
         raise FrameError(f"payload not serialisable: {exc}") from exc
+
+
+def serialize(payload: Any) -> bytes:
+    """Encode ``payload`` as a length-prefixed canonical-JSON frame."""
+    body = _encode_body(payload)
     if len(body) > MAX_FRAME_BYTES:
         raise FrameError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
     return _LENGTH.pack(len(body)) + body
@@ -41,16 +59,36 @@ def deserialize(frame: bytes) -> Any:
     """Decode a frame produced by :func:`serialize`."""
     if len(frame) < _LENGTH.size:
         raise FrameError(f"frame too short: {len(frame)} bytes")
-    (length,) = _LENGTH.unpack(frame[:_LENGTH.size])
+    (length,) = _LENGTH.unpack_from(frame)
     body = frame[_LENGTH.size:]
     if len(body) != length:
         raise FrameError(f"length prefix says {length}, body is {len(body)}")
     try:
-        return json.loads(body.decode("utf-8"))
+        return json.loads(body)
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise FrameError(f"frame body not valid JSON: {exc}") from exc
 
 
 def frame_size(payload: Any) -> int:
     """Bytes the payload occupies on the wire (prefix included)."""
-    return len(serialize(payload))
+    return _LENGTH.size + len(_encode_body(payload))
+
+
+def wire_copy(payload: Any) -> tuple[int, Any]:
+    """One encode + one decode: ``(wire bytes incl. prefix, deep copy)``.
+
+    The simulated :class:`~repro.net.connection.Connection` needs both
+    the frame size (transfer time, adapter accounting) and a decoupled
+    copy of the payload for the receiver (mutations on one side must
+    not leak to the other, exactly as over a real socket).  Doing that
+    via ``deserialize(serialize(payload))`` pays framing, length checks
+    and byte concatenation for a frame that never exists; this helper
+    keeps the canonical-JSON round-trip and skips the framing.
+    """
+    try:
+        text = _ENCODER.encode(payload)
+    except (TypeError, ValueError) as exc:
+        raise FrameError(f"payload not serialisable: {exc}") from exc
+    if len(text) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(text)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LENGTH.size + len(text), _DECODER.decode(text)

@@ -14,30 +14,58 @@ carried dongles (Table 5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.mobility.world import World
 from repro.radio.technology import Technology
+
+if TYPE_CHECKING:  # pragma: no cover - layering guard (net builds on radio)
+    from repro.net.faults import FaultInjector
 
 
 class NotReachableError(ConnectionError):
     """Raised when a transfer is attempted over a dead link."""
 
 
-@dataclass
 class Adapter:
     """A device's interface to one technology."""
 
-    device_id: str
-    technology: Technology
-    enabled: bool = True
-    #: Cumulative bytes sent by this adapter (for cost accounting).
-    bytes_sent: int = field(default=0)
+    __slots__ = ("device_id", "technology", "bytes_sent", "_enabled",
+                 "_medium")
+
+    def __init__(self, device_id: str, technology: Technology,
+                 enabled: bool = True) -> None:
+        self.device_id = device_id
+        self.technology = technology
+        #: Cumulative bytes sent by this adapter (for cost accounting).
+        self.bytes_sent = 0
+        self._enabled = enabled
+        self._medium: "Medium | None" = None  # set by Medium.attach
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the radio is powered on."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        value = bool(value)
+        if value != self._enabled:
+            self._enabled = value
+            # Powering a radio changes who can reach whom: drop the
+            # medium's memoized topology answers.
+            if self._medium is not None:
+                self._medium._invalidate_topology()
 
     @property
     def cost_incurred(self) -> float:
         """Money spent on traffic through this adapter so far."""
         return self.technology.transfer_cost(self.bytes_sent)
+
+    def __repr__(self) -> str:
+        state = "on" if self._enabled else "off"
+        return (f"Adapter({self.device_id!r}, {self.technology.name}, "
+                f"{state}, {self.bytes_sent}B)")
 
 
 class Medium:
@@ -46,10 +74,44 @@ class Medium:
     def __init__(self, world: World) -> None:
         self.world = world
         self._adapters: dict[tuple[str, str], Adapter] = {}
+        #: Device ids per technology name — lets ``neighbors`` scan one
+        #: technology's population instead of every adapter pair.
+        self._by_technology: dict[str, list[str]] = {}
         self._gateways: set[str] = set()
+        #: Pairwise distances memoized until the next movement
+        #: notification; reachability at 64 devices recomputes the same
+        #: distance thousands of times per tick otherwise.
+        self._distances: dict[tuple[str, str], float] = {}
+        #: Memoized ``reachable`` verdicts and sorted ``neighbors``
+        #: listings, valid for one topology epoch.  Dropped whenever
+        #: positions, adapters, enablement or gateways change.
+        self._reachable_cache: dict[tuple[str, str, str], bool] = {}
+        self._neighbors_cache: dict[tuple[str, str], list[str]] = {}
+        world.on_movement(self._invalidate_positions)
         #: Optional installed :class:`~repro.net.faults.FaultInjector`;
         #: stacks and connections consult it at setup and send time.
-        self.faults = None
+        self.faults: "FaultInjector | None" = None
+
+    def _invalidate_positions(self) -> None:
+        """Movement listener: positions changed, drop position-derived
+        caches (distances, reachability, neighbour listings)."""
+        self._distances.clear()
+        self._reachable_cache.clear()
+        self._neighbors_cache.clear()
+
+    def _invalidate_topology(self) -> None:
+        """Adapters/gateways changed; distances stay valid."""
+        self._reachable_cache.clear()
+        self._neighbors_cache.clear()
+
+    def _distance(self, a: str, b: str) -> float:
+        """World distance with per-movement-epoch memoization."""
+        key = (a, b) if a <= b else (b, a)
+        cached = self._distances.get(key)
+        if cached is None:
+            cached = self.world.distance_between(a, b)
+            self._distances[key] = cached
+        return cached
 
     # -- attachment ------------------------------------------------------
 
@@ -59,12 +121,17 @@ class Medium:
         if key in self._adapters:
             raise ValueError(f"{device_id!r} already has a {technology.name} adapter")
         adapter = Adapter(device_id, technology)
+        adapter._medium = self
         self._adapters[key] = adapter
+        self._by_technology.setdefault(technology.name, []).append(device_id)
+        self._invalidate_topology()
         return adapter
 
     def detach(self, device_id: str, technology_name: str) -> None:
         """Remove an adapter (device powered the radio off)."""
         del self._adapters[(device_id, technology_name)]
+        self._by_technology[technology_name].remove(device_id)
+        self._invalidate_topology()
 
     def adapter(self, device_id: str, technology_name: str) -> Adapter | None:
         """The adapter, or ``None`` if the device lacks the technology."""
@@ -78,6 +145,7 @@ class Medium:
     def register_gateway(self, technology_name: str) -> None:
         """Declare operator infrastructure for a wide-area technology."""
         self._gateways.add(technology_name)
+        self._invalidate_topology()
 
     def has_gateway(self, technology_name: str) -> bool:
         """Whether the wide-area technology has infrastructure."""
@@ -86,21 +154,34 @@ class Medium:
     # -- queries --------------------------------------------------------------
 
     def reachable(self, a: str, b: str, technology_name: str) -> bool:
-        """Whether ``a`` and ``b`` can communicate over the technology."""
+        """Whether ``a`` and ``b`` can communicate over the technology.
+
+        Verdicts are memoized for the current topology epoch — every
+        send, connect and discovery scan asks this, and at 64 devices
+        the same pairs repeat tens of thousands of times per epoch.
+        """
+        key = (a, b, technology_name)
+        cached = self._reachable_cache.get(key)
+        if cached is None:
+            cached = self._reachable_cache[key] = \
+                self._compute_reachable(a, b, technology_name)
+        return cached
+
+    def _compute_reachable(self, a: str, b: str, technology_name: str) -> bool:
         if a == b:
             return False
         adapter_a = self._adapters.get((a, technology_name))
         adapter_b = self._adapters.get((b, technology_name))
         if adapter_a is None or adapter_b is None:
             return False
-        if not (adapter_a.enabled and adapter_b.enabled):
+        if not (adapter_a._enabled and adapter_b._enabled):
             return False
         technology = adapter_a.technology
         if technology.needs_gateway:
             return technology_name in self._gateways
         if a not in self.world or b not in self.world:
             return False
-        return technology.in_range(self.world.distance_between(a, b))
+        return technology.in_range(self._distance(a, b))
 
     def link_quality(self, a: str, b: str, technology_name: str) -> float:
         """Quality in [0, 1] of the a<->b link; 0 when unreachable."""
@@ -109,7 +190,7 @@ class Medium:
         technology = self._adapters[(a, technology_name)].technology
         if technology.range_m is None:
             return 1.0
-        return technology.link_quality(self.world.distance_between(a, b))
+        return technology.link_quality(self._distance(a, b))
 
     def neighbors(self, device_id: str, technology_name: str) -> list[str]:
         """Device ids reachable from ``device_id`` over the technology.
@@ -119,12 +200,17 @@ class Medium:
         Results are sorted for deterministic discovery order.
         """
         own = self._adapters.get((device_id, technology_name))
-        if own is None or not own.enabled:
+        if own is None or not own._enabled:
             return []
-        found = [other for (other, tech_name), adapter in self._adapters.items()
-                 if tech_name == technology_name and other != device_id
-                 and self.reachable(device_id, other, technology_name)]
-        return sorted(found)
+        key = (device_id, technology_name)
+        cached = self._neighbors_cache.get(key)
+        if cached is None:
+            cached = sorted(
+                other for other in self._by_technology.get(technology_name, ())
+                if other != device_id
+                and self.reachable(device_id, other, technology_name))
+            self._neighbors_cache[key] = cached
+        return list(cached)
 
     def record_transfer(self, device_id: str, technology_name: str,
                         nbytes: int) -> None:

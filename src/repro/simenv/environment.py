@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Callable, Generator
 
 from repro.simenv.clock import SimClock
@@ -39,21 +40,29 @@ class Environment:
         """Current virtual time in seconds."""
         return self.clock.now
 
+    @property
+    def events_processed(self) -> int:
+        """Events fired since construction (wall-clock bench metric)."""
+        return self.queue.popped_total
+
     # -- scheduling ----------------------------------------------------------
 
     def call_at(self, when: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute virtual time ``when``."""
-        if when < self.now:
-            raise ValueError(f"cannot schedule in the past: now={self.now}, when={when}")
+        if when < self.clock.now:
+            raise ValueError(f"cannot schedule in the past: "
+                             f"now={self.clock.now}, when={when}")
         if args:
-            return self.queue.push(when, lambda: callback(*args))
+            callback = partial(callback, *args)
         return self.queue.push(when, callback)
 
     def call_in(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` after ``delay`` seconds."""
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay!r}")
-        return self.call_at(self.now + delay, callback, *args)
+        if args:
+            callback = partial(callback, *args)
+        return self.queue.push(self.clock.now + delay, callback)
 
     def spawn(self, generator: Generator, name: str = "") -> Process:
         """Start a generator process immediately (first step runs now)."""
@@ -84,20 +93,19 @@ class Environment:
         errors never pass silently.
         """
         self._raise_pending_failure()
+        queue = self.queue
+        clock = self.clock
         while True:
-            next_time = self.queue.peek_time()
-            if next_time is None:
+            event = queue.pop_before(until)
+            if event is None:
                 break
-            if until is not None and next_time > until:
-                self.clock.advance_to(until)
-                break
-            event = self.queue.pop()
-            self.clock.advance_to(event.time)
+            clock.advance_to(event.time)
             event.callback()
-            self._raise_pending_failure()
-        if until is not None and self.now < until:
-            self.clock.advance_to(until)
-        return self.now
+            if self._failures:
+                self._raise_pending_failure()
+        if until is not None and clock.now < until:
+            clock.advance_to(until)
+        return clock.now
 
     def step(self) -> bool:
         """Execute exactly one event.  Returns ``False`` when idle."""

@@ -4,16 +4,32 @@ Events are ordered by ``(time, sequence)``.  The sequence number makes
 ordering of simultaneous events deterministic: events scheduled earlier
 fire earlier.  Determinism matters because the MSC reproduction tests
 assert exact message orders.
+
+The heap stores bare ``(time, sequence, event)`` tuples so ordering
+uses CPython's C-level tuple comparison; profiling showed the
+dataclass-generated ``__lt__`` of an event object dominating kernel
+time at 64-device scale.  Cancelled events are lazily deleted, with a
+compaction pass once dead entries outnumber live ones, so a workload
+that cancels heavily (retry timers, rediscovery probes) cannot grow
+the heap without bound.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
+#: Process-wide count of fired events, summed over every queue ever
+#: created.  The wall-clock bench harness reads deltas of this to
+#: attribute event throughput to scenarios that build several
+#: environments internally (Table 8, chaos replay).
+events_popped_global = 0
 
-@dataclass(order=True)
+#: Compaction triggers once at least this many cancelled entries are
+#: buried in the heap *and* they outnumber the live ones.
+_COMPACT_MIN_CANCELLED = 64
+
+
 class Event:
     """A single scheduled callback.
 
@@ -24,34 +40,51 @@ class Event:
         cancelled: Cancelled events stay in the heap but are skipped.
     """
 
-    time: float
-    sequence: int
-    callback: Callable[[], Any] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "sequence", "callback", "cancelled", "_queue")
+
+    def __init__(self, time: float, sequence: int,
+                 callback: Callable[[], Any]) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.cancelled = False
+        self._queue: "EventQueue | None" = None
 
     def cancel(self) -> None:
         """Mark the event so the loop skips it (O(1); lazy deletion)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._queue is not None:
+                self._queue._note_cancel()
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, seq={self.sequence}, {state})"
 
 
 class EventQueue:
     """Min-heap of :class:`Event` with deterministic tie-breaking."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._sequence = 0
+        self._cancelled = 0
+        #: Live events fired so far (cancelled pops excluded) — the
+        #: denominator for wall-clock events/sec benchmarks.
+        self.popped_total = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return len(self._heap) - self._cancelled
 
     def __bool__(self) -> bool:
-        return any(not event.cancelled for event in self._heap)
+        return len(self._heap) > self._cancelled
 
     def push(self, time: float, callback: Callable[[], Any]) -> Event:
         """Schedule ``callback`` at virtual ``time`` and return the event."""
-        event = Event(time=time, sequence=self._sequence, callback=callback)
+        event = Event(time, self._sequence, callback)
+        event._queue = self
+        heapq.heappush(self._heap, (time, self._sequence, event))
         self._sequence += 1
-        heapq.heappush(self._heap, event)
         return event
 
     def pop(self) -> Event:
@@ -60,16 +93,57 @@ class EventQueue:
         Raises:
             IndexError: If the queue holds no live events.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        global events_popped_global
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if not event.cancelled:
+                self.popped_total += 1
+                events_popped_global += 1
                 return event
+            self._cancelled -= 1
         raise IndexError("pop from empty event queue")
+
+    def pop_before(self, until: float | None) -> Event | None:
+        """Pop the earliest live event at or before ``until``.
+
+        Fused peek+pop for the environment's run loop: one heap scan
+        per fired event instead of two.  Returns ``None`` when the
+        queue is empty or the earliest live event lies beyond
+        ``until`` (which is left in place).
+        """
+        global events_popped_global
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+        if not heap or (until is not None and heap[0][0] > until):
+            return None
+        event = heapq.heappop(heap)[2]
+        self.popped_total += 1
+        events_popped_global += 1
+        return event
 
     def peek_time(self) -> float | None:
         """Time of the earliest live event, or ``None`` when empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
+
+    def _note_cancel(self) -> None:
+        """Account one lazy deletion; compact when the dead dominate."""
+        self._cancelled += 1
+        if (self._cancelled >= _COMPACT_MIN_CANCELLED
+                and self._cancelled * 2 > len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (O(live))."""
+        self._heap = [entry for entry in self._heap
+                      if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0

@@ -17,7 +17,6 @@ code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Generator
 
 from repro.simenv.signal import Signal
@@ -25,30 +24,53 @@ from repro.simenv.signal import Signal
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.simenv.environment import Environment
 
+# The three yieldable wrappers are plain __slots__ classes: one is
+# built per yield on the kernel's hottest path, where the frozen
+# dataclasses they used to be pay object.__setattr__ per field.
 
-@dataclass(frozen=True)
+
 class Delay:
     """Suspend the yielding process for ``seconds`` of virtual time."""
 
-    seconds: float
+    __slots__ = ("seconds",)
 
-    def __post_init__(self) -> None:
-        if self.seconds < 0:
-            raise ValueError(f"delay must be non-negative, got {self.seconds!r}")
+    def __init__(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"delay must be non-negative, got {seconds!r}")
+        self.seconds = seconds
+
+    def __repr__(self) -> str:
+        return f"Delay({self.seconds!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Delay) and other.seconds == self.seconds
+
+    def __hash__(self) -> int:
+        return hash((Delay, self.seconds))
 
 
-@dataclass(frozen=True)
 class WaitSignal:
     """Suspend the yielding process until ``signal`` fires."""
 
-    signal: Signal
+    __slots__ = ("signal",)
+
+    def __init__(self, signal: Signal) -> None:
+        self.signal = signal
+
+    def __repr__(self) -> str:
+        return f"WaitSignal({self.signal!r})"
 
 
-@dataclass(frozen=True)
 class WaitProcess:
     """Suspend the yielding process until ``process`` completes."""
 
-    process: "Process"
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process") -> None:
+        self.process = process
+
+    def __repr__(self) -> str:
+        return f"WaitProcess({self.process!r})"
 
 
 class ProcessKilled(Exception):
@@ -58,14 +80,30 @@ class ProcessKilled(Exception):
 class Process:
     """A running simulation process wrapping a generator."""
 
+    __slots__ = ("_env", "_generator", "name", "_done", "_result",
+                 "_exception", "_alive")
+
     def __init__(self, env: "Environment", generator: Generator, name: str = "") -> None:
         self._env = env
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
-        self.done = Signal(f"{self.name}.done")
+        # The completion signal is built lazily: most processes (every
+        # service query, probe and serve) finish with nobody waiting,
+        # and tens of thousands of spawns per discovery round made the
+        # eager Signal a measurable kernel cost.
+        self._done: Signal | None = None
         self._result: Any = None
         self._exception: BaseException | None = None
         self._alive = True
+
+    @property
+    def done(self) -> Signal:
+        """Signal fired with the process result when it finishes."""
+        if self._done is None:
+            self._done = Signal(f"{self.name}.done")
+            if not self._alive:
+                self._done.fire(self._result)
+        return self._done
 
     @property
     def alive(self) -> bool:
@@ -104,7 +142,7 @@ class Process:
     # -- kernel interface ------------------------------------------------
 
     def _start(self) -> None:
-        self._step(lambda: self._generator.send(None))
+        self._resume_with(None)
 
     def _step(self, advance: Any) -> None:
         """Advance the generator once and interpret what it yields."""
@@ -124,8 +162,13 @@ class Process:
         self._wait_on(yielded)
 
     def _wait_on(self, yielded: Any) -> None:
-        if isinstance(yielded, Delay):
-            self._env.call_in(yielded.seconds, self._resume_with, None)
+        if type(yielded) is Delay:
+            # Most yields are Delays: push straight onto the queue
+            # (the delay is validated non-negative by Delay.__init__)
+            # instead of building a partial through ``call_in``.
+            env = self._env
+            env.queue.push(env.clock.now + yielded.seconds,
+                           self._resume_none)
         elif isinstance(yielded, WaitSignal):
             yielded.signal.wait(self._resume_with)
         elif isinstance(yielded, (WaitProcess, Process)):
@@ -138,8 +181,27 @@ class Process:
                 )
             )
 
+    def _resume_none(self) -> None:
+        self._resume_with(None)
+
     def _resume_with(self, value: Any) -> None:
-        self._step(lambda: self._generator.send(value))
+        # The kernel's hottest path (every Delay/Signal resume lands
+        # here): advance the generator directly instead of routing a
+        # fresh closure through ``_step``.
+        if not self._alive:
+            return
+        try:
+            yielded = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value, None)
+            return
+        except ProcessKilled:
+            self._finish(None, None)
+            return
+        except BaseException as exc:
+            self._finish(None, exc)
+            return
+        self._wait_on(yielded)
 
     def _resume_after(self, child: "Process") -> None:
         if child._exception is not None:
@@ -153,9 +215,11 @@ class Process:
         self._result = result
         self._exception = exception
         self._generator.close()
-        if exception is not None and not self.done._waiters:
+        if exception is not None and (self._done is None
+                                      or not self._done._waiters):
             self._env._note_failure(self, exception)
-        self.done.fire(result)
+        if self._done is not None:
+            self._done.fire(result)
 
     def __repr__(self) -> str:
         state = "alive" if self._alive else "done"

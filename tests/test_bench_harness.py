@@ -1,0 +1,150 @@
+"""Smoke and unit tests for the wall-clock bench harness.
+
+The heavy scenarios get their wall-clock scrutiny from CI's bench job;
+here we pin the *contract*: ``scripts/bench.py --quick`` emits a valid
+``BENCH_v2.json`` (schema keys, positive timings, full scenario list),
+``--profile`` writes loadable pstats, and the regression comparator
+flags exactly the right situations.
+"""
+
+from __future__ import annotations
+
+import json
+import pstats
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.eval.bench import (
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_VERSION,
+    REPORT_KEYS,
+    SCENARIO_KEYS,
+    SCENARIOS,
+    compare_reports,
+    run_bench,
+    run_scenario,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_CLI = REPO_ROOT / "scripts" / "bench.py"
+
+
+def _run_cli(args: list[str], tmp_path: Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(BENCH_CLI), *args],
+        capture_output=True, text=True, timeout=600, cwd=tmp_path)
+
+
+@pytest.fixture(scope="module")
+def quick_report(tmp_path_factory) -> dict:
+    """One full ``--quick`` CLI run shared by the schema assertions."""
+    out = tmp_path_factory.mktemp("bench") / "BENCH_v2.json"
+    proc = subprocess.run(
+        [sys.executable, str(BENCH_CLI), "--quick", "--repeats", "1",
+         "--output", str(out)],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(out.read_text(encoding="utf-8"))
+
+
+class TestSchemaSmoke:
+    def test_report_carries_every_top_level_key(self, quick_report):
+        for key in REPORT_KEYS:
+            assert key in quick_report, f"missing report key {key!r}"
+        assert quick_report["schema"] == BENCH_SCHEMA
+        assert quick_report["schema_version"] == BENCH_SCHEMA_VERSION
+        assert quick_report["quick"] is True
+
+    def test_scenario_list_matches_registry(self, quick_report):
+        assert set(quick_report["scenarios"]) == set(SCENARIOS)
+
+    def test_every_scenario_has_positive_timings(self, quick_report):
+        for name, record in quick_report["scenarios"].items():
+            for key in SCENARIO_KEYS:
+                assert key in record, f"{name} missing {key!r}"
+            assert record["wall_seconds"] > 0, name
+            assert record["events_processed"] > 0, name
+            assert record["events_per_sec"] > 0, name
+            assert record["rss_mb"] > 0, name
+
+    def test_calibration_recorded(self, quick_report):
+        assert quick_report["calibration_seconds"] > 0
+
+
+class TestProfileMode:
+    def test_profile_writes_readable_pstats(self, tmp_path):
+        out = tmp_path / "boot.json"
+        proc = _run_cli(["--quick", "--repeats", "1", "--profile",
+                         "--scenario", "testbed_boot",
+                         "--output", str(out)], tmp_path)
+        assert proc.returncode == 0, proc.stderr
+        pstats_path = out.with_suffix(".pstats")
+        assert pstats_path.exists()
+        stats = pstats.Stats(str(pstats_path))
+        assert stats.total_calls > 0
+
+
+class TestRunScenario:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            run_bench(scenarios=["no_such_scenario"])
+
+    def test_boot_scenario_in_process(self):
+        result = run_scenario("testbed_boot", quick=True, repeats=1)
+        assert result.scenario == "testbed_boot"
+        assert result.events_processed > 0
+        assert result.sim_seconds == pytest.approx(1.0)
+
+
+def _report(wall: float, *, cal: float = 1.0, name: str = "s") -> dict:
+    return {
+        "schema": BENCH_SCHEMA,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "calibration_seconds": cal,
+        "scenarios": {name: {"wall_seconds": wall,
+                             "events_processed": 1000,
+                             "events_per_sec": 1000 / wall,
+                             "rss_mb": 10.0,
+                             "sim_seconds": 30.0}},
+    }
+
+
+class TestCompareReports:
+    def test_within_tolerance_passes(self):
+        assert compare_reports(_report(1.2), _report(1.0)) == []
+
+    def test_large_regression_flagged(self):
+        problems = compare_reports(_report(1.5), _report(1.0))
+        assert len(problems) == 1
+        assert "exceeds" in problems[0]
+
+    def test_absolute_slack_forgives_millisecond_jitter(self):
+        # 0.004s vs 0.002s is 2x relative, but far inside the absolute
+        # slack that keeps tiny scenarios from flaking.
+        assert compare_reports(_report(0.004), _report(0.002)) == []
+
+    def test_missing_scenario_flagged(self):
+        current = _report(1.0)
+        current["scenarios"] = {}
+        problems = compare_reports(current, _report(1.0))
+        assert problems and "not run" in problems[0]
+
+    def test_schema_mismatch_requests_regeneration(self):
+        baseline = _report(1.0)
+        baseline["schema_version"] = 1
+        problems = compare_reports(_report(1.0), baseline)
+        assert problems and "regenerate" in problems[0]
+
+    def test_calibration_scales_allowance_for_slower_host(self):
+        # Host is 2x slower than the baseline machine: a 2x wall time
+        # is *not* a regression once scaled.
+        assert compare_reports(_report(2.0, cal=2.0), _report(1.0)) == []
+
+    def test_calibration_scale_is_clamped(self):
+        # A claimed 100x-slower host must not hide a real 10x slowdown:
+        # the scale clamps at 4x.
+        problems = compare_reports(_report(10.0, cal=100.0), _report(1.0))
+        assert len(problems) == 1

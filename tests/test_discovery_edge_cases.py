@@ -3,7 +3,6 @@ PeerHood daemon's less-travelled paths."""
 
 from __future__ import annotations
 
-import pytest
 
 from repro.eval.testbed import Testbed
 from repro.mobility import Point

@@ -3,7 +3,6 @@ motivating situations (§5.1) plus failure injection."""
 
 from __future__ import annotations
 
-import pytest
 
 from repro.community import protocol
 from repro.eval.testbed import Testbed

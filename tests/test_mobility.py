@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 
 import pytest
 
@@ -18,7 +17,6 @@ from repro.mobility import (
     World,
     distance,
 )
-from repro.simenv import Environment
 
 
 class TestGeometry:

@@ -12,7 +12,6 @@ from repro.net import (
     ListenerExistsError,
     NetworkStack,
     NoListenerError,
-    StackRegistry,
     deserialize,
     frame_size,
     serialize,

@@ -257,3 +257,72 @@ class TestGprsGateway:
         gateway.relay_time(500_000)
         assert gateway.total_cost() == pytest.approx(
             GPRS.transfer_cost(1_000_000))
+
+
+class TestMediumCaching:
+    """The medium memoizes distances, reachability and neighbour
+    listings per topology epoch; these are the regression tests that
+    every cache invalidates on the event that makes it stale."""
+
+    @pytest.fixture
+    def pair(self, world, medium):
+        world.add_node("a", Point(0.0, 0.0))
+        world.add_node("b", Point(5.0, 0.0))
+        medium.attach("a", BLUETOOTH)
+        medium.attach("b", BLUETOOTH)
+        return world, medium
+
+    def test_reachable_survives_repeat_queries(self, pair):
+        world, medium = pair
+        assert medium.reachable("a", "b", "bluetooth")
+        assert medium.reachable("a", "b", "bluetooth")  # cached path
+
+    def test_distance_cache_invalidated_by_movement(self, pair):
+        world, medium = pair
+        assert medium.reachable("a", "b", "bluetooth")
+        # Walk b out of Bluetooth range: the memoized distance (and the
+        # reachability verdict built on it) must not survive the move.
+        world.move_node("b", Point(150.0, 0.0))
+        assert not medium.reachable("a", "b", "bluetooth")
+        world.move_node("b", Point(3.0, 0.0))
+        assert medium.reachable("a", "b", "bluetooth")
+
+    def test_neighbors_cache_invalidated_by_movement(self, pair):
+        world, medium = pair
+        assert medium.neighbors("a", "bluetooth") == ["b"]
+        world.move_node("b", Point(150.0, 0.0))
+        assert medium.neighbors("a", "bluetooth") == []
+
+    def test_caches_invalidated_by_adapter_toggle(self, pair):
+        world, medium = pair
+        assert medium.neighbors("a", "bluetooth") == ["b"]
+        # Plain attribute assignment is the API faults.py and the BT
+        # plugin use; the notifying setter must drop topology caches.
+        medium.adapter("b", "bluetooth").enabled = False
+        assert not medium.reachable("a", "b", "bluetooth")
+        assert medium.neighbors("a", "bluetooth") == []
+        medium.adapter("b", "bluetooth").enabled = True
+        assert medium.neighbors("a", "bluetooth") == ["b"]
+
+    def test_caches_invalidated_by_attach_detach(self, world, medium):
+        world.add_node("a", Point(0.0, 0.0))
+        world.add_node("b", Point(5.0, 0.0))
+        medium.attach("a", BLUETOOTH)
+        assert medium.neighbors("a", "bluetooth") == []
+        medium.attach("b", BLUETOOTH)
+        assert medium.neighbors("a", "bluetooth") == ["b"]
+        medium.detach("b", "bluetooth")
+        assert medium.neighbors("a", "bluetooth") == []
+
+    def test_neighbors_returns_a_fresh_list(self, pair):
+        world, medium = pair
+        listing = medium.neighbors("a", "bluetooth")
+        listing.append("intruder")
+        assert medium.neighbors("a", "bluetooth") == ["b"]
+
+    def test_link_quality_tracks_movement(self, pair):
+        world, medium = pair
+        near = medium.link_quality("a", "b", "bluetooth")
+        world.move_node("b", Point(9.0, 0.0))
+        far = medium.link_quality("a", "b", "bluetooth")
+        assert 0.0 < far < near
