@@ -2,16 +2,22 @@
 """Wall-clock benchmark runner — emits ``BENCH_v2.json``.
 
 Times the named scenarios in :mod:`repro.eval.bench` (testbed boot,
-discovery rounds at N = 4/16/64 devices, the Table 8 workflow, a
-``PS_*`` round-trip burst, a file transfer and the seed-101 chaos
+discovery rounds at N = 4 through 1024 devices, the Table 8 workflow,
+a ``PS_*`` round-trip burst, a file transfer and the seed-101 chaos
 replay) and writes a schema-versioned report.
 
 Run:
     PYTHONPATH=src python scripts/bench.py               # full, 3 repeats
     PYTHONPATH=src python scripts/bench.py --quick       # CI mode, 1 repeat
+    PYTHONPATH=src python scripts/bench.py --jobs 4      # scenarios in parallel
     PYTHONPATH=src python scripts/bench.py --profile     # + cProfile pstats
     PYTHONPATH=src python scripts/bench.py --quick \\
         --check benchmarks/baseline.json                 # regression gate
+
+``--jobs N`` fans scenarios across worker processes; the simulations
+are seed-deterministic, so events/sim-time fields match the serial run
+exactly, but wall-clock fields contend for the host — keep regression
+timing (``--check``) on serial runs.
 
 Exit status: 0 on success, 1 when ``--check`` finds a regression.
 """
@@ -43,6 +49,9 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
                         help="run only this scenario (repeatable)")
     parser.add_argument("--repeats", type=int, default=None,
                         help="override repeat count (default: 1 quick, 3 full)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for scenario fan-out "
+                             "(default 1 = serial; wall timings contend)")
     parser.add_argument("--output", type=Path,
                         default=REPO_ROOT / "BENCH_v2.json",
                         help="report path (default: BENCH_v2.json)")
@@ -74,7 +83,8 @@ def main(argv: list[str] | None = None) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
     report = run_bench(quick=args.quick, scenarios=args.scenarios,
-                       repeats=args.repeats, progress=_print_result)
+                       repeats=args.repeats, jobs=args.jobs,
+                       progress=_print_result)
     if profiler is not None:
         profiler.disable()
         pstats_path = args.output.with_suffix(".pstats")

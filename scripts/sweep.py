@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Parameter-sweep runner — density and fragmentation curves as JSON.
+
+Each sweep point is an independent seed-deterministic simulation, so
+points fan out across worker processes with ``--jobs N`` and merge in
+input order.  The output holds only simulation-derived fields (virtual
+times, bytes, group counts — no wall clocks), so a parallel run's JSON
+is byte-identical to a serial one.
+
+Run:
+    PYTHONPATH=src python scripts/sweep.py density                # 2..12, BT
+    PYTHONPATH=src python scripts/sweep.py density \\
+        --counts 4,8,16,32,64 --wlan --jobs 4                     # crowd scale
+    PYTHONPATH=src python scripts/sweep.py fragmentation --jobs 2
+    PYTHONPATH=src python scripts/sweep.py all --output sweeps.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.eval.sweeps import density_sweep, fragmentation_sweep  # noqa: E402
+
+#: Radius for --wlan density clusters: any two points of the disc stay
+#: within WLAN range (diameter 56 m < 60 m) while most pairs sit far
+#: outside one 10 m Bluetooth huddle.
+WLAN_CLUSTER_RADIUS_M = 28.0
+
+
+def _ints(text: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in text.split(",") if part)
+
+
+def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="Run neighbourhood parameter sweeps.")
+    parser.add_argument("sweep", choices=("density", "fragmentation", "all"),
+                        help="which sweep(s) to run")
+    parser.add_argument("--counts", type=_ints, default=(2, 4, 8, 12),
+                        metavar="N,N,...",
+                        help="density sweep crowd sizes (default 2,4,8,12)")
+    parser.add_argument("--pool-sizes", type=_ints, default=(2, 4, 8, 12),
+                        metavar="N,N,...",
+                        help="fragmentation vocabulary sizes "
+                             "(default 2,4,8,12)")
+    parser.add_argument("--members", type=int, default=10,
+                        help="fragmentation crowd size (default 10)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="simulation seed (default 0)")
+    parser.add_argument("--wlan", action="store_true",
+                        help="density: WLAN-sized cluster (radius "
+                             f"{WLAN_CLUSTER_RADIUS_M:g} m, bluetooth+wlan) "
+                             "— required past ~16 members")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for point fan-out "
+                             "(default 1 = serial)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the JSON report here (default: stdout)")
+    return parser.parse_args(argv)
+
+
+def run_sweeps(args: argparse.Namespace) -> dict:
+    report: dict = {"seed": args.seed}
+    if args.sweep in ("density", "all"):
+        if args.wlan:
+            technologies: tuple[str, ...] = ("bluetooth", "wlan")
+            radius = WLAN_CLUSTER_RADIUS_M
+        else:
+            technologies = ("bluetooth",)
+            radius = 8.0
+        points = density_sweep(args.counts, args.seed,
+                               technologies=technologies, radius=radius,
+                               jobs=args.jobs)
+        report["density"] = {
+            "counts": list(args.counts),
+            "technologies": list(technologies),
+            "radius_m": radius,
+            "points": [dataclasses.asdict(point) for point in points],
+        }
+    if args.sweep in ("fragmentation", "all"):
+        points = fragmentation_sweep(args.pool_sizes, args.members,
+                                     args.seed, jobs=args.jobs)
+        report["fragmentation"] = {
+            "pool_sizes": list(args.pool_sizes),
+            "members": args.members,
+            "points": [dataclasses.asdict(point) for point in points],
+        }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = parse_args(argv)
+    report = run_sweeps(args)
+    text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if args.output is None:
+        sys.stdout.write(text)
+    else:
+        args.output.write_text(text, encoding="utf-8")
+        print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,16 @@ connected servers simultaneously".  The pool maintains those
 connections: it opens one per neighbour advertising the service, reuses
 it across requests, and drops it when the peer disappears or the link
 dies.
+
+Bluetooth adds a hard ceiling the paper's four-device tests never hit:
+a piconet master supports at most seven active slaves, and a pool
+holding seven open links starves every *other* Bluetooth consumer on
+the device — most damagingly the PeerHood daemon's transient service
+queries, which then fail forever and leave visible neighbours
+permanently serviceless.  The pool therefore caps its pooled Bluetooth
+links below the piconet limit and releases the least-recently-used one
+when the cap is hit; an evicted neighbour just pays connection setup
+again on its next request.
 """
 
 from __future__ import annotations
@@ -14,6 +24,12 @@ from typing import Generator
 
 from repro.net.connection import Connection
 from repro.peerhood.library import PeerHoodLibrary
+from repro.radio.bluetooth import Piconet
+
+#: Pooled Bluetooth links kept open at once.  Two of the piconet's
+#: seven slots stay free for transient traffic (PHD control queries,
+#: file transfers) so the pool can never wedge the whole radio.
+BLUETOOTH_POOL_CAP = Piconet.MAX_ACTIVE_SLAVES - 2
 
 
 class PeerConnectionPool:
@@ -22,8 +38,11 @@ class PeerConnectionPool:
     def __init__(self, library: PeerHoodLibrary, service_name: str) -> None:
         self.library = library
         self.service_name = service_name
+        #: Insertion order doubles as recency: reused connections are
+        #: re-inserted, so iteration starts at the least recently used.
         self._connections: dict[str, Connection] = {}
         self.opened_total = 0
+        self.evicted_total = 0
 
     # -- maintenance ------------------------------------------------------
 
@@ -31,16 +50,42 @@ class PeerConnectionPool:
         """Process generator returning an open connection to the device.
 
         Reuses a live cached connection; otherwise establishes a new
-        one (paying connection setup time).  Propagates connection
-        errors to the caller.
+        one (paying connection setup time), evicting the least recently
+        used Bluetooth link first when the Bluetooth cap is reached.
+        Propagates connection errors to the caller.
         """
-        cached = self._connections.get(device_id)
+        cached = self._connections.pop(device_id, None)
         if cached is not None and not cached.closed:
+            self._connections[device_id] = cached  # re-insert: now MRU
             return cached
+        self._make_bluetooth_room()
         connection = yield from self.library.connect(device_id, self.service_name)
         self._connections[device_id] = connection
         self.opened_total += 1
+        if connection.technology.name == "bluetooth":
+            self._make_bluetooth_room(keep=device_id)
         return connection
+
+    def _make_bluetooth_room(self, keep: str | None = None) -> None:
+        """Evict LRU Bluetooth links until below :data:`BLUETOOTH_POOL_CAP`.
+
+        Run *before* connecting (a full piconet would refuse the page
+        outright) and again after (the new link itself may be the one
+        over Bluetooth).  ``keep`` shields the just-opened connection.
+        """
+        while True:
+            bluetooth_ids = [
+                device_id for device_id, connection
+                in self._connections.items()
+                if not connection.closed
+                and connection.technology.name == "bluetooth"]
+            limit = BLUETOOTH_POOL_CAP + (1 if keep in bluetooth_ids else 0)
+            if len(bluetooth_ids) < limit:
+                return
+            victim = next(device_id for device_id in bluetooth_ids
+                          if device_id != keep)
+            self.evicted_total += 1
+            self.drop(victim)
 
     def drop(self, device_id: str) -> None:
         """Close and forget the connection to one device."""

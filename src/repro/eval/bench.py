@@ -8,9 +8,18 @@ and a schema-versioned ``BENCH_v2.json`` that CI diffs against the
 checked-in ``benchmarks/baseline.json``.
 
 Scenarios cover the paths the ROADMAP's scaling work keeps hitting:
-testbed boot, one discovery round at N = 4/16/64 devices, the full
-Table 8 workflow, a ``PS_*`` request round-trip burst, a chunked file
-transfer, and a chaos replay at the pinned seed 101.
+testbed boot, a mobile constant-density discovery crowd at
+N = 4/16/64/256/1024 devices, the full Table 8 workflow, a ``PS_*``
+request round-trip burst, a chunked file transfer, and a chaos replay
+at the pinned seed 101.  The discovery family holds per-device density
+constant (see :func:`repro.eval.workloads.populate_crowd`) so wall
+time should grow *linearly* with N — any superlinear growth is
+quadratic bookkeeping (linear proximity scans, whole-world cache
+invalidation) showing through.
+
+``run_bench(jobs=N)`` fans scenarios across worker processes; the
+deterministic fields (``events_processed``, ``sim_seconds``) are
+identical at any job count, only wall-clock fields vary.
 
 Run via ``scripts/bench.py``; see the "Wall-clock performance" section
 of EXPERIMENTS.md for baseline numbers.
@@ -26,7 +35,9 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.eval.parallel import parallel_map
 from repro.eval.testbed import Testbed
+from repro.eval.workloads import crowd_bounds, populate_crowd
 from repro.net.faults import FaultConfig
 from repro.net.retry import RetryPolicy
 from repro.simenv import events as _events
@@ -110,11 +121,21 @@ def _scenario_boot(quick: bool) -> float:
 
 
 def _discovery_round(n: int) -> Callable[[bool], float]:
+    """A mobile constant-density crowd running active discovery.
+
+    Density (not area) is held constant as ``n`` grows and a quarter of
+    the crowd walks, so every tick moves nodes and every scan queries
+    the neighbourhood — the workload where linear proximity scans and
+    whole-world cache invalidation used to go quadratic.  The 1 s scan
+    interval is PeerHood's active monitoring turned up to the rate the
+    seamless-connectivity logic wants anyway.
+    """
     def run(quick: bool) -> float:
-        bed = Testbed(seed=11)
-        _populate(bed, n)
-        # One full scan interval plus settle: every daemon completes at
-        # least one inquiry + service-discovery + interest-probe round.
+        bed = Testbed(seed=11, bounds=crowd_bounds(n), scan_interval=1.0)
+        populate_crowd(bed, n, shared_interest="music")
+        # Fifteen scan rounds: every daemon completes repeated inquiry
+        # + service-discovery + interest-probe rounds while walkers
+        # churn the topology underneath it.
         bed.run(30.0)
         bed.stop()
         return bed.env.now
@@ -124,8 +145,11 @@ def _discovery_round(n: int) -> Callable[[bool], float]:
 def _scenario_table8(quick: bool) -> float:
     from repro.eval.table8 import run_table8
     trials = 1 if quick else 3
-    run_table8(seed=0, trials=trials)
-    return 0.0
+    table = run_table8(seed=0, trials=trials)
+    # Virtual seconds actually simulated: each trial of each column
+    # plays its four tasks once, and TaskTimes.total_s is the per-trial
+    # mean, so the grand total is the sum over columns times trials.
+    return sum(times.total_s for times in table.values()) * trials
 
 
 def _scenario_ps_roundtrip(quick: bool) -> float:
@@ -186,6 +210,8 @@ SCENARIOS: dict[str, Callable[[bool], float]] = {
     "discovery_n4": _discovery_round(4),
     "discovery_n16": _discovery_round(16),
     "discovery_n64": _discovery_round(64),
+    "discovery_n256": _discovery_round(256),
+    "discovery_n1024": _discovery_round(1024),
     "table8_workflow": _scenario_table8,
     "ps_roundtrip": _scenario_ps_roundtrip,
     "file_transfer": _scenario_file_transfer,
@@ -226,12 +252,21 @@ def run_scenario(name: str, *, quick: bool = False,
     sim_seconds = 0.0
     for _ in range(repeats):
         # Collect garbage left by earlier scenarios/repeats so each
-        # measurement starts from a quiet heap; otherwise scenario
-        # order leaks into the numbers through collector pauses.
+        # measurement starts from a quiet heap, then keep the cyclic
+        # collector off inside the timed region (timeit/pyperf's
+        # policy): collection pauses scale with *heap size*, so they
+        # charge the 1,024-device scenarios superlinearly for work
+        # that is the host collector's, not the simulation's.
         gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
         before = _events.events_popped_global
         start = time.perf_counter()
-        sim_seconds = fn(quick)
+        try:
+            sim_seconds = fn(quick)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         wall = time.perf_counter() - start
         events = _events.events_popped_global - before
         if wall < best_wall:
@@ -243,12 +278,27 @@ def run_scenario(name: str, *, quick: bool = False,
                           sim_seconds=sim_seconds)
 
 
+def _scenario_task(task: tuple[str, bool, int | None]) -> ScenarioResult:
+    """Picklable per-scenario unit for the parallel runner."""
+    name, quick, repeats = task
+    return run_scenario(name, quick=quick, repeats=repeats)
+
+
 def run_bench(*, quick: bool = False,
               scenarios: list[str] | None = None,
               repeats: int | None = None,
+              jobs: int = 1,
               progress: Callable[[str, ScenarioResult], None] | None = None,
               ) -> dict:
-    """Run scenarios and return the ``BENCH_v2.json`` report dict."""
+    """Run scenarios and return the ``BENCH_v2.json`` report dict.
+
+    ``jobs > 1`` fans scenarios across worker processes.  Scenario
+    results merge in registry order and the simulations themselves are
+    seed-deterministic, so ``events_processed`` and ``sim_seconds``
+    are identical to a serial run; wall-clock fields are whatever the
+    (now contended) host delivers, so parallel runs suit correctness
+    smoke and sweep fan-out, not regression timing.
+    """
     names = list(SCENARIOS) if scenarios is None else scenarios
     unknown = [name for name in names if name not in SCENARIOS]
     if unknown:
@@ -264,11 +314,18 @@ def run_bench(*, quick: bool = False,
         "calibration_seconds": calibrate(),
         "scenarios": {},
     }
-    for name in names:
-        result = run_scenario(name, quick=quick, repeats=repeats)
-        report["scenarios"][name] = result.as_dict()
-        if progress is not None:
-            progress(name, result)
+    if jobs <= 1:
+        for name in names:
+            result = run_scenario(name, quick=quick, repeats=repeats)
+            report["scenarios"][name] = result.as_dict()
+            if progress is not None:
+                progress(name, result)
+    else:
+        tasks = [(name, quick, repeats) for name in names]
+        for result in parallel_map(_scenario_task, tasks, jobs=jobs):
+            report["scenarios"][result.scenario] = result.as_dict()
+            if progress is not None:
+                progress(result.scenario, result)
     return report
 
 

@@ -1,0 +1,49 @@
+"""Process-parallel fan-out for bench scenarios and sweep points.
+
+Every simulation is single-threaded and deterministic given its seed,
+so independent scenarios / sweep points parallelise perfectly across
+processes.  :func:`parallel_map` is the one primitive: an
+order-preserving map over picklable tasks, run serially for
+``jobs <= 1`` and on a spawn-context process pool otherwise.
+
+Design rules the callers follow:
+
+* **Determinism lives in the task, not the schedule.**  Each task
+  carries its own seed (derived from the task definition, never from
+  worker identity or completion order), so the merged results are
+  identical to a serial run — only wall-clock fields may differ.
+* **Order-preserving merge.**  ``ProcessPoolExecutor.map`` yields
+  results in submission order regardless of completion order, so
+  reports assemble identically at any job count.
+* **Spawn, not fork.**  Spawned workers re-import the task module from
+  scratch — the same constraint CI runners and macOS impose — so a
+  pickling regression surfaces immediately instead of only off-Linux.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, TypeVar
+
+_Task = TypeVar("_Task")
+_Result = TypeVar("_Result")
+
+
+def parallel_map(fn: Callable[[_Task], _Result], tasks: Iterable[_Task], *,
+                 jobs: int = 1) -> list[_Result]:
+    """Map ``fn`` over ``tasks`` on ``jobs`` worker processes.
+
+    Results keep task order.  ``jobs <= 1`` (or a single task) runs in
+    the calling process with no multiprocessing machinery at all, so
+    the serial path stays debuggable and exceptions propagate plainly.
+    ``fn`` must be a module-level callable and both tasks and results
+    must pickle; worker exceptions propagate to the caller.
+    """
+    tasks = list(tasks)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    context = multiprocessing.get_context("spawn")
+    workers = min(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+        return list(pool.map(fn, tasks))

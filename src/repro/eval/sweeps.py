@@ -9,14 +9,21 @@ Two sweeps the thesis' analysis invites but never runs:
 * **Interest fragmentation** — with a fixed crowd, how does the size
   of the interest vocabulary fragment the neighbourhood into many
   small groups (the §5.2.6 problem grown to population scale)?
+
+Each sweep point is an independent seed-deterministic simulation, so
+sweeps fan out across worker processes (``jobs=N``) through
+:func:`repro.eval.parallel.parallel_map` and merge back in input
+order — byte-identical to the serial run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.eval.parallel import parallel_map
 from repro.eval.testbed import Testbed
-from repro.eval.workloads import populate_neighborhood
+from repro.eval.workloads import (INTEREST_POOL, populate_neighborhood,
+                                  random_interests)
 
 
 @dataclass(frozen=True)
@@ -35,26 +42,51 @@ class DensityPoint:
     bytes_sent: int
 
 
+def density_point(count: int, seed: int = 0, *,
+                  technologies: tuple[str, ...] = ("bluetooth",),
+                  radius: float = 8.0,
+                  deadline_s: float = 600.0) -> DensityPoint:
+    """Formation-completeness time for one cluster size.
+
+    ``technologies``/``radius`` widen the cluster past Bluetooth scale:
+    the historical sweep packs everyone inside a 8 m Bluetooth huddle,
+    while 64+ members need WLAN range (``radius`` up to ~55 m) to be a
+    single connected neighbourhood.
+    """
+    bed = Testbed(seed=seed, technologies=technologies)
+    members = populate_neighborhood(bed, count, shared_interest="football",
+                                    radius=radius)
+    observer = members[0]
+    expected = {member.member_id for member in members}
+    while set(observer.app.group_members("football")) != expected:
+        if not bed.env.step():
+            raise RuntimeError("group never completed")
+        if bed.env.now > deadline_s:
+            raise RuntimeError(f"no complete group for {count} members "
+                               f"within {deadline_s:g} s")
+    adapter = bed.medium.adapter(observer.device_id, technologies[0])
+    point = DensityPoint(count, bed.env.now, adapter.bytes_sent)
+    bed.stop()
+    return point
+
+
+def _density_task(task: tuple) -> DensityPoint:
+    """Picklable per-point unit for the parallel runner."""
+    count, seed, technologies, radius, deadline_s = task
+    return density_point(count, seed, technologies=tuple(technologies),
+                         radius=radius, deadline_s=deadline_s)
+
+
 def density_sweep(counts: tuple[int, ...] = (2, 4, 8, 12),
-                  seed: int = 0) -> list[DensityPoint]:
+                  seed: int = 0, *,
+                  technologies: tuple[str, ...] = ("bluetooth",),
+                  radius: float = 8.0,
+                  deadline_s: float = 600.0,
+                  jobs: int = 1) -> list[DensityPoint]:
     """Formation-completeness time as the crowd grows."""
-    points = []
-    for count in counts:
-        bed = Testbed(seed=seed, technologies=("bluetooth",))
-        members = populate_neighborhood(bed, count,
-                                        shared_interest="football")
-        observer = members[0]
-        expected = {member.member_id for member in members}
-        while set(observer.app.group_members("football")) != expected:
-            if not bed.env.step():
-                raise RuntimeError("group never completed")
-            if bed.env.now > 600.0:
-                raise RuntimeError(f"no complete group for {count} members "
-                                   f"within 600 s")
-        adapter = bed.medium.adapter(observer.device_id, "bluetooth")
-        points.append(DensityPoint(count, bed.env.now, adapter.bytes_sent))
-        bed.stop()
-    return points
+    tasks = [(count, seed, technologies, radius, deadline_s)
+             for count in counts]
+    return parallel_map(_density_task, tasks, jobs=jobs)
 
 
 @dataclass(frozen=True)
@@ -74,39 +106,46 @@ class FragmentationPoint:
     singleton_groups: int
 
 
+def fragmentation_point(pool_size: int, members: int = 10,
+                        seed: int = 0) -> FragmentationPoint:
+    """Group fragmentation for one vocabulary size."""
+    pool = INTEREST_POOL[:pool_size]
+    bed = Testbed(seed=seed, technologies=("bluetooth",))
+    rng = bed.env.random.stream("fragmentation")
+    handles = []
+    for index in range(members):
+        if index == 0:
+            # The observer holds the whole vocabulary so every
+            # group in the room is visible from one device.
+            interests = list(pool)
+        else:
+            interests = random_interests(rng, minimum=1,
+                                         maximum=min(3, pool_size),
+                                         pool=pool)
+        handles.append(bed.add_member(f"m{index:02d}", interests))
+    bed.run(90.0)
+    observer = handles[0]
+    groups = observer.app.engine.groups.non_empty()
+    sizes = [len(group) for group in groups]
+    point = FragmentationPoint(
+        pool_size=pool_size,
+        groups=len(groups),
+        largest_group=max(sizes) if sizes else 0,
+        singleton_groups=sum(1 for size in sizes if size == 1))
+    bed.stop()
+    return point
+
+
+def _fragmentation_task(task: tuple) -> FragmentationPoint:
+    """Picklable per-point unit for the parallel runner."""
+    pool_size, members, seed = task
+    return fragmentation_point(pool_size, members, seed)
+
+
 def fragmentation_sweep(pool_sizes: tuple[int, ...] = (2, 4, 8, 12),
                         members: int = 10,
-                        seed: int = 0) -> list[FragmentationPoint]:
+                        seed: int = 0, *,
+                        jobs: int = 1) -> list[FragmentationPoint]:
     """Group fragmentation as the interest vocabulary grows."""
-    from repro.eval.workloads import INTEREST_POOL
-
-    points = []
-    for pool_size in pool_sizes:
-        pool = INTEREST_POOL[:pool_size]
-        bed = Testbed(seed=seed, technologies=("bluetooth",))
-        rng = bed.env.random.stream("fragmentation")
-        from repro.eval.workloads import random_interests
-        from repro.mobility.geometry import Point
-
-        handles = []
-        for index in range(members):
-            if index == 0:
-                # The observer holds the whole vocabulary so every
-                # group in the room is visible from one device.
-                interests = list(pool)
-            else:
-                interests = random_interests(rng, minimum=1,
-                                             maximum=min(3, pool_size),
-                                             pool=pool)
-            handles.append(bed.add_member(f"m{index:02d}", interests))
-        bed.run(90.0)
-        observer = handles[0]
-        groups = observer.app.engine.groups.non_empty()
-        sizes = [len(group) for group in groups]
-        points.append(FragmentationPoint(
-            pool_size=pool_size,
-            groups=len(groups),
-            largest_group=max(sizes) if sizes else 0,
-            singleton_groups=sum(1 for size in sizes if size == 1)))
-        bed.stop()
-    return points
+    tasks = [(pool_size, members, seed) for pool_size in pool_sizes]
+    return parallel_map(_fragmentation_task, tasks, jobs=jobs)

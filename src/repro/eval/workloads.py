@@ -6,7 +6,8 @@ import math
 from random import Random
 
 from repro.eval.testbed import MemberHandle, Testbed
-from repro.mobility.geometry import Point
+from repro.mobility.geometry import Point, Rect
+from repro.mobility.models import RandomWalk
 
 #: Interest pool for synthetic populations; overlaps are common enough
 #: that neighbourhood-scale groups always form.
@@ -52,4 +53,68 @@ def populate_neighborhood(bed: Testbed, count: int, *,
                          center.y + distance * math.sin(angle))
         members.append(bed.add_member(f"m{index:02d}", interests,
                                       position=position))
+    return members
+
+
+#: Lattice spacing of the constant-density crowd in metres.  Inside
+#: WLAN range (60 m) of the nearest handful of neighbours, outside
+#: Bluetooth range of almost everyone — a festival lawn, not a meeting
+#: room.  Sparse enough that a device's radio disc holds a small,
+#: constant neighbourhood while the roster keeps growing with ``n``.
+CROWD_PITCH_M = 50.0
+
+
+def crowd_bounds(count: int, pitch: float = CROWD_PITCH_M) -> Rect:
+    """Square bounds sized for ``count`` members at constant density.
+
+    Side grows with sqrt(count), so doubling the crowd doubles the
+    area and each device's neighbourhood stays the same size — the
+    regime where per-device work should be O(1) and only quadratic
+    bookkeeping shows up as superlinear wall time.
+    """
+    side = pitch * max(2, math.isqrt(max(1, count - 1)) + 1)
+    return Rect(0.0, 0.0, side, side)
+
+
+def populate_crowd(bed: Testbed, count: int, *,
+                   stream: str = "crowd",
+                   walker_fraction: float = 0.25,
+                   walker_speed: float = 1.2,
+                   shared_interest: str | None = None) -> list[MemberHandle]:
+    """Add ``count`` members spread over the whole testbed at constant
+    density, a fraction of them walking.
+
+    Members land on a jittered square lattice filling ``bed``'s bounds
+    (pair :func:`crowd_bounds` with the same ``count``).  Each member
+    independently becomes a pedestrian-speed :class:`RandomWalk` walker
+    with probability ``walker_fraction`` — enough churn that topology
+    maintenance costs show, while most links survive between scans.
+
+    Population runs inside ``world.batch()`` so listeners hear one
+    coalesced report instead of ``count`` separate ones.
+
+    Returns the created member handles (named ``m0000``, ``m0001``...).
+    """
+    rng = bed.env.random.stream(stream)
+    bounds = bed.world.bounds
+    columns = max(2, math.isqrt(max(1, count - 1)) + 1)
+    pitch_x = bounds.width / columns
+    pitch_y = bounds.height / columns
+    members = []
+    with bed.world.batch():
+        for index in range(count):
+            row, column = divmod(index, columns)
+            position = Point(
+                bounds.min_x + (column + 0.5 + rng.uniform(-0.3, 0.3)) * pitch_x,
+                bounds.min_y + (row + 0.5 + rng.uniform(-0.3, 0.3)) * pitch_y)
+            interests = random_interests(rng)
+            if shared_interest and shared_interest not in interests:
+                interests.append(shared_interest)
+            model = None
+            if rng.random() < walker_fraction:
+                model = RandomWalk(bounds, walker_speed,
+                                   bed.env.random.stream(f"{stream}.walk{index}"),
+                                   turn_interval=8.0)
+            members.append(bed.add_member(f"m{index:04d}", interests,
+                                          position=position, model=model))
     return members

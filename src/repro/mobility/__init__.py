@@ -17,19 +17,28 @@ from repro.mobility.models import (
     RandomWaypoint,
     Stationary,
 )
-from repro.mobility.world import MobileNode, World
+from repro.mobility.grid import SpatialGrid
+from repro.mobility.world import (
+    MobileNode,
+    MovementReport,
+    World,
+    spatial_index_enabled,
+)
 
 __all__ = [
     "BusRoute",
     "LinearCrossing",
     "MobileNode",
     "MobilityModel",
+    "MovementReport",
     "PathFollower",
     "Point",
     "RandomWalk",
     "RandomWaypoint",
     "Rect",
+    "SpatialGrid",
     "Stationary",
     "World",
     "distance",
+    "spatial_index_enabled",
 ]

@@ -1,12 +1,30 @@
-"""The mobile world: nodes, positions and proximity queries."""
+"""The mobile world: nodes, positions and proximity queries.
+
+Proximity queries are served by a uniform :class:`~repro.mobility.grid.
+SpatialGrid` so ``nodes_within`` costs O(cell occupancy) instead of
+O(N), and movement is reported *per node* (a :class:`MovementReport`)
+so listeners such as the radio medium can invalidate incrementally
+instead of dropping all memoized topology on every tick.
+
+Setting the environment variable ``REPRO_SPATIAL_INDEX=0`` disables
+the grid and falls back to brute-force linear scans with whole-world
+notifications — kept for A/B benchmarking and as an oracle in tests.
+"""
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from typing import Callable, Iterator
 
 from repro.mobility.geometry import Point, Rect, distance
+from repro.mobility.grid import SpatialGrid
 from repro.mobility.models import MobilityModel, Stationary
 from repro.simenv import Environment, PeriodicTimer
+
+#: Starting grid cell size; ``require_cell_size`` grows it to the
+#: largest attached local-radio range (e.g. 60 m once WLAN attaches).
+DEFAULT_CELL_SIZE = 25.0
 
 
 class MobileNode:
@@ -23,6 +41,47 @@ class MobileNode:
                 f"({self.position.x:.1f}, {self.position.y:.1f}))")
 
 
+class MovementReport:
+    """What changed in one notification: which nodes, and how.
+
+    ``moved`` lists every node whose position changed (``crossed`` is
+    the subset that landed in a different grid cell); ``added`` and
+    ``removed`` cover population changes.  Listeners that only care
+    *that* something happened can ignore the payload — the legacy
+    no-argument ``on_movement`` callbacks still fire alongside.
+    """
+
+    __slots__ = ("moved", "crossed", "added", "removed")
+
+    def __init__(self, moved: tuple[str, ...] = (),
+                 crossed: tuple[str, ...] = (),
+                 added: tuple[str, ...] = (),
+                 removed: tuple[str, ...] = ()) -> None:
+        self.moved = moved
+        self.crossed = crossed
+        self.added = added
+        self.removed = removed
+
+    def changed_ids(self) -> tuple[str, ...]:
+        """Every node id this report touches, deduplicated."""
+        if not (self.added or self.removed):
+            return self.moved
+        seen = dict.fromkeys(self.moved)
+        seen.update(dict.fromkeys(self.added))
+        seen.update(dict.fromkeys(self.removed))
+        return tuple(seen)
+
+    def __repr__(self) -> str:
+        return (f"MovementReport(moved={len(self.moved)}, "
+                f"crossed={len(self.crossed)}, added={len(self.added)}, "
+                f"removed={len(self.removed)})")
+
+
+def spatial_index_enabled() -> bool:
+    """Whether new worlds use the spatial grid (REPRO_SPATIAL_INDEX)."""
+    return os.environ.get("REPRO_SPATIAL_INDEX", "1") != "0"
+
+
 class World:
     """Bounded 2D plane holding every mobile node.
 
@@ -36,17 +95,31 @@ class World:
         bounds: Simulated area; defaults to a 200 m x 200 m square —
             generous for the Bluetooth-scale neighbourhoods of the paper.
         tick: Seconds between position updates.
+        cell_size: Initial spatial-grid cell edge; grown on demand by
+            :meth:`require_cell_size`.  ``None`` picks the default.
     """
 
     def __init__(self, env: Environment, bounds: Rect | None = None,
-                 tick: float = 0.5) -> None:
+                 tick: float = 0.5, cell_size: float | None = None) -> None:
         self.env = env
         self.bounds = bounds if bounds is not None else Rect(0.0, 0.0, 200.0, 200.0)
         self.tick = tick
         self._nodes: dict[str, MobileNode] = {}
         self._listeners: list[Callable[[], None]] = []
+        self._report_listeners: list[Callable[[MovementReport], None]] = []
+        self._grid: SpatialGrid | None = (
+            SpatialGrid(cell_size if cell_size is not None else DEFAULT_CELL_SIZE)
+            if spatial_index_enabled() else None)
+        self._batch_depth = 0
+        self._pending: dict[str, set[str]] = {
+            "moved": set(), "crossed": set(), "added": set(), "removed": set()}
         self._timer = PeriodicTimer(env, tick, self._advance)
         self._last_tick_time = env.now
+
+    @property
+    def grid(self) -> SpatialGrid | None:
+        """The backing spatial index (``None`` in brute-force mode)."""
+        return self._grid
 
     # -- population -------------------------------------------------------
 
@@ -59,7 +132,9 @@ class World:
             position = self.bounds.clamp(position)
         node = MobileNode(node_id, position, model)
         self._nodes[node_id] = node
-        self._notify()
+        if self._grid is not None:
+            self._grid.insert(node_id, position)
+        self._notify(MovementReport(added=(node_id,)))
         return node
 
     def remove_node(self, node_id: str) -> None:
@@ -67,7 +142,9 @@ class World:
         if node_id not in self._nodes:
             raise KeyError(f"node {node_id!r} not in world")
         del self._nodes[node_id]
-        self._notify()
+        if self._grid is not None:
+            self._grid.remove(node_id)
+        self._notify(MovementReport(removed=(node_id,)))
 
     def node(self, node_id: str) -> MobileNode:
         """Look up a node by id."""
@@ -89,22 +166,105 @@ class World:
         return distance(self._nodes[a].position, self._nodes[b].position)
 
     def nodes_within(self, node_id: str, radius: float) -> list[MobileNode]:
-        """All *other* nodes within ``radius`` metres of ``node_id``."""
-        center = self._nodes[node_id].position
-        return [node for node in self._nodes.values()
-                if node.node_id != node_id
-                and distance(center, node.position) <= radius]
+        """All *other* nodes within ``radius`` metres of ``node_id``.
+
+        Sorted by node id so callers see a deterministic order
+        regardless of which grid cells the neighbours came from.
+        """
+        nodes = self._nodes
+        center = nodes[node_id].position
+        cx, cy = center.x, center.y
+        # Compare squared distances: one multiply beats a libm hypot
+        # call per candidate, and this loop runs for every discovery
+        # scan of every device.
+        radius_sq = radius * radius
+        found = []
+        if self._grid is None:
+            for node in nodes.values():
+                position = node.position
+                dx = position.x - cx
+                dy = position.y - cy
+                if dx * dx + dy * dy <= radius_sq and node.node_id != node_id:
+                    found.append(node)
+        else:
+            for other_id in self._grid.candidates(center, radius):
+                node = nodes[other_id]
+                position = node.position
+                dx = position.x - cx
+                dy = position.y - cy
+                if dx * dx + dy * dy <= radius_sq and other_id != node_id:
+                    found.append(node)
+        found.sort(key=lambda node: node.node_id)
+        return found
+
+    def region_stamp(self, node_id: str, radius: float) -> tuple[int, int]:
+        """Change stamp for the disc around ``node_id`` (see grid docs).
+
+        Constant in brute-force mode — callers relying on stamps for
+        cache validity must install a clear-all movement listener there.
+        """
+        if self._grid is None:
+            return (0, 0)
+        return self._grid.region_stamp(self._nodes[node_id].position, radius)
+
+    # -- grid maintenance -------------------------------------------------
+
+    def require_cell_size(self, range_m: float) -> None:
+        """Grow the grid cell to at least ``range_m`` metres.
+
+        Called by the radio medium when a local technology attaches, so
+        the cell size tracks the largest radio range in use and a
+        neighbour query touches a handful of cells.
+        """
+        grid = self._grid
+        if grid is None or range_m <= grid.cell_size:
+            return
+        grid.rebuild(range_m, {node_id: node.position
+                               for node_id, node in self._nodes.items()})
+
+    def touch_node(self, node_id: str) -> None:
+        """Mark a node changed without moving it (adapter toggles)."""
+        if self._grid is not None and node_id in self._nodes:
+            self._grid.touch(node_id)
 
     # -- movement ------------------------------------------------------------
 
     def move_node(self, node_id: str, position: Point) -> None:
         """Teleport a node (used by tests and scenario setup)."""
-        self._nodes[node_id].position = self.bounds.clamp(position)
-        self._notify()
+        node = self._nodes[node_id]
+        node.position = self.bounds.clamp(position)
+        crossed = True
+        if self._grid is not None:
+            crossed = self._grid.move(node_id, node.position)
+        self._notify(MovementReport(
+            moved=(node_id,), crossed=(node_id,) if crossed else ()))
 
     def on_movement(self, listener: Callable[[], None]) -> None:
         """Register a callback invoked after every position change."""
         self._listeners.append(listener)
+
+    def on_moves(self, listener: Callable[[MovementReport], None]) -> None:
+        """Register a callback receiving per-node movement reports."""
+        self._report_listeners.append(listener)
+
+    @contextmanager
+    def batch(self) -> Iterator["World"]:
+        """Coalesce notifications across a bulk mutation.
+
+        Populating a 1,024-node testbed fires one listener pass per
+        ``add_node`` otherwise — O(N) passes over listeners that each
+        do O(N) work downstream.  Inside ``with world.batch():`` all
+        reports merge and listeners fire once on exit (and not at all
+        when nothing changed).  Reentrant; only the outermost exit
+        flushes.
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0:
+                self._flush_pending()
 
     def stop(self) -> None:
         """Stop the movement timer (ends the simulation's busy loop)."""
@@ -115,16 +275,46 @@ class World:
         self._last_tick_time = self.env.now
         if dt <= 0.0:
             return
-        moved = False
+        grid = self._grid
+        bounds = self.bounds
+        moved: list[str] = []
+        crossed: list[str] = []
         for node in self._nodes.values():
-            new_position = node.model.step(node.position, dt)
-            new_position = self.bounds.clamp(new_position)
+            model = node.model
+            if type(model) is Stationary:
+                continue
+            new_position = bounds.clamp(model.step(node.position, dt))
             if new_position != node.position:
                 node.position = new_position
-                moved = True
+                moved.append(node.node_id)
+                if grid is not None and grid.move(node.node_id, new_position):
+                    crossed.append(node.node_id)
         if moved:
-            self._notify()
+            self._notify(MovementReport(moved=tuple(moved),
+                                        crossed=tuple(crossed)))
 
-    def _notify(self) -> None:
+    def _notify(self, report: MovementReport) -> None:
+        if self._batch_depth > 0:
+            pending = self._pending
+            pending["moved"].update(report.moved)
+            pending["crossed"].update(report.crossed)
+            pending["added"].update(report.added)
+            pending["removed"].update(report.removed)
+            return
         for listener in self._listeners:
             listener()
+        for report_listener in self._report_listeners:
+            report_listener(report)
+
+    def _flush_pending(self) -> None:
+        pending = self._pending
+        if not (pending["moved"] or pending["crossed"] or pending["added"]
+                or pending["removed"]):
+            return
+        report = MovementReport(moved=tuple(sorted(pending["moved"])),
+                                crossed=tuple(sorted(pending["crossed"])),
+                                added=tuple(sorted(pending["added"])),
+                                removed=tuple(sorted(pending["removed"])))
+        for bucket in pending.values():
+            bucket.clear()
+        self._notify(report)

@@ -74,16 +74,47 @@ def frame_size(payload: Any) -> int:
     return _LENGTH.size + len(_encode_body(payload))
 
 
+class _NotPlainJson(Exception):
+    """Internal: payload contains something whose JSON round-trip is
+    not a plain structural copy (tuple, non-str dict key, custom type)."""
+
+
+def _copy_json(value: Any) -> Any:
+    """Structural deep copy equal to ``decode(encode(value))``.
+
+    Only exact built-in JSON types qualify — a tuple decodes to a list,
+    an int-keyed dict to str keys, an IntEnum to a bare int — so
+    anything else raises :class:`_NotPlainJson` and the caller falls
+    back to a real decode.  Scalars are immutable and shared as-is.
+    """
+    kind = type(value)
+    if kind is dict:
+        copy = {}
+        for key, item in value.items():
+            if type(key) is not str:
+                raise _NotPlainJson
+            copy[key] = _copy_json(item)
+        return copy
+    if kind is list:
+        return [_copy_json(item) for item in value]
+    if kind is str or kind is int or kind is float or kind is bool \
+            or value is None:
+        return value
+    raise _NotPlainJson
+
+
 def wire_copy(payload: Any) -> tuple[int, Any]:
-    """One encode + one decode: ``(wire bytes incl. prefix, deep copy)``.
+    """``(wire bytes incl. prefix, deep copy)`` for one message.
 
     The simulated :class:`~repro.net.connection.Connection` needs both
     the frame size (transfer time, adapter accounting) and a decoupled
     copy of the payload for the receiver (mutations on one side must
-    not leak to the other, exactly as over a real socket).  Doing that
-    via ``deserialize(serialize(payload))`` pays framing, length checks
-    and byte concatenation for a frame that never exists; this helper
-    keeps the canonical-JSON round-trip and skips the framing.
+    not leak to the other, exactly as over a real socket).  The encode
+    still runs — the byte count must match :func:`serialize` exactly or
+    simulated transfer times drift — but the receiver's copy is built
+    structurally, skipping the JSON parse on the per-message hot path;
+    payloads that JSON would coerce (tuples, non-str keys) take the
+    round-trip fallback so the copy always equals ``decode(encode())``.
     """
     try:
         text = _ENCODER.encode(payload)
@@ -91,4 +122,8 @@ def wire_copy(payload: Any) -> tuple[int, Any]:
         raise FrameError(f"payload not serialisable: {exc}") from exc
     if len(text) > MAX_FRAME_BYTES:
         raise FrameError(f"frame of {len(text)} bytes exceeds {MAX_FRAME_BYTES}")
-    return _LENGTH.size + len(text), _DECODER.decode(text)
+    try:
+        copy = _copy_json(payload)
+    except _NotPlainJson:
+        copy = _DECODER.decode(text)
+    return _LENGTH.size + len(text), copy

@@ -66,6 +66,9 @@ class PeerHoodDaemon:
         self.rediscovery_probes = 0
         self.stale_connections_dropped = 0
         self._rediscovering: set[str] = set()
+        #: Devices with a service query in flight — dedupes the
+        #: per-round retry of still-unfresh neighbours.
+        self._querying: set[str] = set()
         stack.listen(PHD_PORT, self._accept_control)
 
     # -- lifecycle ----------------------------------------------------------
@@ -210,8 +213,17 @@ class PeerHoodDaemon:
         for device_id in new_devices:
             for callback in list(self._found_callbacks):
                 callback(device_id)
-            self.env.spawn(self._query_services(device_id),
-                           name=f"phd:{self.device_id}:svcq:{device_id}")
+            self._start_service_query(device_id)
+        # A neighbour whose service query failed (e.g. its link was
+        # still settling at first contact) would otherwise stay
+        # serviceless forever: only *new* devices are queried, and a
+        # continuously-visible device never becomes new again.  Retry
+        # unfresh neighbours each round until a query lands.
+        for device_id in sorted(found):
+            neighbor = self.neighbors.get(device_id)
+            if (neighbor is not None and not neighbor.services_fresh
+                    and device_id not in new_devices):
+                self._start_service_query(device_id)
         for device_id in lost_devices:
             # An abrupt disappearance (flap, walk-away) must not leave
             # half-open connections behind: closing them wakes every
@@ -252,36 +264,46 @@ class PeerHoodDaemon:
         finally:
             self._rediscovering.discard(device_id)
 
+    def _start_service_query(self, device_id: str) -> None:
+        if device_id in self._querying:
+            return
+        self._querying.add(device_id)
+        self.env.spawn(self._query_services(device_id),
+                       name=f"phd:{self.device_id}:svcq:{device_id}")
+
     def _query_services(self, device_id: str) -> Generator:
         """Fetch the remote daemon's service list over the control port.
 
         One immediate retry covers the window where the peer was
         discovered but its link is still settling; a device whose query
-        keeps failing stays serviceless until the next discovery round.
+        keeps failing stays serviceless (``services_fresh`` False)
+        until the next discovery round retries it.
         """
-        reply = None
-        for attempt in (1, 2):
-            plugin = self.plugin_for(device_id)
-            if plugin is None:
-                return None
-            try:
-                connection = yield from plugin.connect(device_id, PHD_PORT)
-            except (ConnectionError, OSError):
+        try:
+            for attempt in (1, 2):
+                plugin = self.plugin_for(device_id)
+                if plugin is None:
+                    return None
+                try:
+                    connection = yield from plugin.connect(device_id, PHD_PORT)
+                except (ConnectionError, OSError):
+                    if attempt == 1:
+                        yield Delay(1.0)
+                        continue
+                    return None
+                try:
+                    connection.send({"op": "get_services"})
+                    reply = yield connection.recv()
+                except (ConnectionError, OSError):
+                    reply = None
+                finally:
+                    connection.close()
+                if isinstance(reply, dict) and "services" in reply:
+                    break
                 if attempt == 1:
                     yield Delay(1.0)
-                    continue
-                return None
-            try:
-                connection.send({"op": "get_services"})
-                reply = yield connection.recv()
-            except (ConnectionError, OSError):
-                reply = None
-            finally:
-                connection.close()
-            if isinstance(reply, dict) and "services" in reply:
-                break
-            if attempt == 1:
-                yield Delay(1.0)
+        finally:
+            self._querying.discard(device_id)
         neighbor = self.neighbors.get(device_id)
         if neighbor is None or not isinstance(reply, dict):
             return None

@@ -10,13 +10,27 @@ Devices attach per-technology *adapters* (a device without a Bluetooth
 adapter is invisible on Bluetooth even when physically near), which
 lets scenarios reproduce the paper's testbed where only some machines
 carried dongles (Table 5).
+
+Invalidation is *incremental*: the world reports which nodes moved per
+tick and the medium drops only the cached distances and reachability
+verdicts involving those nodes (via per-node key indexes), so when one
+node out of a thousand moves the other 999 devices' memoized topology
+stays hot — the previous design cleared everything on any movement,
+which made every tick quadratic at crowd scale.  Cache *hits* stay a
+single dict lookup.  Neighbour listings are validated lazily instead:
+each carries the spatial grid's *region stamp* for the radio disc it
+covers, so a listing survives until somebody inside that disc's cells
+moves, joins, leaves or toggles an adapter.  Adapter power toggles
+invalidate only the owning device's pairs.  When the world runs
+without a spatial grid (``REPRO_SPATIAL_INDEX=0``) the medium falls
+back to the historical clear-everything listeners.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.mobility.world import World
+from repro.mobility.world import MovementReport, World
 from repro.radio.technology import Technology
 
 if TYPE_CHECKING:  # pragma: no cover - layering guard (net builds on radio)
@@ -52,10 +66,11 @@ class Adapter:
         value = bool(value)
         if value != self._enabled:
             self._enabled = value
-            # Powering a radio changes who can reach whom: drop the
-            # medium's memoized topology answers.
+            # Powering a radio changes who can reach whom — but only
+            # for pairs involving *this* device.
             if self._medium is not None:
-                self._medium._invalidate_topology()
+                self._medium._adapter_changed(self.device_id,
+                                              self.technology.name)
 
     @property
     def cost_incurred(self) -> float:
@@ -74,43 +89,118 @@ class Medium:
     def __init__(self, world: World) -> None:
         self.world = world
         self._adapters: dict[tuple[str, str], Adapter] = {}
-        #: Device ids per technology name — lets ``neighbors`` scan one
-        #: technology's population instead of every adapter pair.
+        #: Device ids per technology name — the roster wide-area
+        #: listings enumerate (local listings go through the grid).
         self._by_technology: dict[str, list[str]] = {}
+        #: Technology names each device holds adapters for — lets
+        #: per-node invalidation find the device's neighbour listings
+        #: without scanning the full adapter registry.
+        self._techs_of: dict[str, list[str]] = {}
         self._gateways: set[str] = set()
-        #: Pairwise distances memoized until the next movement
-        #: notification; reachability at 64 devices recomputes the same
-        #: distance thousands of times per tick otherwise.
+        #: Pairwise distances memoized until either endpoint moves.
         self._distances: dict[tuple[str, str], float] = {}
-        #: Memoized ``reachable`` verdicts and sorted ``neighbors``
-        #: listings, valid for one topology epoch.  Dropped whenever
-        #: positions, adapters, enablement or gateways change.
+        #: Memoized ``reachable`` verdicts, evicted per endpoint.
         self._reachable_cache: dict[tuple[str, str, str], bool] = {}
-        self._neighbors_cache: dict[tuple[str, str], list[str]] = {}
-        world.on_movement(self._invalidate_positions)
+        #: node id -> cache keys involving it, for targeted eviction.
+        #: Sets may hold keys already evicted via the other endpoint;
+        #: eviction tolerates misses, and re-derived entries re-add
+        #: their key, so the indexes stay bounded by the live pair set.
+        self._dist_index: dict[str, set[tuple[str, str]]] = {}
+        self._reach_index: dict[str, set[tuple[str, str, str]]] = {}
+        #: (device, tech) -> (listing, stamp) where stamp is the grid
+        #: region stamp of the radio disc (local radios) or the
+        #: (roster epoch, gateway epoch) pair (wide-area).
+        self._neighbors_cache: dict[tuple[str, str],
+                                    tuple[list[str], tuple[int, int]]] = {}
+        #: Per-technology roster change counter (attach/detach/power
+        #: toggles) — validates wide-area neighbour listings.
+        self._tech_epoch: dict[str, int] = {}
+        self._gateway_epoch = 0
+        #: With a spatial grid, region stamps + per-node eviction carry
+        #: invalidation; without one, clear-everything listeners do.
+        self._incremental = world.grid is not None
+        if self._incremental:
+            world.on_moves(self._apply_report)
+        else:
+            world.on_movement(self._invalidate_positions)
         #: Optional installed :class:`~repro.net.faults.FaultInjector`;
         #: stacks and connections consult it at setup and send time.
         self.faults: "FaultInjector | None" = None
 
+    # -- invalidation ----------------------------------------------------
+
+    def _evict_node(self, node_id: str) -> None:
+        """Drop every cached distance/verdict involving ``node_id``."""
+        keys = self._reach_index.pop(node_id, None)
+        if keys:
+            cache = self._reachable_cache
+            for key in keys:
+                cache.pop(key, None)
+        pair_keys = self._dist_index.pop(node_id, None)
+        if pair_keys:
+            distances = self._distances
+            for key in pair_keys:
+                distances.pop(key, None)
+
+    def _apply_report(self, report: MovementReport) -> None:
+        """Movement listener: evict only what the movers invalidate.
+
+        Neighbour listings need no work here — the grid bumped the
+        movers' cell epochs, so any listing whose disc covers them
+        fails its region-stamp check on next read.
+        """
+        for node_id in report.changed_ids():
+            self._evict_node(node_id)
+
     def _invalidate_positions(self) -> None:
-        """Movement listener: positions changed, drop position-derived
+        """Brute-force-mode movement listener: drop position-derived
         caches (distances, reachability, neighbour listings)."""
         self._distances.clear()
         self._reachable_cache.clear()
         self._neighbors_cache.clear()
+        self._dist_index.clear()
+        self._reach_index.clear()
 
-    def _invalidate_topology(self) -> None:
-        """Adapters/gateways changed; distances stay valid."""
-        self._reachable_cache.clear()
-        self._neighbors_cache.clear()
+    def _adapter_changed(self, device_id: str, technology_name: str) -> None:
+        """One device's adapter set or power state changed.
+
+        Only pairs involving ``device_id`` can have changed: evict its
+        verdicts, stamp its grid cell (so listings whose disc covers it
+        re-derive) and bump the technology's roster epoch (wide-area
+        listings).  Its memoized *distances* stay valid — radios do not
+        move the device.
+        """
+        self._tech_epoch[technology_name] = \
+            self._tech_epoch.get(technology_name, 0) + 1
+        if self._incremental:
+            keys = self._reach_index.pop(device_id, None)
+            if keys:
+                cache = self._reachable_cache
+                for key in keys:
+                    cache.pop(key, None)
+            self.world.touch_node(device_id)
+        else:
+            # Without per-node indexes or region stamps there is no way
+            # to know which verdicts/listings involve this device —
+            # drop them all (the historical behaviour).
+            self._reachable_cache.clear()
+            self._neighbors_cache.clear()
 
     def _distance(self, a: str, b: str) -> float:
-        """World distance with per-movement-epoch memoization."""
+        """World distance memoized until either endpoint moves."""
         key = (a, b) if a <= b else (b, a)
         cached = self._distances.get(key)
-        if cached is None:
-            cached = self.world.distance_between(a, b)
-            self._distances[key] = cached
+        if cached is not None:
+            return cached
+        cached = self.world.distance_between(a, b)
+        self._distances[key] = cached
+        if self._incremental:
+            index = self._dist_index
+            for node_id in key:
+                bucket = index.get(node_id)
+                if bucket is None:
+                    bucket = index[node_id] = set()
+                bucket.add(key)
         return cached
 
     # -- attachment ------------------------------------------------------
@@ -124,14 +214,21 @@ class Medium:
         adapter._medium = self
         self._adapters[key] = adapter
         self._by_technology.setdefault(technology.name, []).append(device_id)
-        self._invalidate_topology()
+        self._techs_of.setdefault(device_id, []).append(technology.name)
+        if technology.range_m is not None:
+            # Keep grid cells at least one radio range wide so a
+            # neighbour disc overlaps a bounded number of cells.
+            self.world.require_cell_size(technology.range_m)
+        self._adapter_changed(device_id, technology.name)
         return adapter
 
     def detach(self, device_id: str, technology_name: str) -> None:
         """Remove an adapter (device powered the radio off)."""
         del self._adapters[(device_id, technology_name)]
         self._by_technology[technology_name].remove(device_id)
-        self._invalidate_topology()
+        self._techs_of[device_id].remove(technology_name)
+        self._neighbors_cache.pop((device_id, technology_name), None)
+        self._adapter_changed(device_id, technology_name)
 
     def adapter(self, device_id: str, technology_name: str) -> Adapter | None:
         """The adapter, or ``None`` if the device lacks the technology."""
@@ -145,7 +242,13 @@ class Medium:
     def register_gateway(self, technology_name: str) -> None:
         """Declare operator infrastructure for a wide-area technology."""
         self._gateways.add(technology_name)
-        self._invalidate_topology()
+        self._gateway_epoch += 1
+        # Gateway presence flips wide-area verdicts wholesale; this is
+        # a scenario-setup event, so a full drop is fine.
+        self._reachable_cache.clear()
+        self._reach_index.clear()
+        if not self._incremental:
+            self._neighbors_cache.clear()
 
     def has_gateway(self, technology_name: str) -> bool:
         """Whether the wide-area technology has infrastructure."""
@@ -156,16 +259,27 @@ class Medium:
     def reachable(self, a: str, b: str, technology_name: str) -> bool:
         """Whether ``a`` and ``b`` can communicate over the technology.
 
-        Verdicts are memoized for the current topology epoch — every
-        send, connect and discovery scan asks this, and at 64 devices
-        the same pairs repeat tens of thousands of times per epoch.
+        Verdicts are memoized until either endpoint moves or toggles —
+        every send, connect and discovery scan asks this, and at crowd
+        scale the same pairs repeat tens of thousands of times, so the
+        hit path is a single dict lookup.
         """
         key = (a, b, technology_name)
         cached = self._reachable_cache.get(key)
-        if cached is None:
-            cached = self._reachable_cache[key] = \
-                self._compute_reachable(a, b, technology_name)
-        return cached
+        if cached is not None:
+            return cached
+        verdict = self._compute_reachable(a, b, technology_name)
+        self._reachable_cache[key] = verdict
+        if self._incremental:
+            # Brute-force mode clears caches wholesale, so the
+            # per-node eviction indexes would be dead weight there.
+            index = self._reach_index
+            for node_id in (a, b):
+                bucket = index.get(node_id)
+                if bucket is None:
+                    bucket = index[node_id] = set()
+                bucket.add(key)
+        return verdict
 
     def _compute_reachable(self, a: str, b: str, technology_name: str) -> bool:
         if a == b:
@@ -202,15 +316,35 @@ class Medium:
         own = self._adapters.get((device_id, technology_name))
         if own is None or not own._enabled:
             return []
+        technology = own.technology
+        wide_area = technology.needs_gateway or technology.range_m is None
+        if wide_area:
+            stamp = (self._tech_epoch.get(technology_name, 0),
+                     self._gateway_epoch)
+        elif device_id not in self.world:
+            return []  # off-map device: nothing in radio range
+        else:
+            stamp = self.world.region_stamp(device_id, technology.range_m)
         key = (device_id, technology_name)
-        cached = self._neighbors_cache.get(key)
-        if cached is None:
-            cached = sorted(
+        entry = self._neighbors_cache.get(key)
+        if entry is not None and entry[1] == stamp:
+            return list(entry[0])
+        if wide_area or not self._incremental:
+            listing = sorted(
                 other for other in self._by_technology.get(technology_name, ())
                 if other != device_id
                 and self.reachable(device_id, other, technology_name))
-            self._neighbors_cache[key] = cached
-        return list(cached)
+        else:
+            # Grid-backed: the world already limited candidates to the
+            # radio disc (sorted), so only adapter power needs checking.
+            adapters = self._adapters
+            listing = []
+            for node in self.world.nodes_within(device_id, technology.range_m):
+                other = adapters.get((node.node_id, technology_name))
+                if other is not None and other._enabled:
+                    listing.append(node.node_id)
+        self._neighbors_cache[key] = (listing, stamp)
+        return list(listing)
 
     def record_transfer(self, device_id: str, technology_name: str,
                         nbytes: int) -> None:

@@ -146,7 +146,13 @@ class Process:
 
     def _step(self, advance: Any) -> None:
         """Advance the generator once and interpret what it yields."""
-        if not self._alive:
+        if not self._alive or self._generator.gi_running:
+            # gi_running: the resume arrived from *inside* the
+            # generator's own execution — e.g. its finally clause (run
+            # by close() during teardown) closed a connection whose
+            # error path fires the signal this very process waits on.
+            # Sending into a running generator is a ValueError; the
+            # process is tearing down, so drop the resume.
             return
         try:
             yielded = advance()
@@ -187,8 +193,9 @@ class Process:
     def _resume_with(self, value: Any) -> None:
         # The kernel's hottest path (every Delay/Signal resume lands
         # here): advance the generator directly instead of routing a
-        # fresh closure through ``_step``.
-        if not self._alive:
+        # fresh closure through ``_step``.  The gi_running guard
+        # mirrors ``_step``: never send into a generator mid-teardown.
+        if not self._alive or self._generator.gi_running:
             return
         try:
             yielded = self._generator.send(value)
