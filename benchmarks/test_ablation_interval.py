@@ -31,8 +31,10 @@ def test_ablation_scan_interval_sweep(bench):
     # The formation latency is roughly interval + scan + probe: check
     # the additive structure rather than absolute values.
     deltas = [later.formation_time_s - earlier.formation_time_s
-              for earlier, later in zip(points, points[1:])]
+              for earlier, later in zip(points, points[1:], strict=False)]
     interval_deltas = [later.scan_interval_s - earlier.scan_interval_s
-                       for earlier, later in zip(points, points[1:])]
-    for latency_gap, interval_gap in zip(deltas, interval_deltas):
+                       for earlier, later in zip(points, points[1:],
+                                                 strict=False)]
+    for latency_gap, interval_gap in zip(deltas, interval_deltas,
+                                         strict=True):
         assert abs(latency_gap - interval_gap) < 3.0

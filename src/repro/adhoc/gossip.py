@@ -20,7 +20,7 @@ instead of flooding.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator
+from collections.abc import Generator
 
 from repro.adhoc.relay import open_multihop
 from repro.net.stack import NetworkStack

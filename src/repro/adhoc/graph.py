@@ -82,7 +82,7 @@ class NeighborGraph:
         graph = self.snapshot()
         if any(device_id not in graph for device_id in device_ids):
             return False
-        subgraph_nodes = set()
+        subgraph_nodes: set[str] = set()
         for component in nx.connected_components(graph):
             if device_ids[0] in component:
                 subgraph_nodes = component

@@ -12,7 +12,7 @@ baseline behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator
+from collections.abc import Generator
 
 from repro.adhoc.graph import NeighborGraph
 from repro.adhoc.relay import open_multihop

@@ -10,7 +10,7 @@ exactly the latency structure the overlay benches measure.
 
 from __future__ import annotations
 
-from typing import Generator, Sequence
+from collections.abc import Generator, Sequence
 
 from repro.net.connection import Connection
 from repro.net.stack import NetworkStack

@@ -79,7 +79,8 @@ class RouteDiscovery:
     def _route_alive(self, record: RouteRecord) -> bool:
         medium = self.graph.medium
         return all(medium.reachable(a, b, self.graph.technology_name)
-                   for a, b in zip(record.path, record.path[1:]))
+                   for a, b in zip(record.path, record.path[1:],
+                                   strict=False))
 
     def find_route(self, target: str, max_hops: int = 8):
         """Process generator: discover (or reuse) a route to ``target``.
@@ -103,7 +104,7 @@ class RouteDiscovery:
         # Re-validate after the delay - nodes may have moved mid-flood.
         medium = self.graph.medium
         alive = all(medium.reachable(a, b, self.graph.technology_name)
-                    for a, b in zip(path, path[1:]))
+                    for a, b in zip(path, path[1:], strict=False))
         if not alive:
             return None
         record = RouteRecord(tuple(path), self.env.now,

@@ -1,0 +1,47 @@
+"""Simulation-safety static analysis.
+
+The reproduction's headline artefacts — Table 8 timings, byte-identical
+parallel sweeps, replayable MSC traces — rest on invariants the language
+cannot express: no wall-clock reads on the simulated path, every random
+draw through a named :meth:`~repro.simenv.rng.RandomStreams.stream`,
+no blocking calls inside simenv process coroutines, no iteration-order
+nondeterminism feeding the event queue or the wire, and a protocol
+table that agrees with its server handlers and client encoders.
+
+This package makes those rules mechanical.  :mod:`repro.analysis.core`
+is a small AST rule framework (one parse and one tree walk per file,
+rules subscribe to node types); :mod:`repro.analysis.rules` holds the
+project rules; :mod:`repro.analysis.runner` walks a source tree,
+applies file- and project-scoped rules, honours ``# repro:
+allow[RULE]`` per-file suppressions, and renders human or JSON
+reports.  ``scripts/check.py`` is the CLI; CI blocks on it.
+"""
+
+from repro.analysis.core import (
+    Finding,
+    FileRule,
+    Module,
+    ProjectRule,
+    Suppression,
+    all_rules,
+    parse_module,
+    register,
+    rule_codes,
+)
+from repro.analysis.runner import AnalysisReport, analyze_paths, analyze_tree
+from repro.analysis import rules as _rules  # noqa: F401  (registers the rule set)
+
+__all__ = [
+    "AnalysisReport",
+    "FileRule",
+    "Finding",
+    "Module",
+    "ProjectRule",
+    "Suppression",
+    "all_rules",
+    "analyze_paths",
+    "analyze_tree",
+    "parse_module",
+    "register",
+    "rule_codes",
+]

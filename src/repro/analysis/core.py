@@ -1,0 +1,268 @@
+"""Rule framework for the simulation-safety analyzer.
+
+A :class:`Module` is one parsed source file.  Rules come in two shapes:
+
+* :class:`FileRule` — examines one module at a time.  Subclasses
+  implement :meth:`FileRule.check` and yield :class:`Finding`\\ s; the
+  :class:`ScopeTracker` helper answers the questions most rules ask
+  (what function am I in? is it a generator?).
+* :class:`ProjectRule` — examines the whole module set at once, for
+  cross-file consistency checks like the protocol/handler/encoder
+  triangle.
+
+Rules self-register via the :func:`register` decorator so the runner,
+the CLI, and the tests all agree on the active rule set without a
+hand-maintained list.
+
+Suppressions are **file-scoped and explicit**: a ``# repro:
+allow[SIM001]`` comment anywhere in a file silences that rule for the
+whole file.  Every suppression is parsed into a :class:`Suppression`
+record so the runner can count them, report them, and gate their
+number — an allowance is visible debt, never a silent one.
+"""
+
+from __future__ import annotations
+
+import ast
+import contextlib
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Iterable, Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` — the human report line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True, order=True)
+class Suppression:
+    """One ``# repro: allow[RULE]`` comment."""
+
+    path: str
+    line: int
+    rule: str
+    reason: str
+
+    def render(self) -> str:
+        reason = f" ({self.reason})" if self.reason else ""
+        return f"{self.path}:{self.line}: allow[{self.rule}]{reason}"
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "reason": self.reason,
+        }
+
+
+#: Matches the allow-marker comment form: ``repro:`` then the rule
+#: codes in square brackets, optionally ``-- reason`` after them.
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[A-Z0-9_,\s]+)\]"
+    r"(?:\s*(?:--|—)\s*(?P<reason>.*))?"
+)
+
+
+@dataclass
+class Module:
+    """A parsed source file plus everything rules need to inspect it."""
+
+    path: Path
+    #: Path as reported in findings — repo-relative where possible.
+    display_path: str
+    source: str
+    tree: ast.Module
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    def allowed_rules(self) -> set[str]:
+        return {suppression.rule for suppression in self.suppressions}
+
+
+def parse_module(path: Path, root: Path | None = None) -> Module:
+    """Parse ``path`` into a :class:`Module`.
+
+    Raises :class:`SyntaxError` for unparsable source — the runner
+    turns that into a finding rather than crashing the whole run.
+    """
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    display = _display_path(path, root)
+    suppressions = _parse_suppressions(source, display)
+    return Module(path=path, display_path=display, source=source,
+                  tree=tree, suppressions=suppressions)
+
+
+def _display_path(path: Path, root: Path | None) -> str:
+    if root is not None:
+        with contextlib.suppress(ValueError):
+            return path.resolve().relative_to(root.resolve()).as_posix()
+    return path.as_posix()
+
+
+def _parse_suppressions(source: str, display_path: str) -> list[Suppression]:
+    """Collect allow-comments from real COMMENT tokens only, so the
+    marker can be *mentioned* in strings and docstrings without
+    registering a suppression."""
+    suppressions: list[Suppression] = []
+    lines = io.StringIO(source)
+    try:
+        tokens = list(tokenize.generate_tokens(lines.readline))
+    except tokenize.TokenError:
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _ALLOW_RE.search(token.string)
+        if match is None:
+            continue
+        reason = (match.group("reason") or "").strip()
+        for rule in match.group("rules").split(","):
+            rule = rule.strip()
+            if rule:
+                suppressions.append(Suppression(
+                    path=display_path, line=token.start[0],
+                    rule=rule, reason=reason))
+    return suppressions
+
+
+class Rule:
+    """Common surface of every rule: a code and a one-line summary."""
+
+    #: Stable identifier, e.g. ``"SIM001"`` — what suppressions name.
+    code: str = ""
+    #: One-line description shown by ``scripts/check.py --list-rules``.
+    summary: str = ""
+
+
+class FileRule(Rule):
+    """A rule that inspects one module at a time."""
+
+    def applies_to(self, module: Module) -> bool:
+        """Whether this rule runs on ``module`` (default: every file)."""
+        return True
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        return Finding(path=module.display_path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       rule=self.code, message=message)
+
+
+class ProjectRule(Rule):
+    """A rule that inspects the whole module set for consistency."""
+
+    def check_project(self, modules: Iterable[Module]) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_class: type) -> type:
+    """Class decorator adding a rule (by its ``code``) to the registry."""
+    rule = rule_class()
+    if not rule.code:
+        raise ValueError(f"{rule_class.__name__} has no code")
+    if rule.code in _REGISTRY and type(_REGISTRY[rule.code]) is not rule_class:
+        raise ValueError(f"duplicate rule code {rule.code!r}")
+    _REGISTRY[rule.code] = rule
+    return rule_class
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules, ordered by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def rule_codes() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+class ScopeTracker(ast.NodeVisitor):
+    """Tree walk that maintains the function-nesting context rules need.
+
+    Subclasses get :attr:`function_stack` (innermost last) and
+    :meth:`in_generator` while their ``visit_*`` methods run.  The
+    tracker also records, per function node, whether it contains a
+    ``yield`` — the static signature of a simenv process coroutine.
+    """
+
+    def __init__(self) -> None:
+        self.function_stack: list[ast.AST] = []
+        self._generator_cache: dict[ast.AST, bool] = {}
+
+    # -- context ---------------------------------------------------------
+
+    def current_function(self) -> ast.AST | None:
+        return self.function_stack[-1] if self.function_stack else None
+
+    def in_generator(self) -> bool:
+        """True when the innermost enclosing function contains ``yield``."""
+        function = self.current_function()
+        if function is None:
+            return False
+        cached = self._generator_cache.get(function)
+        if cached is None:
+            cached = _contains_yield(function)
+            self._generator_cache[function] = cached
+        return cached
+
+    # -- traversal -------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._walk_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._walk_function(node)
+
+    def _walk_function(self, node: ast.AST) -> None:
+        self.function_stack.append(node)
+        try:
+            self.generic_visit(node)
+        finally:
+            self.function_stack.pop()
+
+
+def _contains_yield(function: ast.AST) -> bool:
+    """Whether ``function``'s own body yields.
+
+    Nested ``def``/``lambda`` scopes are pruned from the walk — their
+    yields make *them* generators, not the enclosing function.
+    """
+    stack = list(ast.iter_child_nodes(function))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False

@@ -1,0 +1,29 @@
+"""The project rule set.
+
+Importing this package registers every rule with the framework
+registry; :func:`repro.analysis.core.all_rules` is the single source
+of truth afterwards.
+"""
+
+from repro.analysis.core import Rule, register
+from repro.analysis.rules import proto, sim  # noqa: F401  (registration side effect)
+
+
+@register
+class ParseFailure(Rule):
+    """Pseudo-rule the runner reports when a file fails to parse."""
+
+    code = "PARSE001"
+    summary = "source file could not be parsed"
+
+
+@register
+class UnusedSuppression(Rule):
+    """Pseudo-rule the runner reports for allowances that silence nothing.
+
+    A stale ``# repro: allow[...]`` is debt that outlived its reason;
+    deleting it keeps the suppression count honest.
+    """
+
+    code = "SUP001"
+    summary = "# repro: allow[...] comment that suppresses no finding"

@@ -1,0 +1,204 @@
+"""Simulation-determinism rules (SIM001-SIM004).
+
+These encode the contract that makes Table 8 timings and parallel
+sweeps byte-identical: simulated code computes *only* from the
+simulation state — the event clock, the named random streams, and the
+deterministic data structures feeding them.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import FileRule, Finding, Module, ScopeTracker, register
+from repro.analysis.rules.helpers import import_aliases, in_packages, qualified_name
+
+#: Packages whose code runs on the simulated path.  ``eval`` and
+#: ``msc`` are deliberately absent: the harness measures wall clocks
+#: and writes report files by design.
+SIM_PATH_PACKAGES = frozenset(
+    {"simenv", "net", "radio", "peerhood", "community", "mobility"}
+)
+
+#: Wall-clock reads.  Any of these on the simulated path couples event
+#: outcomes to host speed.
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Module-level functions of :mod:`random` — the shared, process-global
+#: generator no named stream controls.
+_GLOBAL_RANDOM = frozenset({
+    "random.random", "random.uniform", "random.randint", "random.randrange",
+    "random.choice", "random.choices", "random.sample", "random.shuffle",
+    "random.getrandbits", "random.randbytes", "random.seed",
+    "random.getstate", "random.setstate", "random.gauss",
+    "random.normalvariate", "random.lognormvariate", "random.expovariate",
+    "random.betavariate", "random.gammavariate", "random.paretovariate",
+    "random.triangular", "random.vonmisesvariate", "random.weibullvariate",
+    "random.binomialvariate",
+})
+
+#: Blocking or I/O-bound calls that must never run inside a simenv
+#: process coroutine — they stall every simulated device at once.
+_BLOCKING_PREFIXES = ("socket.", "subprocess.", "urllib.", "http.client.",
+                     "requests.", "select.")
+_BLOCKING_CALLS = frozenset({
+    "time.sleep", "os.open", "os.read", "os.write", "os.system",
+    "io.open",
+})
+
+
+class _SimPathRule(FileRule):
+    """Base for rules scoped to the simulated-path packages."""
+
+    def applies_to(self, module: Module) -> bool:
+        return in_packages(module.display_path, SIM_PATH_PACKAGES)
+
+
+@register
+class WallClockRule(_SimPathRule):
+    code = "SIM001"
+    summary = ("no wall-clock reads (time.time/perf_counter/datetime.now) "
+               "in sim-path modules")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            qualified = qualified_name(node, aliases)
+            if qualified in _WALL_CLOCK:
+                yield self.finding(
+                    module, node,
+                    f"wall-clock read {qualified} on the simulated path; "
+                    f"use env.now (simulated seconds) instead")
+
+
+@register
+class GlobalRandomRule(FileRule):
+    """SIM002 applies to the whole tree: *every* draw goes through a
+    named stream so traces replay and parallel sweeps stay
+    byte-identical."""
+
+    code = "SIM002"
+    summary = ("no global random module / unseeded random.Random(); draw "
+               "from env.random.stream(name)")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                qualified = qualified_name(node.func, aliases)
+                if qualified == "random.Random" and not node.args \
+                        and not node.keywords:
+                    yield self.finding(
+                        module, node,
+                        "unseeded random.Random() is seeded from the OS; "
+                        "derive one via env.random.stream(name) or pass an "
+                        "explicit seed")
+                elif qualified == "random.SystemRandom":
+                    yield self.finding(
+                        module, node,
+                        "random.SystemRandom draws from the OS entropy pool "
+                        "and can never be replayed")
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                qualified = qualified_name(node, aliases)
+                if qualified in _GLOBAL_RANDOM:
+                    yield self.finding(
+                        module, node,
+                        f"{qualified} uses the process-global generator; "
+                        f"draw from a named env.random.stream(...) instead")
+
+
+@register
+class BlockingCallRule(_SimPathRule):
+    code = "SIM003"
+    summary = ("no blocking calls (time.sleep/socket/file I/O) inside "
+               "simenv process coroutines")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        rule = self
+        aliases = import_aliases(module.tree)
+        findings: list[Finding] = []
+
+        class Visitor(ScopeTracker):
+            def visit_Call(self, node: ast.Call) -> None:
+                if self.in_generator():
+                    message = _blocking_call_message(node, aliases)
+                    if message is not None:
+                        findings.append(rule.finding(module, node, message))
+                self.generic_visit(node)
+
+        Visitor().visit(module.tree)
+        yield from findings
+
+
+def _blocking_call_message(node: ast.Call, aliases: dict[str, str]) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "open" \
+            and "open" not in aliases:
+        return ("builtin open() inside a process coroutine blocks the "
+                "event loop; do file I/O outside the simulation or via a "
+                "simulated store")
+    qualified = qualified_name(func, aliases)
+    if qualified is None:
+        return None
+    if qualified in _BLOCKING_CALLS or \
+            qualified.startswith(_BLOCKING_PREFIXES):
+        return (f"blocking call {qualified} inside a process coroutine "
+                f"stalls every simulated device; yield a simenv timer or "
+                f"move the work off the simulated path")
+    return None
+
+
+@register
+class UnorderedIterationRule(_SimPathRule):
+    code = "SIM004"
+    summary = ("no direct iteration over sets in sim-path modules; wrap "
+               "in sorted(...)")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                targets = [node.iter]
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                targets = [generator.iter for generator in node.generators]
+            else:
+                continue
+            for target in targets:
+                if _statically_a_set(target):
+                    yield self.finding(
+                        module, target,
+                        "iteration over an unordered set; the order feeds "
+                        "simulation state, so wrap it in sorted(...)")
+
+
+_SET_METHODS = frozenset({"intersection", "union", "difference",
+                          "symmetric_difference"})
+
+
+def _statically_a_set(node: ast.AST) -> bool:
+    """Whether an expression is provably a set at this syntax level."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS \
+                and _statically_a_set(func.value):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)):
+        return _statically_a_set(node.left) or _statically_a_set(node.right)
+    return False

@@ -1,0 +1,168 @@
+"""Walk a source tree, apply the rule set, render reports.
+
+The runner parses each file once, runs every applicable
+:class:`~repro.analysis.core.FileRule` over it, then runs the
+:class:`~repro.analysis.core.ProjectRule` set over the whole module
+list.  File-scoped ``# repro: allow[RULE]`` comments move matching
+findings into the *suppressed* list — still visible, still counted —
+and an allowance that silences nothing becomes a ``SUP001`` finding of
+its own, so suppressions can only ever describe real, current debt.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Iterable, Sequence
+
+from repro.analysis.core import (
+    FileRule,
+    Finding,
+    Module,
+    ProjectRule,
+    Suppression,
+    all_rules,
+    parse_module,
+)
+
+#: Report schema version stamped into ``--json`` output.
+SCHEMA = "repro.analysis/v1"
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run learned."""
+
+    root: str
+    files: list[str] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        tally: dict[str, int] = {}
+        for finding in self.findings:
+            tally[finding.rule] = tally.get(finding.rule, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "schema": SCHEMA,
+            "root": self.root,
+            "files_scanned": len(self.files),
+            "ok": self.ok,
+            "counts": self.counts(),
+            "findings": [finding.to_json() for finding in self.findings],
+            "suppressed": [finding.to_json() for finding in self.suppressed],
+            "suppressions": [s.to_json() for s in self.suppressions],
+        }
+
+    def render_human(self) -> str:
+        """The multi-line human report ``scripts/check.py`` prints."""
+        lines: list[str] = []
+        for finding in sorted(self.findings):
+            lines.append(finding.render())
+        if self.suppressed:
+            lines.append("")
+            lines.append(f"suppressed ({len(self.suppressed)}):")
+            for finding in sorted(self.suppressed):
+                lines.append(f"  {finding.render()}")
+        if self.suppressions:
+            lines.append("")
+            lines.append(f"suppressions in force ({len(self.suppressions)}):")
+            for suppression in sorted(self.suppressions):
+                lines.append(f"  {suppression.render()}")
+        lines.append("")
+        status = "clean" if self.ok else f"{len(self.findings)} finding(s)"
+        lines.append(f"{len(self.files)} file(s) scanned: {status}")
+        return "\n".join(lines)
+
+
+def analyze_tree(root: Path) -> AnalysisReport:
+    """Analyze every ``*.py`` under ``root`` (sorted, deterministic)."""
+    paths = sorted(path for path in root.rglob("*.py")
+                   if "__pycache__" not in path.parts)
+    return analyze_paths(paths, root=root)
+
+
+def analyze_paths(paths: Sequence[Path],
+                  root: Path | None = None) -> AnalysisReport:
+    """Analyze an explicit file list (pre-commit's changed-file mode).
+
+    Project rules see only the given modules; cross-file checks like
+    PROTO001 therefore need the full-tree run to be authoritative.
+    """
+    report = AnalysisReport(root=str(root) if root is not None else "")
+    modules: list[Module] = []
+    for path in paths:
+        display = path.as_posix()
+        try:
+            module = parse_module(path, root=root)
+        except SyntaxError as exc:
+            report.files.append(display)
+            report.findings.append(Finding(
+                path=display, line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1, rule="PARSE001",
+                message=f"could not parse: {exc.msg}"))
+            continue
+        modules.append(module)
+        report.files.append(module.display_path)
+
+    rules = all_rules()
+    raw: list[Finding] = []
+    for module in modules:
+        for rule in rules:
+            if isinstance(rule, FileRule) and rule.applies_to(module):
+                raw.extend(rule.check(module))
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            raw.extend(rule.check_project(modules))
+
+    _apply_suppressions(report, modules, raw)
+    report.findings.sort()
+    report.suppressed.sort()
+    report.suppressions.sort()
+    return report
+
+
+def _apply_suppressions(report: AnalysisReport, modules: Iterable[Module],
+                        raw: list[Finding]) -> None:
+    allowed: dict[tuple[str, str], Suppression] = {}
+    for module in modules:
+        report.suppressions.extend(module.suppressions)
+        for suppression in module.suppressions:
+            allowed[(module.display_path, suppression.rule)] = suppression
+
+    used: set[tuple[str, str]] = set()
+    for finding in raw:
+        key = (finding.path, finding.rule)
+        if key in allowed:
+            used.add(key)
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+
+    for key, suppression in allowed.items():
+        if key not in used:
+            report.findings.append(Finding(
+                path=suppression.path, line=suppression.line, col=0,
+                rule="SUP001",
+                message=f"allow[{suppression.rule}] suppresses nothing; "
+                        f"delete the stale comment"))
+
+
+def parse_tree_ok(root: Path) -> bool:
+    """Cheap syntax sanity check used by the self-tests."""
+    for path in root.rglob("*.py"):
+        if "__pycache__" in path.parts:
+            continue
+        try:
+            ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except SyntaxError:
+            return False
+    return True

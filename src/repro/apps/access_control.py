@@ -10,8 +10,9 @@ relocks automatically after a hold time.
 
 from __future__ import annotations
 
+import contextlib
+from collections.abc import Generator
 from dataclasses import dataclass
-from typing import Generator
 
 from repro.net.connection import Connection
 from repro.peerhood.library import PeerHoodLibrary
@@ -79,11 +80,9 @@ class AccessControlledDoor:
         if granted:
             self.is_open = True
             self.env.call_in(self.hold_open_s, self._relock)
-        try:
+        with contextlib.suppress(ConnectionError, OSError):
             connection.send({"granted": granted, "reason": reason,
                              "resource": self.resource})
-        except (ConnectionError, OSError):
-            pass
         return None
 
     def _decide(self, requester: str) -> tuple[bool, str]:

@@ -11,7 +11,7 @@ heart-rate zone, averages, and encouragement — after each batch.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator
+from collections.abc import Generator
 
 from repro.net.connection import Connection
 from repro.peerhood.library import PeerHoodLibrary

@@ -13,7 +13,8 @@ in simulation.
 
 from __future__ import annotations
 
-from typing import Generator
+import contextlib
+from collections.abc import Generator
 
 import networkx as nx
 
@@ -92,10 +93,8 @@ class GuidancePoint:
                                   self.router.position_of(next_place).y],
             }
             self.queries_served += 1
-        try:
+        with contextlib.suppress(ConnectionError, OSError):
             connection.send(reply)
-        except (ConnectionError, OSError):
-            pass
         return None
 
 

@@ -8,7 +8,7 @@ and Table 7.
 
 from __future__ import annotations
 
-from typing import Callable, Generator
+from collections.abc import Callable, Generator
 
 from repro.community.client import CommunityClient
 from repro.community.connections import PeerConnectionPool

@@ -21,7 +21,8 @@ from the round; an operation whose *every* peer failed returns a typed
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Generator
+from collections.abc import Generator
+from typing import Any
 
 from repro.community import protocol
 from repro.community.connections import PeerConnectionPool
@@ -71,6 +72,12 @@ class ExchangeReport:
         return bool(self.targets) and not self.replied
 
 
+#: Sentinel for "no exchange has run yet": empty targets, so it can
+#: never read as a total failure.
+_NO_EXCHANGE = ExchangeReport(operation="", targets=(), replied=(),
+                              failed=(), attempts=0)
+
+
 class CommunityClient:
     """Client side of the reference application for one device."""
 
@@ -86,7 +93,7 @@ class CommunityClient:
         self.requests_sent = 0
         self.retry_policy = retry_policy or DEFAULT_CLIENT_POLICY
         self.retry_counters = RetryCounters()
-        self.last_exchange: ExchangeReport | None = None
+        self.last_exchange = _NO_EXCHANGE
         self._backoff_rng = self.env.random.stream(
             f"retry:{library.device_id}")
 
@@ -321,10 +328,9 @@ class CommunityClient:
         replies = yield from self._broadcast(request)
         if self.last_exchange.total_failure:
             return self._degraded()
-        for _, payload in replies:
-            if protocol.response_status(payload) == protocol.SUCCESSFULLY_WRITTEN:
-                return True
-        return False
+        return any(protocol.response_status(payload)
+                   == protocol.SUCCESSFULLY_WRITTEN
+                   for _, payload in replies)
 
     def view_trusted_friends(self, member_id: str) -> Generator:
         """Figure 15: the trusted-friend list of a member."""
@@ -371,6 +377,26 @@ class CommunityClient:
             return payload.get("files", [])
         return protocol.response_status(payload)
 
+    def browse_shared_content(self) -> Generator:
+        """Table 6 row 8: shared content offered across the neighbourhood.
+
+        Broadcasts ``PS_SHAREDCONTENT``; each server replies with the
+        listing of its active member's shared files — provided that
+        member trusts *us*.  Returns ``[(device_id, files), ...]``
+        sorted by device, one entry per neighbour that answered OK.
+        """
+        requester = self._require_member()
+        request = protocol.make_request(protocol.PS_SHAREDCONTENT,
+                                        requester=requester)
+        replies = yield from self._broadcast(request)
+        if self.last_exchange.total_failure:
+            return self._degraded(partial=[])
+        listings: list[tuple[str, list]] = []
+        for device_id, payload in replies:
+            if protocol.response_status(payload) == protocol.STATUS_OK:
+                listings.append((device_id, payload.get("files", [])))
+        return sorted(listings)
+
     def send_message(self, member_id: str, subject: str, body: str) -> Generator:
         """Figure 17: deliver a mail message to a member's device.
 
@@ -410,10 +436,9 @@ class CommunityClient:
         replies = yield from self._broadcast(request)
         if self.last_exchange.total_failure:
             return self._degraded()
-        for _, payload in replies:
-            if protocol.response_status(payload) == protocol.SUCCESSFULLY_WRITTEN:
-                return True
-        return False
+        return any(protocol.response_status(payload)
+                   == protocol.SUCCESSFULLY_WRITTEN
+                   for _, payload in replies)
 
     def check_member_location(self, member_id: str) -> Generator:
         """Which neighbouring device hosts ``member_id`` (PS_CHECKMEMBERID)."""

@@ -20,7 +20,7 @@ again on its next request.
 
 from __future__ import annotations
 
-from typing import Generator
+from collections.abc import Generator
 
 from repro.net.connection import Connection
 from repro.peerhood.library import PeerHoodLibrary

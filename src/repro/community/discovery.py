@@ -21,7 +21,7 @@ groups", §5.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator
+from collections.abc import Generator
 
 from repro.community import protocol
 from repro.community.connections import PeerConnectionPool

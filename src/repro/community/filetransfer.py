@@ -23,7 +23,7 @@ a real transfer of the same size.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator
+from collections.abc import Generator
 
 from repro.community import protocol
 from repro.community.connections import PeerConnectionPool

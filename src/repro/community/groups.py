@@ -95,6 +95,10 @@ class GroupRegistry:
         """The group, or ``None`` if it never formed."""
         return self._groups.get(interest)
 
+    def items(self) -> list[tuple[str, Group]]:
+        """``(interest, group)`` pairs, sorted by interest."""
+        return sorted(self._groups.items())
+
     def names(self) -> list[str]:
         """All group names, sorted."""
         return sorted(self._groups)

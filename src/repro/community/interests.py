@@ -68,7 +68,7 @@ class InterestSet:
         """Interests in insertion order."""
         return list(self._interests)
 
-    def matches(self, other: "InterestSet") -> list[str]:
+    def matches(self, other: InterestSet) -> list[str]:
         """Interests shared with ``other`` (exact matching), in this
         set's order — the inner loop of the Figure 6 algorithm."""
         return [interest for interest in self._interests

@@ -16,7 +16,7 @@ to deliver.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator
+from collections.abc import Generator
 
 from repro.community import protocol
 from repro.community.app import CommunityApp

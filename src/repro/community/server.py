@@ -11,11 +11,11 @@ receive request -> dispatch to the Table 6 handler -> send response.
 
 from __future__ import annotations
 
-from typing import Callable, Generator
+from collections.abc import Callable, Generator
 
 from repro.community import protocol
 from repro.community.filetransfer import PS_GETFILECHUNK, FileTransferService
-from repro.community.profile import MailMessage, ProfileStore
+from repro.community.profile import MailMessage, Profile, ProfileStore
 from repro.msc.trace import MscRecorder
 from repro.net.connection import Connection
 from repro.peerhood.library import PeerHoodLibrary
@@ -133,7 +133,7 @@ class CommunityServer:
         }
         return handlers[op](params)
 
-    def _active_or_none(self):
+    def _active_or_none(self) -> Profile | None:
         return self.store.active
 
     def _handle_online_members(self, params: dict) -> dict:

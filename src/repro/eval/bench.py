@@ -33,7 +33,7 @@ import subprocess
 import sys
 import time
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.eval.parallel import parallel_map
 from repro.eval.testbed import Testbed
@@ -184,7 +184,7 @@ def _scenario_file_transfer(quick: bool) -> float:
 def _scenario_chaos_replay(quick: bool) -> float:
     bed = Testbed(seed=101)
     names = ("alice", "bob", "carol", "dave")
-    for name, interests in zip(names, _INTEREST_CYCLE):
+    for name, interests in zip(names, _INTEREST_CYCLE, strict=True):
         bed.add_member(name, list(interests), retry_policy=_CHAOS_POLICY)
     bed.members["bob"].app.accept_trusted("alice")
     bed.members["bob"].app.share_file("mixtape.mp3", 96 * 1024)

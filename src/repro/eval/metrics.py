@@ -11,7 +11,8 @@ probe log.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 from repro.community.discovery import DynamicGroupEngine
 from repro.community.groups import Group
@@ -110,16 +111,16 @@ def summarize_engine(engine: DynamicGroupEngine,
     """One dict with discovery stats plus per-group churn stats."""
     return {
         "discovery": discovery_stats(engine),
-        "groups": {name: churn_stats(engine.groups.get(name), now)
-                   for name in engine.groups.names()},
+        "groups": {name: churn_stats(group, now)
+                   for name, group in engine.groups.items()},
     }
 
 
 # -- fault / retry accounting -------------------------------------------------
 
-def fault_retry_summary(apps: Iterable["CommunityApp"], *,
-                        injector: "FaultInjector | None" = None,
-                        daemons: Iterable["PeerHoodDaemon"] = ()) -> dict:
+def fault_retry_summary(apps: Iterable[CommunityApp], *,
+                        injector: FaultInjector | None = None,
+                        daemons: Iterable[PeerHoodDaemon] = ()) -> dict:
     """Aggregate fault-injection and retry activity across a run.
 
     Folds every community app's client and downloader
@@ -159,7 +160,7 @@ def fault_retry_summary(apps: Iterable["CommunityApp"], *,
     return summary
 
 
-def summarize_testbed_faults(bed: "Testbed") -> dict:
+def summarize_testbed_faults(bed: Testbed) -> dict:
     """:func:`fault_retry_summary` over everything a testbed holds."""
     return fault_retry_summary(
         (member.app for member in bed.members.values()),

@@ -9,7 +9,7 @@ exchange, not from a drawing.
 
 from __future__ import annotations
 
-from typing import Callable, Generator
+from collections.abc import Callable, Generator
 
 from repro.eval.testbed import Testbed
 from repro.msc.render import render_msc

@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, TypeVar
+from collections.abc import Callable, Iterable
+from typing import TypeVar
 
 _Task = TypeVar("_Task")
 _Result = TypeVar("_Result")

@@ -6,7 +6,7 @@ can be eyeballed against the original side by side.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
@@ -23,12 +23,14 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
     if title:
         lines.append(title)
     header_line = " | ".join(header.ljust(width)
-                             for header, width in zip(headers, widths))
+                             for header, width in zip(headers, widths,
+                                                      strict=True))
     lines.append(header_line)
     lines.append("-+-".join("-" * width for width in widths))
     for row in rows:
         lines.append(" | ".join(str(cell).ljust(width)
-                                for cell, width in zip(row, widths)))
+                                for cell, width in zip(row, widths,
+                                                       strict=True)))
     return "\n".join(lines)
 
 

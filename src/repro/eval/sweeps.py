@@ -114,14 +114,12 @@ def fragmentation_point(pool_size: int, members: int = 10,
     rng = bed.env.random.stream("fragmentation")
     handles = []
     for index in range(members):
-        if index == 0:
-            # The observer holds the whole vocabulary so every
-            # group in the room is visible from one device.
-            interests = list(pool)
-        else:
-            interests = random_interests(rng, minimum=1,
-                                         maximum=min(3, pool_size),
-                                         pool=pool)
+        # The observer (index 0) holds the whole vocabulary so every
+        # group in the room is visible from one device.
+        interests = (list(pool) if index == 0
+                     else random_interests(rng, minimum=1,
+                                           maximum=min(3, pool_size),
+                                           pool=pool))
         handles.append(bed.add_member(f"m{index:02d}", interests))
     bed.run(90.0)
     observer = handles[0]

@@ -101,7 +101,7 @@ def _group_formed(bed: Testbed, member, interest: str) -> bool:
 
 def run_peerhood_column(*, seed: int = 0, trials: int = 5,
                         neighbors: int = 3,
-                        ui: ConsoleUi = ConsoleUi()) -> TaskTimes:
+                        ui: ConsoleUi | None = None) -> TaskTimes:
     """Average Table 8 task times for the PeerHood Community column.
 
     Each trial builds a fresh Bluetooth neighbourhood (the paper's
@@ -109,6 +109,7 @@ def run_peerhood_column(*, seed: int = 0, trials: int = 5,
     interest), measures group-formation time, confirms zero-cost join,
     then times the two viewing tasks with the console human model.
     """
+    ui = ui if ui is not None else ConsoleUi()
     totals = [0.0, 0.0, 0.0, 0.0]
     for trial in range(trials):
         bed = Testbed(seed=seed + trial, technologies=("bluetooth",))

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Generator
+from collections.abc import Generator
 
 from repro.community.app import CommunityApp
 from repro.mobility.geometry import Point, Rect

@@ -59,7 +59,7 @@ class TraceLog:
                                          "services_updated",
                                          {"device": updated}))
 
-    def attach_member(self, member: "MemberHandle") -> None:
+    def attach_member(self, member: MemberHandle) -> None:
         """Subscribe to a member's daemon plus group-change polling.
 
         Group joins/leaves are recorded by wrapping the registry's
@@ -99,7 +99,7 @@ class TraceLog:
 
         engine.groups.ensure = traced_ensure
 
-    def attach_testbed(self, bed: "Testbed") -> None:
+    def attach_testbed(self, bed: Testbed) -> None:
         """Subscribe to every member already in the testbed."""
         for member in bed.members.values():
             self.attach_member(member)
@@ -144,7 +144,7 @@ class TraceLog:
         return len(self.entries)
 
     @staticmethod
-    def load_jsonl(path: str | Path) -> "TraceLog":
+    def load_jsonl(path: str | Path) -> TraceLog:
         """Rebuild a log exported with :meth:`export_jsonl`."""
         log = TraceLog()
         with Path(path).open("r", encoding="utf-8") as handle:

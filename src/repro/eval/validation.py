@@ -99,13 +99,13 @@ def format_validation(report: ValidationReport) -> str:
              f"{report.mean_abs_relative:.1%}",
              f"max  |relative error| (non-zero cells): "
              f"{report.max_abs_relative:.1%}"]
-    worst = sorted((cell for cell in report.cells
-                    if cell.relative is not None),
-                   key=lambda cell: -abs(cell.relative))[:3]
-    for cell in worst:
+    scored = [(cell, relative) for cell in report.cells
+              if (relative := cell.relative) is not None]
+    worst = sorted(scored, key=lambda pair: -abs(pair[1]))[:3]
+    for cell, relative in worst:
         lines.append(f"  worst: {cell.column} / {cell.task}: "
                      f"paper {cell.paper:.0f}s, measured "
-                     f"{cell.measured:.0f}s ({cell.relative:+.0%})")
+                     f"{cell.measured:.0f}s ({relative:+.0%})")
     if report.shape_holds:
         lines.append("shape claims: all hold")
     else:

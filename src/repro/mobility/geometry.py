@@ -13,7 +13,7 @@ class Point:
     x: float
     y: float
 
-    def moved_towards(self, target: "Point", step: float) -> "Point":
+    def moved_towards(self, target: Point, step: float) -> Point:
         """Return the point ``step`` metres from here towards ``target``.
 
         Never overshoots: if ``target`` is closer than ``step``, the
@@ -26,7 +26,7 @@ class Point:
         return Point(self.x + (target.x - self.x) * fraction,
                      self.y + (target.y - self.y) * fraction)
 
-    def offset(self, dx: float, dy: float) -> "Point":
+    def offset(self, dx: float, dy: float) -> Point:
         """Return this point translated by ``(dx, dy)``."""
         return Point(self.x + dx, self.y + dy)
 

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import math
 from random import Random
-from typing import Protocol, Sequence
+from collections.abc import Sequence
+from typing import Protocol
 
 from repro.mobility.geometry import Point, Rect
 

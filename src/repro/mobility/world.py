@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from typing import Callable, Iterator
+from collections.abc import Callable, Iterator
 
 from repro.mobility.geometry import Point, Rect, distance
 from repro.mobility.grid import SpatialGrid
@@ -248,7 +248,7 @@ class World:
         self._report_listeners.append(listener)
 
     @contextmanager
-    def batch(self) -> Iterator["World"]:
+    def batch(self) -> Iterator[World]:
         """Coalesce notifications across a bulk mutation.
 
         Populating a 1,024-node testbed fires one listener pass per

@@ -93,7 +93,7 @@ def _arrow(centers: dict[str, int], width: int, source: str, target: str,
 def _annotation(centers: dict[str, int], width: int, entity: str,
                 marker: str) -> str:
     row = [" "] * width
-    for name, center in centers.items():
+    for center in centers.values():
         row[center] = "|"
     center = centers[entity]
     start = max(0, center - len(marker) // 2)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 
 @dataclass(frozen=True)
@@ -71,7 +71,7 @@ class MscRecorder:
         return [event.label for event in self.events
                 if kind is None or event.kind == kind]
 
-    def subchart(self, participants: Iterable[str]) -> "MscRecorder":
+    def subchart(self, participants: Iterable[str]) -> MscRecorder:
         """A recorder view containing only events among ``participants``."""
         wanted = set(participants)
         view = MscRecorder()

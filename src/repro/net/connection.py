@@ -40,15 +40,15 @@ class Connection:
 
     def __init__(self, env: Environment, medium: Medium,
                  local_id: str, remote_id: str, technology: Technology,
-                 gateway: "GprsGateway | None" = None) -> None:
+                 gateway: GprsGateway | None = None) -> None:
         self.env = env
         self.medium = medium
         self.local_id = local_id
         self.remote_id = remote_id
         self.technology = technology
         self.gateway = gateway
-        self.peer: "Connection | None" = None  # wired by NetworkStack
-        self.owner: "NetworkStack | None" = None  # wired by NetworkStack
+        self.peer: Connection | None = None  # wired by NetworkStack
+        self.owner: NetworkStack | None = None  # wired by NetworkStack
         self.closed = False
         self.bytes_sent = 0
         self.messages_sent = 0
@@ -79,7 +79,7 @@ class Connection:
                 f"{self.technology.name} is down")
         faults = self.medium.faults
         fault = faults.on_send(self) if faults is not None else None
-        if fault is not None and fault.drop:
+        if faults is not None and fault is not None and fault.drop:
             if fault.flap_device is not None:
                 faults.flap(fault.flap_device)
             faults.note_drop()
@@ -97,14 +97,15 @@ class Connection:
         transfer = technology.transfer_time(nbytes) * attempts
         if technology.needs_gateway and self.gateway is not None:
             transfer += self.gateway.relay_time(nbytes)
-        if fault is not None and fault.latency_factor != 1.0:
+        if faults is not None and fault is not None \
+                and fault.latency_factor != 1.0:
             faults.note_spike()
             transfer *= fault.latency_factor
         self.retransmissions += attempts - 1
         self.medium.record_transfer(self.local_id, technology.name, nbytes)
         self.bytes_sent += nbytes
         self.messages_sent += 1
-        if fault is not None and fault.corrupt:
+        if faults is not None and fault is not None and fault.corrupt:
             decoded = faults.corrupt_payload(decoded)
         # Ordered delivery (the L2CAP contract): a frame cannot start
         # transmitting before the previous frame finished, so messages
@@ -176,7 +177,7 @@ class Connection:
         self._flush_waiters_with_error()
 
     def migrate(self, technology: Technology,
-                gateway: "GprsGateway | None" = None) -> None:
+                gateway: GprsGateway | None = None) -> None:
         """Switch the link to another technology (seamless handover).
 
         Both halves move together; subsequent transfer times and

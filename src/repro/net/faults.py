@@ -22,7 +22,8 @@ chaos runs replay byte-identically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Generator, Iterable
+from collections.abc import Generator, Iterable
+from typing import TYPE_CHECKING
 
 from repro.radio.medium import Medium, NotReachableError
 from repro.simenv import Delay, Environment
@@ -70,7 +71,7 @@ class FaultConfig:
             raise ValueError("flap_down_s must be non-negative")
 
     @classmethod
-    def chaos(cls, level: float = 0.2) -> "FaultConfig":
+    def chaos(cls, level: float = 0.2) -> FaultConfig:
         """A balanced chaos profile scaled by ``level`` (drop rate).
 
         ``level`` is the mid-stream drop probability; the other faults
@@ -83,7 +84,7 @@ class FaultConfig:
                    latency_spike_rate=level / 2.0,
                    flap_rate=level / 10.0)
 
-    def scaled(self, factor: float) -> "FaultConfig":
+    def scaled(self, factor: float) -> FaultConfig:
         """A copy with every probability multiplied by ``factor``."""
         return replace(
             self,
@@ -168,7 +169,7 @@ class FaultInjector:
 
     # -- installation -------------------------------------------------------
 
-    def install(self) -> "FaultInjector":
+    def install(self) -> FaultInjector:
         """Attach to the medium so stacks and connections consult us."""
         self.medium.faults = self
         return self
@@ -193,7 +194,7 @@ class FaultInjector:
 
     # -- hook: per-frame ----------------------------------------------------
 
-    def on_send(self, connection: "Connection") -> SendFault:
+    def on_send(self, connection: Connection) -> SendFault:
         """Decide the fate of one outbound frame."""
         if not self.enabled:
             return CLEAN_SEND

@@ -42,7 +42,7 @@ class FrameError(ValueError):
 
 def _encode_body(payload: Any) -> bytes:
     try:
-        return _ENCODER.encode(payload).encode("utf-8")
+        return _ENCODER.encode(payload).encode()
     except (TypeError, ValueError) as exc:
         raise FrameError(f"payload not serialisable: {exc}") from exc
 

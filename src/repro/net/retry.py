@@ -24,7 +24,8 @@ jitter draw is reproducible from the environment's root seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Generator
+from collections.abc import Generator
+from typing import TYPE_CHECKING, Any
 
 from repro.simenv import Signal, WaitSignal
 
@@ -182,7 +183,7 @@ class RetryCounters:
         """One operation returned a :class:`Degraded` result."""
         self.degraded_results += 1
 
-    def merge(self, other: "RetryCounters") -> "RetryCounters":
+    def merge(self, other: RetryCounters) -> RetryCounters:
         """Fold ``other`` into this tally (returns self)."""
         self.attempts += other.attempts
         self.retries += other.retries
@@ -214,7 +215,7 @@ class RetryCounters:
 
 # -- bounded waits inside the process kernel ---------------------------------
 
-def recv_with_timeout(env: "Environment", connection: "Connection",
+def recv_with_timeout(env: Environment, connection: Connection,
                       timeout_s: float | None) -> Generator:
     """Process generator: receive one payload or raise on timeout.
 
@@ -249,7 +250,7 @@ def recv_with_timeout(env: "Environment", connection: "Connection",
     return value
 
 
-def wait_process_with_timeout(env: "Environment", process: "Process",
+def wait_process_with_timeout(env: Environment, process: Process,
                               timeout_s: float | None) -> Generator:
     """Process generator: wait for ``process`` or kill it on timeout.
 

@@ -9,7 +9,8 @@ technology's setup time before the connection becomes usable.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Generator
+from collections.abc import Callable, Generator
+from typing import TYPE_CHECKING
 
 from repro.net.connection import Connection
 from repro.radio.medium import Medium, NotReachableError
@@ -36,7 +37,7 @@ class NetworkStack:
     #: between runs, so it lives on a per-simulation registry object.
 
     def __init__(self, env: Environment, medium: Medium, device_id: str,
-                 registry: "StackRegistry") -> None:
+                 registry: StackRegistry) -> None:
         self.env = env
         self.medium = medium
         self.device_id = device_id
@@ -68,7 +69,7 @@ class NetworkStack:
     # -- client side ------------------------------------------------------
 
     def connect(self, remote_id: str, port: str, technology: Technology,
-                gateway: "GprsGateway | None" = None) -> Generator:
+                gateway: GprsGateway | None = None) -> Generator:
         """Process generator establishing a connection.
 
         Usage::

@@ -21,7 +21,8 @@ Concretely the daemon here:
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Iterable
+import contextlib
+from collections.abc import Callable, Generator, Iterable
 
 from repro.net.connection import Connection
 from repro.net.stack import NetworkStack
@@ -332,19 +333,15 @@ class PeerHoodDaemon:
             services = [{"name": info.name,
                          "attributes": [list(pair) for pair in info.attributes]}
                         for info in self.local_services.values()]
-            try:
+            with contextlib.suppress(ConnectionError, OSError):
                 connection.send({"services": services})
                 replied = True
-            except (ConnectionError, OSError):
-                pass
         elif operation == "get_neighbors":
             # Share our current neighbourhood table — the primitive
             # gossip-based overlay expansion builds on (repro.adhoc).
-            try:
+            with contextlib.suppress(ConnectionError, OSError):
                 connection.send({"neighbors": sorted(self.neighbors)})
                 replied = True
-            except (ConnectionError, OSError):
-                pass
         if not replied:
             # A request we could not answer (malformed — e.g. corrupted
             # in flight — or the reply send failed) must not leave the

@@ -35,7 +35,7 @@ class ServiceInfo:
 
     @staticmethod
     def make(name: str, device_id: str,
-             attributes: dict[str, str] | None = None) -> "ServiceInfo":
+             attributes: dict[str, str] | None = None) -> ServiceInfo:
         """Build a :class:`ServiceInfo` from a plain dict of attributes."""
         items = tuple(sorted((attributes or {}).items()))
         return ServiceInfo(name=name, device_id=device_id, attributes=items)

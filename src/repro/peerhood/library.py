@@ -14,7 +14,7 @@ latency on the operations that cross it in the real system.
 
 from __future__ import annotations
 
-from typing import Callable, Generator
+from collections.abc import Callable, Generator
 
 from repro.net.connection import Connection
 from repro.peerhood.daemon import PeerHoodDaemon

@@ -8,7 +8,7 @@ device approaches the range."
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.peerhood.daemon import PeerHoodDaemon
 

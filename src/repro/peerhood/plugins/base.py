@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator
+from collections.abc import Generator
+from typing import TYPE_CHECKING
 
 from repro.net.connection import Connection
 from repro.net.stack import NetworkStack
@@ -51,7 +52,7 @@ class Plugin:
         """Seconds one discovery scan takes given ``responders`` peers."""
         return self.technology.discovery_time_s
 
-    def gateway(self) -> "GprsGateway | None":
+    def gateway(self) -> GprsGateway | None:
         """Gateway used for relayed connections (``None`` for local radios)."""
         return None
 

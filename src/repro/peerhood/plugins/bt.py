@@ -9,7 +9,7 @@ adds is inquiry timing and piconet capacity.
 
 from __future__ import annotations
 
-from typing import Generator
+from collections.abc import Generator
 
 from repro.net.stack import NetworkStack
 from repro.radio.bluetooth import BluetoothAdapter

@@ -8,7 +8,7 @@ billed) by the :class:`~repro.radio.gprs.GprsGateway`.
 
 from __future__ import annotations
 
-from typing import Generator
+from collections.abc import Generator
 
 from repro.net.stack import NetworkStack
 from repro.radio.gprs import GprsGateway

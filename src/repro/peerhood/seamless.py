@@ -16,7 +16,7 @@ already died.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Generator
+from collections.abc import Callable, Generator
 
 from repro.net.connection import Connection
 from repro.peerhood.daemon import PeerHoodDaemon

@@ -54,7 +54,7 @@ class Adapter:
         #: Cumulative bytes sent by this adapter (for cost accounting).
         self.bytes_sent = 0
         self._enabled = enabled
-        self._medium: "Medium | None" = None  # set by Medium.attach
+        self._medium: Medium | None = None  # set by Medium.attach
 
     @property
     def enabled(self) -> bool:
@@ -125,7 +125,7 @@ class Medium:
             world.on_movement(self._invalidate_positions)
         #: Optional installed :class:`~repro.net.faults.FaultInjector`;
         #: stacks and connections consult it at setup and send time.
-        self.faults: "FaultInjector | None" = None
+        self.faults: FaultInjector | None = None
 
     # -- invalidation ----------------------------------------------------
 
@@ -317,19 +317,21 @@ class Medium:
         if own is None or not own._enabled:
             return []
         technology = own.technology
-        wide_area = technology.needs_gateway or technology.range_m is None
-        if wide_area:
+        # ``None`` doubles as the wide-area marker: gateway-bridged
+        # technologies ignore geometry even when they quote a range.
+        local_range = None if technology.needs_gateway else technology.range_m
+        if local_range is None:
             stamp = (self._tech_epoch.get(technology_name, 0),
                      self._gateway_epoch)
         elif device_id not in self.world:
             return []  # off-map device: nothing in radio range
         else:
-            stamp = self.world.region_stamp(device_id, technology.range_m)
+            stamp = self.world.region_stamp(device_id, local_range)
         key = (device_id, technology_name)
         entry = self._neighbors_cache.get(key)
         if entry is not None and entry[1] == stamp:
             return list(entry[0])
-        if wide_area or not self._incremental:
+        if local_range is None or not self._incremental:
             listing = sorted(
                 other for other in self._by_technology.get(technology_name, ())
                 if other != device_id

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 from functools import partial
-from typing import Any, Callable, Generator
+from collections.abc import Callable, Generator
+from typing import Any
 
 from repro.simenv.clock import SimClock
 from repro.simenv.events import Event, EventQueue

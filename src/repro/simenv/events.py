@@ -17,7 +17,8 @@ the heap without bound.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 #: Process-wide count of fired events, summed over every queue ever
 #: created.  The wall-clock bench harness reads deltas of this to
@@ -48,7 +49,7 @@ class Event:
         self.sequence = sequence
         self.callback = callback
         self.cancelled = False
-        self._queue: "EventQueue | None" = None
+        self._queue: EventQueue | None = None
 
     def cancel(self) -> None:
         """Mark the event so the loop skips it (O(1); lazy deletion)."""

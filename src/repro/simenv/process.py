@@ -17,7 +17,8 @@ code.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Generator
+from collections.abc import Generator
+from typing import TYPE_CHECKING, Any
 
 from repro.simenv.signal import Signal
 
@@ -66,7 +67,7 @@ class WaitProcess:
 
     __slots__ = ("process",)
 
-    def __init__(self, process: "Process") -> None:
+    def __init__(self, process: Process) -> None:
         self.process = process
 
     def __repr__(self) -> str:
@@ -83,7 +84,7 @@ class Process:
     __slots__ = ("_env", "_generator", "name", "_done", "_result",
                  "_exception", "_alive")
 
-    def __init__(self, env: "Environment", generator: Generator, name: str = "") -> None:
+    def __init__(self, env: Environment, generator: Generator, name: str = "") -> None:
         self._env = env
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
@@ -210,7 +211,7 @@ class Process:
             return
         self._wait_on(yielded)
 
-    def _resume_after(self, child: "Process") -> None:
+    def _resume_after(self, child: Process) -> None:
         if child._exception is not None:
             exc = child._exception
             self._step(lambda: self._generator.throw(exc))

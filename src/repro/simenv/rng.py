@@ -37,7 +37,7 @@ class RandomStreams:
             self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
         return self._streams[name]
 
-    def fork(self, name: str) -> "RandomStreams":
+    def fork(self, name: str) -> RandomStreams:
         """Derive a child factory, e.g. one per simulated device."""
         digest = hashlib.sha256(f"{self._seed}/{name}".encode()).digest()
         return RandomStreams(int.from_bytes(digest[:8], "big"))

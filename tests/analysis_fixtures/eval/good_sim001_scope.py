@@ -1,0 +1,7 @@
+"""The harness may read wall clocks: SIM001 is scoped to sim-path
+packages and this file lives under eval/."""
+import time
+
+
+def wall() -> float:
+    return time.perf_counter()

@@ -1,0 +1,10 @@
+"""Encodes the valid op and one the table never declared."""
+from proto_bad.community import protocol
+
+
+def ping():
+    return protocol.make_request(protocol.PS_PING, sender="me")
+
+
+def rogue():
+    return protocol.make_request("PS_ROGUE", sender="me")

@@ -1,0 +1,15 @@
+"""A table with every way the triangle can break."""
+
+PS_PING = "PS_PING"
+PS_ORPHAN = "PS_ORPHAN"      # declared, never handled, never encoded
+PS_UNSENT = "PS_UNSENT"      # declared + handled, never encoded
+
+OPERATIONS = {
+    PS_PING: ("sender",),
+    PS_ORPHAN: (),
+    PS_UNSENT: (),
+}
+
+
+def make_request(op, **params):
+    return {"op": op, **params}

@@ -1,0 +1,21 @@
+"""Handles an op the table never declared; misses PS_ORPHAN."""
+from proto_bad.community import protocol
+
+
+class Server:
+    def _dispatch(self, op, params):
+        handlers = {
+            protocol.PS_PING: self._handle_ping,
+            protocol.PS_UNSENT: self._handle_unsent,
+            "PS_GHOST": self._handle_ghost,
+        }
+        return handlers[op](params)
+
+    def _handle_ping(self, params):
+        return {"status": "OK"}
+
+    def _handle_unsent(self, params):
+        return {"status": "OK"}
+
+    def _handle_ghost(self, params):
+        return {"status": "OK"}

@@ -1,0 +1,6 @@
+"""Client encoder for the built-in op."""
+from proto_ok.community import protocol
+
+
+def ping():
+    return protocol.make_request(protocol.PS_PING, sender="me")

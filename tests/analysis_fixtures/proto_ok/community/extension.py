@@ -1,0 +1,9 @@
+"""An op added via register_operation, encoded and handled."""
+from proto_ok.community import protocol
+
+PS_ECHO = "PS_ECHO"
+protocol.register_operation(PS_ECHO, ("sender", "text"))
+
+
+def encode_echo(text):
+    return protocol.make_request(PS_ECHO, sender="me", text=text)

@@ -1,0 +1,15 @@
+"""Minimal protocol table: one built-in op plus one extension op."""
+
+PS_PING = "PS_PING"
+
+OPERATIONS = {
+    PS_PING: ("sender",),
+}
+
+
+def register_operation(op, fields):
+    OPERATIONS[op] = tuple(fields)
+
+
+def make_request(op, **params):
+    return {"op": op, **params}

@@ -1,0 +1,18 @@
+"""Dispatch table covering every declared operation."""
+from proto_ok.community import protocol
+from proto_ok.community.extension import PS_ECHO
+
+
+class Server:
+    def _dispatch(self, op, params):
+        handlers = {
+            protocol.PS_PING: self._handle_ping,
+            PS_ECHO: self._handle_echo,
+        }
+        return handlers[op](params)
+
+    def _handle_ping(self, params):
+        return {"status": "OK"}
+
+    def _handle_echo(self, params):
+        return {"status": "OK", "text": params["text"]}

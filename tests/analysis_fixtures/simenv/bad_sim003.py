@@ -1,0 +1,10 @@
+"""SIM003 must fire: blocking calls inside a process coroutine."""
+import socket
+import time
+
+
+def proc(env):
+    time.sleep(0.5)
+    sock = socket.create_connection(("localhost", 80))
+    with open("/tmp/x") as handle:
+        yield handle.read() and sock

@@ -1,0 +1,7 @@
+"""SIM004 must fire: direct iteration over unordered sets."""
+
+
+def fanout(env, peers, extras):
+    for peer in set(peers) | {"gateway"}:
+        env.schedule(peer)
+    return [queue for queue in {"a", "b"}.union(extras)]

@@ -1,0 +1,13 @@
+"""SIM003 must stay quiet: plain methods may do real I/O (persistence
+layers run outside the event loop), and coroutines wait via timers."""
+import time
+
+
+def snapshot(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def patient(env, delay_cls):
+    yield delay_cls(0.5)
+    return time.strftime  # referencing time is fine; sleeping is not

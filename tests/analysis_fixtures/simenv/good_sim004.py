@@ -1,0 +1,8 @@
+"""SIM004 must stay quiet: sorted() pins the order; membership is fine."""
+
+
+def fanout(env, peers, extras):
+    for peer in sorted(set(peers) | {"gateway"}):
+        env.schedule(peer)
+    wanted = {"a", "b"}
+    return [queue for queue in sorted(wanted.union(extras))], "a" in wanted

@@ -1,0 +1,7 @@
+"""An allowance with nothing to allow must surface as SUP001."""
+
+# repro: allow[SIM003] -- fixture: stale, nothing blocks here
+
+
+def quiet(env):
+    yield env

@@ -1,0 +1,8 @@
+"""A documented allowance: the finding moves to the suppressed list."""
+import time
+
+# repro: allow[SIM001] -- fixture: documented false-positive example
+
+
+def stamp() -> float:
+    return time.time()

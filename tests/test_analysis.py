@@ -1,0 +1,229 @@
+"""Fixture-driven self-tests for the simulation-safety analyzer.
+
+Every rule has at least one firing fixture and one passing fixture
+under ``tests/analysis_fixtures/``; the live-tree test then pins the
+analyzer's verdict on ``src/repro`` itself to *clean with zero
+suppressions*, so a regression in either the code or the rules shows
+up as a test failure, not just a CI lint failure.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths, analyze_tree, rule_codes
+from repro.analysis.runner import SCHEMA
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "analysis_fixtures"
+SRC_TREE = REPO_ROOT / "src" / "repro"
+CHECK_CLI = REPO_ROOT / "scripts" / "check.py"
+
+
+def analyze_fixture(*relative: str):
+    paths = [FIXTURES / part for part in relative]
+    return analyze_paths(paths, root=FIXTURES)
+
+
+def fired_codes(report) -> set[str]:
+    return {finding.rule for finding in report.findings}
+
+
+# -- one firing and one passing fixture per rule ----------------------------
+
+RULE_FIXTURES = [
+    ("SIM001", "simenv/bad_sim001.py", "simenv/good_sim001.py"),
+    ("SIM002", "simenv/bad_sim002.py", "simenv/good_sim002.py"),
+    ("SIM003", "simenv/bad_sim003.py", "simenv/good_sim003.py"),
+    ("SIM004", "simenv/bad_sim004.py", "simenv/good_sim004.py"),
+]
+
+
+@pytest.mark.parametrize("code,bad,good", RULE_FIXTURES)
+def test_rule_fires_on_bad_fixture(code: str, bad: str, good: str) -> None:
+    report = analyze_fixture(bad)
+    assert code in fired_codes(report), \
+        f"{code} should fire on {bad}: {report.findings}"
+
+
+@pytest.mark.parametrize("code,bad,good", RULE_FIXTURES)
+def test_rule_passes_on_good_fixture(code: str, bad: str, good: str) -> None:
+    report = analyze_fixture(good)
+    assert code not in fired_codes(report), \
+        f"{code} must stay quiet on {good}: {report.findings}"
+
+
+def test_sim001_fires_once_per_wall_clock_read() -> None:
+    report = analyze_fixture("simenv/bad_sim001.py")
+    sim001 = [f for f in report.findings if f.rule == "SIM001"]
+    assert len(sim001) == 2  # time.perf_counter and datetime.now
+    assert all(f.path == "simenv/bad_sim001.py" for f in sim001)
+    assert all(f.line > 0 for f in sim001)
+
+
+def test_sim001_scoped_to_sim_path_packages() -> None:
+    report = analyze_fixture("eval/good_sim001_scope.py")
+    assert "SIM001" not in fired_codes(report)
+
+
+def test_sim002_applies_everywhere() -> None:
+    # Same source as bad_sim002 but under eval/: SIM002 still fires.
+    report = analyze_fixture("eval/good_sim001_scope.py")
+    assert "SIM002" not in fired_codes(report)
+    report = analyze_fixture("simenv/bad_sim002.py")
+    messages = [f.message for f in report.findings if f.rule == "SIM002"]
+    assert any("unseeded" in message for message in messages)
+    assert any("process-global" in message for message in messages)
+
+
+def test_sim003_only_flags_generator_bodies() -> None:
+    report = analyze_fixture("simenv/good_sim003.py")
+    assert "SIM003" not in fired_codes(report)
+    report = analyze_fixture("simenv/bad_sim003.py")
+    sim003 = [f for f in report.findings if f.rule == "SIM003"]
+    # time.sleep, socket.create_connection, open()
+    assert len(sim003) == 3
+
+
+# -- suppressions -----------------------------------------------------------
+
+def test_file_scoped_suppression_moves_finding_aside() -> None:
+    report = analyze_fixture("simenv/suppressed_sim001.py")
+    assert report.ok
+    assert [f.rule for f in report.suppressed] == ["SIM001"]
+    assert len(report.suppressions) == 1
+    suppression = report.suppressions[0]
+    assert suppression.rule == "SIM001"
+    assert "false-positive" in suppression.reason
+
+
+def test_stale_suppression_is_itself_a_finding() -> None:
+    report = analyze_fixture("simenv/stale_allow.py")
+    assert not report.ok
+    assert fired_codes(report) == {"SUP001"}
+    assert "suppresses nothing" in report.findings[0].message
+
+
+# -- PROTO001 ---------------------------------------------------------------
+
+def proto_project(name: str):
+    root = FIXTURES / name / "community"
+    return analyze_paths(sorted(root.glob("*.py")), root=FIXTURES)
+
+
+def test_proto001_quiet_on_consistent_triangle() -> None:
+    report = proto_project("proto_ok")
+    assert "PROTO001" not in fired_codes(report), report.findings
+
+
+def test_proto001_reports_every_broken_corner() -> None:
+    report = proto_project("proto_bad")
+    messages = [f.message for f in report.findings if f.rule == "PROTO001"]
+    assert any("PS_ORPHAN" in m and "no server handler" in m
+               for m in messages)
+    assert any("PS_ORPHAN" in m and "no client" in m for m in messages)
+    assert any("PS_UNSENT" in m and "no client" in m for m in messages)
+    assert any("PS_GHOST" in m and "do not declare" in m for m in messages)
+    assert any("PS_ROGUE" in m and "do not declare" in m for m in messages)
+
+
+def test_proto001_skips_partial_module_sets() -> None:
+    # Changed-file mode without protocol.py cannot see the triangle.
+    report = analyze_fixture("proto_bad/community/client.py")
+    assert "PROTO001" not in fired_codes(report)
+
+
+def test_proto001_skips_incomplete_package() -> None:
+    # protocol.py + server.py alone are not enough either: sibling
+    # modules (filetransfer, discovery) declare and encode operations,
+    # so judging the triangle from a package subset would report false
+    # positives.  Regression: the real tree's protocol + server + client
+    # subset used to yield 12 bogus "no server handler" findings.
+    community = REPO_ROOT / "src" / "repro" / "community"
+    subset = [community / "protocol.py", community / "server.py",
+              community / "client.py"]
+    report = analyze_paths(subset, root=REPO_ROOT)
+    assert "PROTO001" not in fired_codes(report), report.findings
+
+
+# -- report plumbing --------------------------------------------------------
+
+def test_json_report_shape() -> None:
+    report = analyze_fixture("simenv/bad_sim001.py", "simenv/suppressed_sim001.py")
+    payload = report.to_json()
+    assert payload["schema"] == SCHEMA
+    assert payload["files_scanned"] == 2
+    assert payload["ok"] is False
+    assert payload["counts"]["SIM001"] == 2
+    assert len(payload["suppressed"]) == 1
+    assert len(payload["suppressions"]) == 1
+    round_trip = json.loads(json.dumps(payload))
+    assert round_trip == payload
+
+
+def test_findings_are_sorted_and_deterministic() -> None:
+    once = analyze_fixture("simenv/bad_sim001.py", "simenv/bad_sim003.py")
+    twice = analyze_fixture("simenv/bad_sim003.py", "simenv/bad_sim001.py")
+    assert [f.render() for f in once.findings] == \
+        [f.render() for f in twice.findings]
+    assert once.findings == sorted(once.findings)
+
+
+def test_rule_registry_is_complete() -> None:
+    assert set(rule_codes()) >= {"SIM001", "SIM002", "SIM003", "SIM004",
+                                 "PROTO001", "SUP001", "PARSE001"}
+
+
+# -- the live tree ----------------------------------------------------------
+
+def test_live_tree_is_clean() -> None:
+    report = analyze_tree(SRC_TREE)
+    assert report.findings == [], \
+        "\n".join(f.render() for f in report.findings)
+    assert report.suppressions == [], \
+        "suppressions must stay within the committed budget (0)"
+    assert len(report.files) > 90  # the whole package, not a subset
+
+
+# -- the CLI ----------------------------------------------------------------
+
+def run_cli(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(CHECK_CLI), *argv],
+        capture_output=True, text=True, cwd=str(REPO_ROOT))
+
+
+def test_cli_clean_tree_exits_zero(tmp_path: Path) -> None:
+    artifact = tmp_path / "report.json"
+    result = run_cli("--output", str(artifact))
+    assert result.returncode == 0, result.stdout + result.stderr
+    payload = json.loads(artifact.read_text())
+    assert payload["schema"] == SCHEMA
+    assert payload["ok"] is True
+
+
+def test_cli_bad_fixture_exits_nonzero() -> None:
+    result = run_cli(str(FIXTURES / "simenv" / "bad_sim001.py"))
+    assert result.returncode == 1
+    assert "SIM001" in result.stdout
+
+
+def test_cli_suppression_budget_gates(tmp_path: Path) -> None:
+    fixture = str(FIXTURES / "simenv" / "suppressed_sim001.py")
+    strict = run_cli(fixture, "--max-suppressions", "0")
+    assert strict.returncode == 1
+    assert "suppression budget exceeded" in strict.stdout
+    relaxed = run_cli(fixture, "--max-suppressions", "1")
+    assert relaxed.returncode == 0, relaxed.stdout
+
+
+def test_cli_json_mode() -> None:
+    result = run_cli(str(FIXTURES / "simenv" / "bad_sim002.py"), "--json")
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload["counts"]["SIM002"] >= 2

@@ -98,7 +98,8 @@ class TestModels:
         # The node must have moved and must have paused at least once
         # (consecutive identical positions while pausing).
         assert len({(p.x, p.y) for p in positions}) > 5
-        assert any(a == b for a, b in zip(positions, positions[1:]))
+        assert any(a == b for a, b in zip(positions, positions[1:],
+                                          strict=False))
 
     def test_random_waypoint_invalid_speeds(self, env):
         with pytest.raises(ValueError):

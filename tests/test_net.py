@@ -18,6 +18,7 @@ from repro.net import (
 )
 from repro.radio import BLUETOOTH, WLAN
 from repro.radio.medium import NotReachableError
+from repro.simenv import SimulationError
 
 
 class TestFraming:
@@ -197,7 +198,7 @@ class TestStack:
             yield from stack_a.connect("b", "nothing-here", BLUETOOTH)
 
         process = env.spawn(client())
-        with pytest.raises(Exception) as excinfo:
+        with pytest.raises(SimulationError) as excinfo:
             env.run(until=30.0)
         assert isinstance(excinfo.value.__cause__, NoListenerError)
 

@@ -60,14 +60,14 @@ class TestEventQueueProperties:
                                     allow_nan=False), max_size=50))
     def test_pop_order_is_sorted_and_stable(self, times):
         queue = EventQueue()
-        for index, time in enumerate(times):
+        for time in times:
             queue.push(time, lambda: None)
         popped = []
         while queue:
             popped.append(queue.pop())
         assert [e.time for e in popped] == sorted(times)
         # Stability: equal times preserve insertion order.
-        for earlier, later in zip(popped, popped[1:]):
+        for earlier, later in zip(popped, popped[1:], strict=False):
             if earlier.time == later.time:
                 assert earlier.sequence < later.sequence
 
@@ -188,7 +188,7 @@ class TestGroupProperties:
             per_member.setdefault(event.member_id, []).append(event.joined)
         for joins in per_member.values():
             assert joins[0] is True
-            for earlier, later in zip(joins, joins[1:]):
+            for earlier, later in zip(joins, joins[1:], strict=False):
                 assert earlier != later  # join/leave strictly alternate
 
 

@@ -10,6 +10,8 @@ raises a *typed* error (:class:`FrameError` /
 
 from __future__ import annotations
 
+import contextlib
+
 import pytest
 from hypothesis import assume, given
 from hypothesis import strategies as st
@@ -99,24 +101,19 @@ class TestMalformedInput:
             payload = deserialize(bytes(frame))
         except FrameError:
             return  # typed: the framing layer caught it
-        try:
+        # typed: the protocol layer caught it
+        with contextlib.suppress(protocol.ProtocolError):
             protocol.parse_request(payload)
-        except protocol.ProtocolError:
-            pass  # typed: the protocol layer caught it
 
     @given(junk=st.binary(max_size=64))
     def test_random_bytes_raise_frame_error_or_decode(self, junk):
-        try:
+        with contextlib.suppress(FrameError):
             deserialize(junk)
-        except FrameError:
-            pass
 
     @given(payload=json_payloads)
     def test_parse_request_never_raises_untyped(self, payload):
-        try:
+        with contextlib.suppress(protocol.ProtocolError):
             protocol.parse_request(payload)
-        except protocol.ProtocolError:
-            pass
 
     @given(payload=json_payloads)
     def test_response_status_never_raises_untyped(self, payload):

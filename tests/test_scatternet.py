@@ -15,7 +15,7 @@ def _chain(n: int) -> nx.Graph:
     graph = nx.Graph()
     names = [f"n{i:02d}" for i in range(n)]
     graph.add_nodes_from(names)
-    graph.add_edges_from(zip(names, names[1:]))
+    graph.add_edges_from(zip(names, names[1:], strict=False))
     return graph
 
 

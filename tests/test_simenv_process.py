@@ -245,7 +245,7 @@ class TestPeriodicTimer:
         times = []
         PeriodicTimer(env, 10.0, lambda: times.append(env.now), jitter=1.0)
         env.run(until=100.0)
-        gaps = [b - a for a, b in zip(times, times[1:])]
+        gaps = [b - a for a, b in zip(times, times[1:], strict=False)]
         assert all(9.0 <= gap <= 11.0 for gap in gaps)
         assert len(set(round(gap, 6) for gap in gaps)) > 1
 
