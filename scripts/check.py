@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """Simulation-safety static analyzer CLI.
 
-Runs the :mod:`repro.analysis` rule set (SIM001-SIM004, PROTO001) over
-the source tree and reports violations::
+Runs the :mod:`repro.analysis` rule set (SIM001-SIM004, PROTO001,
+PROTO002) over the source tree and reports violations::
 
     python scripts/check.py                     # whole tree, human report
     python scripts/check.py --json              # JSON report on stdout

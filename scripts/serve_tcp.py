@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Run the PeerHood Community server on real TCP sockets.
+
+The same request/response core the simulation uses
+(:class:`repro.community.server.CommunityService`) pumped by the
+asyncio backend (:class:`repro.net.tcp.TcpServer`)::
+
+    python scripts/serve_tcp.py serve                    # default demo store
+    python scripts/serve_tcp.py serve --port 7710
+    python scripts/serve_tcp.py probe --port 7710        # from another shell
+
+``serve`` hosts the conformance demo profile ("bob", sharing two
+files); ``probe`` dials the server and performs a discovery handshake,
+printing each reply.  Wall-clock timestamps are injected *here* — the
+transport and protocol layers never read a clock, so the simulated
+path stays deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.community import protocol  # noqa: E402
+from repro.community.exchanges import build_server_store  # noqa: E402
+from repro.community.server import CommunityService  # noqa: E402
+from repro.net.tcp import TcpServer, dial  # noqa: E402
+
+DEFAULT_PORT = 7710
+
+
+async def serve(host: str, port: int) -> None:
+    started = time.time()
+    service = CommunityService(build_server_store(), device_id=f"{host}:{port}",
+                               clock=lambda: time.time() - started)
+    server = TcpServer(service.handle_request, host=host, port=port)
+    await server.start()
+    print(f"PeerHoodCommunity serving member "
+          f"{service.store.active.member_id!r} on {host}:{server.port} "
+          f"(Ctrl-C to stop)")
+    try:
+        while True:
+            await asyncio.sleep(60.0)
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+        print(f"served {service.requests_served} requests "
+              f"({service.bad_requests} bad, "
+              f"{server.frame_errors} frame errors)")
+
+
+async def probe(host: str, port: int) -> None:
+    connection = await dial(host, port)
+    try:
+        for request in (
+                protocol.make_request(protocol.PS_GETONLINEMEMBERLIST),
+                protocol.make_request(protocol.PS_GETINTERESTLIST),
+        ):
+            await connection.send(request)
+            reply = await connection.recv()
+            print(f"{request['op']} -> {json.dumps(reply, sort_keys=True)}")
+    finally:
+        await connection.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name in ("serve", "probe"):
+        sub = subparsers.add_parser(name)
+        sub.add_argument("--host", default="127.0.0.1")
+        sub.add_argument("--port", type=int, default=DEFAULT_PORT)
+    args = parser.parse_args(argv)
+    runner = serve if args.command == "serve" else probe
+    try:
+        asyncio.run(runner(args.host, args.port))
+    except KeyboardInterrupt:
+        print()
+    except ConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""Protocol-consistency rule (PROTO001).
+"""Protocol-consistency rules (PROTO001, PROTO002).
 
 The wire vocabulary is declared once — the ``OPERATIONS`` table in
 ``community/protocol.py`` plus ``register_operation(...)`` extension
@@ -7,6 +7,12 @@ operation to a handler, and clients encode requests for it through
 ``make_request``.  PROTO001 checks the three corners of that triangle
 against each other, in both directions, so a new operation cannot ship
 half-wired and a dead table entry cannot linger.
+
+PROTO002 closes the remaining gap between "wired" and "proven": every
+declared operation must also appear in the conformance exchange
+scripts (``community/exchanges.py``), which both transport backends
+replay with byte-identical transcripts.  A new operation therefore
+cannot ship without cross-backend wire coverage.
 """
 
 from __future__ import annotations
@@ -66,7 +72,51 @@ class ProtocolTriangleRule(ProjectRule):
                                f"the protocol tables do not declare")
 
 
-def _finding(rule: ProtocolTriangleRule, module: Module, node: ast.AST,
+@register
+class ConformanceCoverageRule(ProjectRule):
+    code = "PROTO002"
+    summary = ("every declared PS_* operation appears in the conformance "
+               "exchange scripts (community/exchanges.py)")
+
+    def check_project(self, modules: Iterable[Module]) -> Iterator[Finding]:
+        modules = list(modules)
+        protocol = _module_at(modules, "community/protocol.py")
+        exchanges = _module_at(modules, "community/exchanges.py")
+        if protocol is None or exchanges is None:
+            # Partial runs (changed-file mode) or projects without a
+            # conformance script module (e.g. analyzer test fixtures)
+            # cannot be judged; the full-tree CI run can.
+            return
+        if not _package_complete(modules, protocol):
+            return
+        constants = _ps_constants(modules)
+        declared = _declared_operations(modules, protocol, constants)
+        exercised = _exercised_operations(exchanges, constants)
+        for op, (module, node) in sorted(declared.items()):
+            if op not in exercised:
+                yield _finding(self, module, node,
+                               f"operation {op} is declared but never "
+                               f"exercised by a conformance exchange in "
+                               f"community/exchanges.py")
+
+
+def _exercised_operations(exchanges: Module,
+                          constants: dict[str, str]) -> set[str]:
+    """Every PS_* operation the exchange scripts reference.
+
+    Counts ``make_request(<op>, ...)`` calls plus any bare ``PS_*``
+    constant or literal (raw malformed-request payloads are spelled as
+    dict literals on purpose).
+    """
+    exercised: set[str] = set()
+    for node in ast.walk(exchanges.tree):
+        op = _resolve_op(node, constants)
+        if op is not None:
+            exercised.add(op)
+    return exercised
+
+
+def _finding(rule: ProjectRule, module: Module, node: ast.AST,
              message: str) -> Finding:
     return Finding(path=module.display_path,
                    line=getattr(node, "lineno", 1),

@@ -78,6 +78,53 @@ _NO_EXCHANGE = ExchangeReport(operation="", targets=(), replied=(),
                               failed=(), attempts=0)
 
 
+# -- reply aggregation ---------------------------------------------------------
+#
+# Pure functions over ``[(device_id, response), ...]`` reply lists.
+# They contain no transport state, so the same aggregation runs
+# unchanged whichever backend carried the exchange.
+
+def merge_member_lists(replies: list[tuple[str, dict]]) -> list[dict]:
+    """Deduplicated members across every OK reply, ordered by id.
+
+    Per Figure 11, each server names its own online member; the same
+    member seen via two devices must appear once.
+    """
+    members: list[dict] = []
+    seen: set[str] = set()
+    for _, payload in replies:
+        if protocol.response_status(payload) == protocol.STATUS_OK:
+            for member in payload.get("members", []):
+                if member["member_id"] not in seen:
+                    seen.add(member["member_id"])
+                    members.append(member)
+    return sorted(members, key=lambda member: member["member_id"])
+
+
+def merge_interest_lists(replies: list[tuple[str, dict]],
+                         interests: list[str]) -> list[str]:
+    """Fold remote interests into ``interests`` (mutated and returned).
+
+    Per the Figure 12 MSC, a received interest is added only "if it
+    doesn't exist already", preserving first-seen order.
+    """
+    for _, payload in replies:
+        if protocol.response_status(payload) == protocol.STATUS_OK:
+            for interest in payload.get("interests", []):
+                if interest not in interests:
+                    interests.append(interest)
+    return interests
+
+
+def collect_shared_listings(replies: list[tuple[str, dict]]) \
+        -> list[tuple[str, list]]:
+    """``(device_id, files)`` per OK reply, sorted by device."""
+    listings = [(device_id, payload.get("files", []))
+                for device_id, payload in replies
+                if protocol.response_status(payload) == protocol.STATUS_OK]
+    return sorted(listings)
+
+
 class CommunityClient:
     """Client side of the reference application for one device."""
 
@@ -256,15 +303,7 @@ class CommunityClient:
         replies = yield from self._broadcast(request)
         if self.last_exchange.total_failure:
             return self._degraded(partial=[])
-        members: list[dict] = []
-        seen: set[str] = set()
-        for _, payload in replies:
-            if protocol.response_status(payload) == protocol.STATUS_OK:
-                for member in payload.get("members", []):
-                    if member["member_id"] not in seen:
-                        seen.add(member["member_id"])
-                        members.append(member)
-        return sorted(members, key=lambda member: member["member_id"])
+        return merge_member_lists(replies)
 
     def get_interest_list(self) -> Generator:
         """Figure 12: the union of interests available around here.
@@ -280,12 +319,7 @@ class CommunityClient:
             interests.extend(active.interests.as_list())
         if self.last_exchange.total_failure:
             return self._degraded(partial=interests)
-        for _, payload in replies:
-            if protocol.response_status(payload) == protocol.STATUS_OK:
-                for interest in payload.get("interests", []):
-                    if interest not in interests:
-                        interests.append(interest)
-        return interests
+        return merge_interest_lists(replies, interests)
 
     def get_interested_members(self, interest: str) -> Generator:
         """Table 6 row 3: members sharing one interest."""
@@ -294,15 +328,7 @@ class CommunityClient:
         replies = yield from self._broadcast(request)
         if self.last_exchange.total_failure:
             return self._degraded(partial=[])
-        members: list[dict] = []
-        seen: set[str] = set()
-        for _, payload in replies:
-            if protocol.response_status(payload) == protocol.STATUS_OK:
-                for member in payload.get("members", []):
-                    if member["member_id"] not in seen:
-                        seen.add(member["member_id"])
-                        members.append(member)
-        return sorted(members, key=lambda member: member["member_id"])
+        return merge_member_lists(replies)
 
     def view_profile(self, member_id: str) -> Generator:
         """Figure 13: fetch one member's profile from whoever holds it."""
@@ -391,11 +417,7 @@ class CommunityClient:
         replies = yield from self._broadcast(request)
         if self.last_exchange.total_failure:
             return self._degraded(partial=[])
-        listings: list[tuple[str, list]] = []
-        for device_id, payload in replies:
-            if protocol.response_status(payload) == protocol.STATUS_OK:
-                listings.append((device_id, payload.get("files", [])))
-        return sorted(listings)
+        return collect_shared_listings(replies)
 
     def send_message(self, member_id: str, subject: str, body: str) -> Generator:
         """Figure 17: deliver a mail message to a member's device.

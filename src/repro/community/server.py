@@ -5,13 +5,20 @@ continuously.  As the server is started, it registers the service named
 'PeerHoodCommunity' into the Peerhood Daemon.  The server always stays
 in the listening state for any request from the remote clients."
 
-Each inbound connection gets a serving process that loops:
-receive request -> dispatch to the Table 6 handler -> send response.
+The request/response core is transport-free: :class:`CommunityService`
+maps one request payload to one response payload (the Table 6
+dispatch), and any backend can pump it — the simulated
+:class:`CommunityServer` below registers it with the PeerHood daemon
+and loops over a simulated connection, while :class:`repro.net.tcp.TcpServer`
+drives the same ``handle_request`` over real sockets.  Keeping the core
+identical on both paths is what makes the conformance suite's
+byte-identical-transcript assertion meaningful.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Generator
+from typing import Any
 
 from repro.community import protocol
 from repro.community.filetransfer import PS_GETFILECHUNK, FileTransferService
@@ -24,13 +31,17 @@ from repro.peerhood.library import PeerHoodLibrary
 SERVICE_NAME = "PeerHoodCommunity"
 
 
-class CommunityServer:
-    """Serves the local profile store to remote community clients.
+class CommunityService:
+    """Transport-free request/response core of the community server.
 
     Args:
-        library: PeerHood library of the local device.
         store: The device's profile store; the *active* profile is what
             remote peers see as the online member.
+        device_id: Label for this endpoint in traces.
+        clock: Source of the timestamps written into profile state
+            (visit times, mail ``sent_at``).  ``None`` pins the clock
+            to 0.0 — fine for backends with no time model, since no
+            response payload ever embeds a timestamp.
         recorder: Optional MSC recorder shared with clients.
         trust_policy: Decides whether a ``PS_ADDTRUSTED`` request from
             a given member is accepted; defaults to rejecting, matching
@@ -38,14 +49,14 @@ class CommunityServer:
             by the requester.
     """
 
-    def __init__(self, library: PeerHoodLibrary, store: ProfileStore,
+    def __init__(self, store: ProfileStore, *, device_id: str = "server",
+                 clock: Callable[[], float] | None = None,
                  recorder: MscRecorder | None = None,
                  trust_policy: Callable[[str], bool] | None = None) -> None:
-        self.library = library
         self.store = store
+        self.device_id = device_id
         self.recorder = recorder
         self.trust_policy = trust_policy
-        self.env = library.daemon.env
         self.requests_served = 0
         #: Requests that failed protocol validation (malformed or
         #: corrupted-in-flight frames answered with ``BAD_REQUEST``).
@@ -53,65 +64,41 @@ class CommunityServer:
         #: Replies we could not deliver because the link died first.
         self.send_failures = 0
         self.file_service = FileTransferService(store)
-        self._started = False
+        self._clock = clock
 
-    @property
-    def device_id(self) -> str:
-        """Device this server runs on."""
-        return self.library.device_id
+    def now(self) -> float:
+        """Timestamp for profile-state writes (never sent on the wire)."""
+        return 0.0 if self._clock is None else self._clock()
 
-    def start(self) -> None:
-        """Register the service into the PHD (Figure 8)."""
-        if self._started:
-            return
-        self.library.register_service(
-            SERVICE_NAME,
-            {"type": "social-networking", "version": "0.2"},
-            self._accept)
-        self._started = True
+    # -- the request/response pump core --------------------------------------
 
-    def stop(self) -> None:
-        """Unregister the service; existing connections die naturally."""
-        if self._started:
-            self.library.unregister_service(SERVICE_NAME)
-            self._started = False
+    def handle_request(self, payload: Any, remote_id: str = "?") -> dict:
+        """Map one request payload to one response payload.
 
-    # -- connection handling ------------------------------------------------
-
-    def _accept(self, connection: Connection) -> None:
-        self.env.spawn(self._serve(connection),
-                       name=f"phc-server:{self.device_id}<-{connection.remote_id}")
-
-    def _serve(self, connection: Connection) -> Generator:
-        while not connection.closed:
-            payload = yield connection.recv()
-            if payload is None:  # connection torn down under us
-                return None
-            self._trace_in(connection, payload)
+        Every transport backend funnels through here, so the counter
+        semantics are identical everywhere: a payload that fails
+        protocol validation counts as a bad request only; a request
+        whose handler rejects its parameter *values* counts as both
+        served and bad; a remote peer can never crash the pump.
+        """
+        self._trace_in(remote_id, payload)
+        try:
+            op, params = protocol.parse_request(payload)
+        except protocol.ProtocolError:
+            self.bad_requests += 1
+            response = protocol.make_response(protocol.BAD_REQUEST)
+        else:
             try:
-                op, params = protocol.parse_request(payload)
-            except protocol.ProtocolError:
+                response = self._dispatch(op, params)
+            except (TypeError, ValueError, KeyError):
+                # Required fields present but of the wrong shape
+                # (e.g. a list where a string belongs).  A remote
+                # peer must never be able to crash the server.
                 self.bad_requests += 1
                 response = protocol.make_response(protocol.BAD_REQUEST)
-            else:
-                try:
-                    response = self._dispatch(op, params)
-                except (TypeError, ValueError, KeyError):
-                    # Required fields present but of the wrong shape
-                    # (e.g. a list where a string belongs).  A remote
-                    # peer must never be able to crash the server.
-                    self.bad_requests += 1
-                    response = protocol.make_response(protocol.BAD_REQUEST)
-                self.requests_served += 1
-            self._trace_out(connection, response)
-            try:
-                connection.send(response)
-            except (ConnectionError, OSError):
-                # The client's retry loop re-sends on a fresh
-                # connection; the dead one is already deregistered.
-                self.send_failures += 1
-                return None
-        return None
+            self.requests_served += 1
+        self._trace_out(remote_id, response)
+        return response
 
     # -- dispatch (Table 6) -------------------------------------------------------
 
@@ -172,9 +159,9 @@ class CommunityServer:
         active = self._active_or_none()
         if active is None or active.member_id != params["member_id"]:
             return protocol.make_response(protocol.NO_MEMBERS_YET)
-        active.record_view(params["requester"], self.env.now)
+        active.record_view(params["requester"], self.now())
         if self.recorder is not None:
-            self.recorder.action(self.env.now, f"server:{self.device_id}",
+            self.recorder.action(self.now(), f"server:{self.device_id}",
                                  "writes profile visitor")
         view = active.public_view()
         view["trusted"] = sorted(active.trusted)
@@ -186,9 +173,9 @@ class CommunityServer:
         if active is None or active.member_id != params["member_id"]:
             return protocol.make_response(protocol.NO_MEMBERS_YET)
         active.record_comment(params["requester"], params["comment"],
-                              self.env.now)
+                              self.now())
         if self.recorder is not None:
-            self.recorder.action(self.env.now, f"server:{self.device_id}",
+            self.recorder.action(self.now(), f"server:{self.device_id}",
                                  "writes comment to profile file")
         return protocol.make_response(protocol.SUCCESSFULLY_WRITTEN)
 
@@ -215,9 +202,9 @@ class CommunityServer:
         active.deliver_mail(MailMessage(
             sender=params["sender"], receiver=params["receiver"],
             subject=params["subject"], body=params["body"],
-            sent_at=self.env.now))
+            sent_at=self.now()))
         if self.recorder is not None:
-            self.recorder.action(self.env.now, f"server:{self.device_id}",
+            self.recorder.action(self.now(), f"server:{self.device_id}",
                                  "writes mail to inbox file")
         return protocol.make_response(protocol.SUCCESSFULLY_WRITTEN)
 
@@ -275,16 +262,78 @@ class CommunityServer:
 
     # -- tracing -------------------------------------------------------------
 
-    def _trace_in(self, connection: Connection, payload: dict) -> None:
+    def _trace_in(self, remote_id: str, payload: Any) -> None:
         if self.recorder is not None and isinstance(payload, dict):
-            self.recorder.message(self.env.now,
-                                  f"client:{connection.remote_id}",
+            self.recorder.message(self.now(),
+                                  f"client:{remote_id}",
                                   f"server:{self.device_id}",
                                   str(payload.get("op", "?")))
 
-    def _trace_out(self, connection: Connection, response: dict) -> None:
+    def _trace_out(self, remote_id: str, response: dict) -> None:
         if self.recorder is not None:
-            self.recorder.message(self.env.now,
+            self.recorder.message(self.now(),
                                   f"server:{self.device_id}",
-                                  f"client:{connection.remote_id}",
+                                  f"client:{remote_id}",
                                   str(response.get("status", "?")))
+
+
+class CommunityServer(CommunityService):
+    """The simulated-backend server: :class:`CommunityService` wired to
+    the PeerHood daemon and pumped over simulated connections.
+
+    Args:
+        library: PeerHood library of the local device.
+        store: The device's profile store.
+        recorder: Optional MSC recorder shared with clients.
+        trust_policy: See :class:`CommunityService`.
+    """
+
+    def __init__(self, library: PeerHoodLibrary, store: ProfileStore,
+                 recorder: MscRecorder | None = None,
+                 trust_policy: Callable[[str], bool] | None = None) -> None:
+        super().__init__(store, device_id=library.device_id,
+                         recorder=recorder, trust_policy=trust_policy)
+        self.library = library
+        self.env = library.daemon.env
+        self._started = False
+
+    def now(self) -> float:
+        """Simulated seconds; feeds profile-state writes and traces."""
+        return self.env.now
+
+    def start(self) -> None:
+        """Register the service into the PHD (Figure 8)."""
+        if self._started:
+            return
+        self.library.register_service(
+            SERVICE_NAME,
+            {"type": "social-networking", "version": "0.2"},
+            self._accept)
+        self._started = True
+
+    def stop(self) -> None:
+        """Unregister the service; existing connections die naturally."""
+        if self._started:
+            self.library.unregister_service(SERVICE_NAME)
+            self._started = False
+
+    # -- connection handling ------------------------------------------------
+
+    def _accept(self, connection: Connection) -> None:
+        self.env.spawn(self._serve(connection),
+                       name=f"phc-server:{self.device_id}<-{connection.remote_id}")
+
+    def _serve(self, connection: Connection) -> Generator:
+        while not connection.closed:
+            payload = yield connection.recv()
+            if payload is None:  # connection torn down under us
+                return None
+            response = self.handle_request(payload, connection.remote_id)
+            try:
+                connection.send(response)
+            except (ConnectionError, OSError):
+                # The client's retry loop re-sends on a fresh
+                # connection; the dead one is already deregistered.
+                self.send_failures += 1
+                return None
+        return None

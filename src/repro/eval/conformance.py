@@ -1,0 +1,130 @@
+"""Wire-transcript capture and comparison for transport conformance.
+
+The conformance suite replays each script from
+:mod:`repro.community.exchanges` through every transport backend and
+captures the raw frames as seen from the client side.  This module
+holds the pieces that are about *evidence*, not about driving:
+
+* :class:`FrameRecord` / :class:`Transcript` — the captured wire
+  bytes, in order, with direction;
+* :func:`first_divergence` / :func:`render_diff` — locating and
+  explaining the first frame where two backends disagreed;
+* :func:`write_artifacts` — dumping the transcripts to disk so a CI
+  failure uploads exactly what each backend put on the wire.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Where CI expects failure artifacts (uploaded by the workflow).
+DEFAULT_ARTIFACT_DIR = Path("conformance-artifacts")
+
+_PREVIEW_BYTES = 96
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """One frame on the wire, from the client's perspective.
+
+    Attributes:
+        direction: ``"send"`` (client to server) or ``"recv"``.
+        data: The exact frame bytes, length prefix included.
+    """
+
+    direction: str
+    data: bytes
+
+
+@dataclass
+class Transcript:
+    """Ordered wire capture of one exchange on one backend."""
+
+    backend: str
+    exchange: str
+    frames: list[FrameRecord] = field(default_factory=list)
+
+    def record(self, direction: str, data: bytes) -> None:
+        """Append one frame (tap callback for the transports)."""
+        self.frames.append(FrameRecord(direction, data))
+
+    @property
+    def total_bytes(self) -> int:
+        """Wire bytes across all captured frames."""
+        return sum(len(frame.data) for frame in self.frames)
+
+    def as_dict(self) -> dict:
+        """JSON-ready dump (frame bytes hex-encoded)."""
+        return {
+            "backend": self.backend,
+            "exchange": self.exchange,
+            "frame_count": len(self.frames),
+            "total_bytes": self.total_bytes,
+            "frames": [{"direction": frame.direction,
+                        "bytes": len(frame.data),
+                        "hex": frame.data.hex()}
+                       for frame in self.frames],
+        }
+
+
+def first_divergence(left: Transcript, right: Transcript) -> int | None:
+    """Index of the first frame where the transcripts differ.
+
+    ``None`` means byte-identical frame-for-frame; an index equal to
+    the shorter length means one transcript is a strict prefix of the
+    other.
+    """
+    for index, (ours, theirs) in enumerate(zip(left.frames, right.frames)):
+        if ours.direction != theirs.direction or ours.data != theirs.data:
+            return index
+    if len(left.frames) != len(right.frames):
+        return min(len(left.frames), len(right.frames))
+    return None
+
+
+def _preview(data: bytes) -> str:
+    head = data[:_PREVIEW_BYTES]
+    suffix = "..." if len(data) > _PREVIEW_BYTES else ""
+    return f"{head.hex()}{suffix}"
+
+
+def render_diff(left: Transcript, right: Transcript) -> str:
+    """Human-readable explanation of the first transcript divergence."""
+    index = first_divergence(left, right)
+    if index is None:
+        return (f"transcripts identical: {len(left.frames)} frames, "
+                f"{left.total_bytes} bytes")
+    lines = [
+        f"transcripts diverge at frame {index} "
+        f"({left.backend}: {len(left.frames)} frames / "
+        f"{left.total_bytes} bytes, "
+        f"{right.backend}: {len(right.frames)} frames / "
+        f"{right.total_bytes} bytes)",
+    ]
+    for transcript in (left, right):
+        if index < len(transcript.frames):
+            frame = transcript.frames[index]
+            lines.append(f"  {transcript.backend}: {frame.direction} "
+                         f"{len(frame.data)}B {_preview(frame.data)}")
+        else:
+            lines.append(f"  {transcript.backend}: <no frame {index}>")
+    return "\n".join(lines)
+
+
+def write_artifacts(transcripts: list[Transcript],
+                    directory: Path = DEFAULT_ARTIFACT_DIR) -> list[Path]:
+    """Dump transcripts as JSON files; returns the written paths.
+
+    Called by the conformance suite on assertion failure so CI can
+    upload the evidence.
+    """
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for transcript in transcripts:
+        path = directory / f"{transcript.exchange}.{transcript.backend}.json"
+        path.write_text(json.dumps(transcript.as_dict(), indent=2,
+                                   sort_keys=True) + "\n")
+        written.append(path)
+    return written

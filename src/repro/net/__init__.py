@@ -1,11 +1,13 @@
-"""Simulated transport: framed messages over radio links.
+"""Transports: framed messages over simulated radio or real TCP.
 
-This sits between the radio medium and PeerHood.  A
-:class:`~repro.net.stack.NetworkStack` gives each device listeners
-(named ports) and outbound connections; a
-:class:`~repro.net.connection.Connection` moves length-prefixed frames
-with latency derived from the technology's bandwidth, plus the gateway
-relay hop for GPRS.
+This sits between the carrier and PeerHood.  The *simulated* backend —
+:class:`~repro.net.stack.NetworkStack` listeners plus
+:class:`~repro.net.connection.Connection` links — moves length-prefixed
+frames with latency derived from the technology's bandwidth, plus the
+gateway relay hop for GPRS.  The *TCP* backend (:mod:`repro.net.tcp`)
+moves byte-identical frames over asyncio sockets; the shared contract
+both implement lives in :mod:`repro.net.transport` and is enforced by
+``tests/conformance``.
 
 Resilience lives here too: :mod:`repro.net.faults` injects
 deterministic link failures (setup failures, mid-stream drops,
@@ -22,6 +24,7 @@ from repro.net.faults import (
     InjectedFaultError,
     SendFault,
 )
+from repro.net.framing import Frame, FrameDecoder, TruncatedFrameError
 from repro.net.messages import FrameError, deserialize, frame_size, serialize
 from repro.net.retry import (
     AttemptTimeoutError,
@@ -39,6 +42,8 @@ from repro.net.stack import (
     NoListenerError,
     StackRegistry,
 )
+from repro.net.tcp import TcpConnection, TcpServer, dial
+from repro.net.transport import Transport, TransportConnection
 
 __all__ = [
     "AttemptTimeoutError",
@@ -49,6 +54,8 @@ __all__ = [
     "FaultConfig",
     "FaultCounters",
     "FaultInjector",
+    "Frame",
+    "FrameDecoder",
     "FrameError",
     "InjectedFaultError",
     "ListenerExistsError",
@@ -58,7 +65,13 @@ __all__ = [
     "RetryPolicy",
     "SendFault",
     "StackRegistry",
+    "TcpConnection",
+    "TcpServer",
+    "Transport",
+    "TransportConnection",
+    "TruncatedFrameError",
     "deserialize",
+    "dial",
     "frame_size",
     "is_degraded",
     "recv_with_timeout",

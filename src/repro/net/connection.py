@@ -18,6 +18,7 @@ from functools import partial
 from typing import TYPE_CHECKING, Any
 
 from repro.net.messages import wire_copy
+from repro.net.transport import ConnectionClosedError
 from repro.radio.medium import Medium, NotReachableError
 from repro.radio.technology import Technology
 from repro.simenv import Environment, Signal, WaitSignal
@@ -26,9 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.net.stack import NetworkStack
     from repro.radio.gprs import GprsGateway
 
-
-class ConnectionClosedError(ConnectionError):
-    """Raised when sending or receiving on a closed connection."""
+__all__ = ["Connection", "ConnectionClosedError"]
 
 
 class Connection:

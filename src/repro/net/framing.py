@@ -1,0 +1,119 @@
+"""Incremental frame decoding for stream transports.
+
+The simulated backend moves whole payloads, so it never sees partial
+frames.  A TCP stream offers no such courtesy: one ``read`` may return
+half a length prefix, three frames glued together, or a frame split at
+any byte.  :class:`FrameDecoder` reassembles the canonical
+length-prefixed frames of :mod:`repro.net.messages` from arbitrary
+chunkings, and turns every malformed input into a *typed* error —
+never a hang, never an unbounded buffer.
+
+Error taxonomy:
+
+* an oversized length prefix (> ``MAX_FRAME_BYTES``) raises
+  :class:`~repro.net.messages.FrameError` immediately on arrival, so a
+  hostile prefix cannot make the decoder buffer gigabytes;
+* a complete frame whose body is not valid JSON raises ``FrameError``
+  when the body completes;
+* a stream that ends mid-frame raises :class:`TruncatedFrameError`
+  from :meth:`FrameDecoder.eof` — a ``FrameError`` that is *also* a
+  ``ConnectionError``, because a truncated frame is how a mid-frame
+  disconnect looks from the receiving side, and retry layers key on
+  ``ConnectionError``.
+
+A decoder that raised is poisoned: frame boundaries are lost and
+resynchronising on a length-prefixed stream is impossible, so the only
+safe reaction is to drop the connection.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any
+
+from repro.net.messages import MAX_FRAME_BYTES, FrameError, deserialize
+
+_LENGTH = struct.Struct(">I")
+
+
+class TruncatedFrameError(FrameError, ConnectionError):
+    """The stream ended mid-frame (mid-frame disconnect).
+
+    Both a :class:`~repro.net.messages.FrameError` (the bytes are
+    malformed) and a ``ConnectionError`` (the cause is link loss), so
+    it lands in the retry taxonomy either way a caller classifies it.
+    """
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: its exact wire bytes and the parsed payload."""
+
+    raw: bytes
+    payload: Any
+
+
+class FrameDecoder:
+    """Reassembles canonical frames from an arbitrarily chunked stream.
+
+    Feed it whatever the socket returned; it yields complete
+    :class:`Frame` objects (raw bytes preserved for transcript capture)
+    and keeps any tail bytes buffered for the next feed.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    @property
+    def buffered(self) -> int:
+        """Bytes currently held waiting for the rest of a frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[Frame]:
+        """Absorb ``data``; return every frame it completed.
+
+        Raises:
+            FrameError: Oversized length prefix or non-JSON body.  The
+                decoder is poisoned afterwards; drop the connection.
+        """
+        if self._poisoned:
+            raise FrameError("decoder already failed; drop the connection")
+        self._buffer.extend(data)
+        frames: list[Frame] = []
+        while True:
+            header = self._buffer
+            if len(header) < _LENGTH.size:
+                break
+            (length,) = _LENGTH.unpack_from(header)
+            if length > MAX_FRAME_BYTES:
+                self._poisoned = True
+                raise FrameError(
+                    f"length prefix {length} exceeds {MAX_FRAME_BYTES}")
+            end = _LENGTH.size + length
+            if len(header) < end:
+                break
+            raw = bytes(header[:end])
+            del self._buffer[:end]
+            try:
+                payload = deserialize(raw)
+            except FrameError:
+                self._poisoned = True
+                raise
+            frames.append(Frame(raw=raw, payload=payload))
+        return frames
+
+    def eof(self) -> None:
+        """Signal end of stream; raise if bytes were left mid-frame.
+
+        Raises:
+            TruncatedFrameError: The peer disconnected mid-frame.
+        """
+        if self._poisoned:
+            return
+        if self._buffer:
+            self._poisoned = True
+            raise TruncatedFrameError(
+                f"stream ended with {len(self._buffer)} bytes of an "
+                f"incomplete frame")

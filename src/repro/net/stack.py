@@ -13,6 +13,7 @@ from collections.abc import Callable, Generator
 from typing import TYPE_CHECKING
 
 from repro.net.connection import Connection
+from repro.net.transport import ListenerExistsError, NoListenerError
 from repro.radio.medium import Medium, NotReachableError
 from repro.radio.technology import Technology
 from repro.simenv import Delay, Environment
@@ -20,13 +21,8 @@ from repro.simenv import Delay, Environment
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.radio.gprs import GprsGateway
 
-
-class NoListenerError(ConnectionRefusedError):
-    """The remote device has no listener on the requested port."""
-
-
-class ListenerExistsError(ValueError):
-    """A listener is already bound to this port on this device."""
+__all__ = ["ListenerExistsError", "NetworkStack", "NoListenerError",
+           "StackRegistry"]
 
 
 class NetworkStack:
@@ -158,6 +154,20 @@ class StackRegistry:
     def stack_of(self, device_id: str) -> NetworkStack | None:
         """The stack for ``device_id``, or ``None`` if absent."""
         return self._stacks.get(device_id)
+
+    def device_ids(self) -> list[str]:
+        """Registered device ids, deterministically ordered."""
+        return sorted(self._stacks)
+
+    def close_all(self) -> None:
+        """Tear down every stack: close connections, drop listeners.
+
+        Test fixtures call this at teardown so listener and connection
+        state can never leak from one test into the next, however the
+        test ended.
+        """
+        for device_id in self.device_ids():
+            self.remove(device_id)
 
     def remove(self, device_id: str) -> None:
         """Drop a device's stack (device left the simulation).

@@ -1,0 +1,117 @@
+"""The pluggable transport contract.
+
+The PS_* protocol is defined by its frames, not by the medium that
+carries them.  This module pins down the backend-neutral contract that
+both carriers implement:
+
+* the **simulated** backend — :class:`~repro.net.stack.NetworkStack` /
+  :class:`~repro.net.connection.Connection`, where transfer *time* is
+  modelled and delivery rides the event queue; and
+* the **asyncio TCP** backend — :mod:`repro.net.tcp`, where the same
+  canonical frames (:func:`repro.net.messages.serialize`) travel over
+  real OS sockets.
+
+Contract (see DESIGN.md §8 for the full specification):
+
+* **Framing.**  One message = one frame: a four-byte big-endian length
+  prefix followed by canonical JSON (sorted keys, no whitespace,
+  ASCII).  Both backends price/emit byte-identical frames for the same
+  payload, which is what ``tests/conformance`` asserts.
+* **Listen.**  A transport accepts inbound connections on a named port
+  (the PeerHood service name).  Binding twice raises
+  :class:`ListenerExistsError`; dialing a port nobody listens on
+  raises :class:`NoListenerError`.
+* **Peer identity.**  ``local_id`` / ``remote_id`` are opaque strings:
+  device ids on the simulated backend, ``host:port`` endpoint names on
+  TCP.  Protocol layers treat them as labels, never parse them.
+* **Error taxonomy.**  Link loss surfaces either as ``None`` from a
+  pending ``recv`` (the peer closed) or as a ``ConnectionError``
+  subclass from ``send``/``recv``; sending or receiving on a closed
+  connection raises :class:`ConnectionClosedError`.  Retry layers key
+  on ``(ConnectionError, OSError)`` and therefore behave identically
+  on both backends.
+
+The :class:`TransportConnection` protocol below captures the shared
+*shape*; the concurrency style necessarily differs (the simulated
+backend yields into the process kernel, TCP awaits the event loop), so
+``send``/``recv`` return backend-specific awaitables/yieldables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any, Protocol, runtime_checkable
+
+
+class NoListenerError(ConnectionRefusedError):
+    """The remote endpoint has no listener on the requested port."""
+
+
+class ListenerExistsError(ValueError):
+    """A listener is already bound to this port on this device."""
+
+
+class ConnectionClosedError(ConnectionError):
+    """Raised when sending or receiving on a closed connection."""
+
+
+@runtime_checkable
+class TransportConnection(Protocol):
+    """One endpoint of a duplex payload stream, any backend.
+
+    Attributes:
+        local_id: Identity of this endpoint (opaque label).
+        remote_id: Identity of the peer endpoint (opaque label).
+        closed: Whether the connection has been torn down.
+    """
+
+    local_id: str
+    remote_id: str
+    closed: bool
+
+    def send(self, payload: Any) -> Any:
+        """Transmit one payload as one frame to the peer.
+
+        Raises :class:`ConnectionClosedError` on a closed connection
+        and a ``ConnectionError`` subclass when the link broke.
+        """
+        ...
+
+    def recv(self) -> Any:
+        """The next inbound payload (``None`` once the peer closed).
+
+        Simulated backend: returns a yieldable that resumes with the
+        payload.  TCP backend: a coroutine resolving to the payload.
+        """
+        ...
+
+    def close(self) -> Any:
+        """Tear down both halves; pending receivers resume with ``None``."""
+        ...
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Listener registry plus connection factory for one endpoint.
+
+    ``dial``/``connect`` signatures differ per backend (the simulated
+    stack needs a technology and pays setup time; TCP needs an
+    address), so only the listener surface is part of the shared
+    protocol.
+    """
+
+    def listen(self, port: str,
+               on_connection: Callable[..., None]) -> Any:
+        """Accept inbound connections on ``port``.
+
+        Raises :class:`ListenerExistsError` when the port is taken.
+        """
+        ...
+
+    def unlisten(self, port: str) -> Any:
+        """Stop accepting connections on ``port`` (idempotent)."""
+        ...
+
+    def listening_on(self, port: str) -> bool:
+        """Whether a listener is currently bound to ``port``."""
+        ...

@@ -1,0 +1,10 @@
+"""Both ops are encoded, so only conformance coverage is missing."""
+from proto002_bad.community import protocol
+
+
+def ping():
+    return protocol.make_request(protocol.PS_PING, sender="me")
+
+
+def uncovered():
+    return protocol.make_request(protocol.PS_UNCOVERED)

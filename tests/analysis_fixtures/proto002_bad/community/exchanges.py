@@ -1,0 +1,6 @@
+"""Conformance scripts that forgot PS_UNCOVERED."""
+from proto002_bad.community import protocol
+
+EXCHANGES = [
+    protocol.make_request(protocol.PS_PING, sender="alice"),
+]

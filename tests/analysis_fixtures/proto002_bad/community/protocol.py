@@ -1,0 +1,13 @@
+"""Two declared operations; only one is conformance-covered."""
+
+PS_PING = "PS_PING"
+PS_UNCOVERED = "PS_UNCOVERED"
+
+OPERATIONS = {
+    PS_PING: ("sender",),
+    PS_UNCOVERED: (),
+}
+
+
+def make_request(op, **params):
+    return {"op": op, **params}

@@ -1,0 +1,10 @@
+"""Client encoders for both operations."""
+from proto002_ok.community import protocol
+
+
+def ping():
+    return protocol.make_request(protocol.PS_PING, sender="me")
+
+
+def list_items():
+    return protocol.make_request(protocol.PS_LIST)

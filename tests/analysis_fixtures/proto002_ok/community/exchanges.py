@@ -1,0 +1,7 @@
+"""Conformance scripts exercising every declared operation."""
+from proto002_ok.community import protocol
+
+EXCHANGES = [
+    protocol.make_request(protocol.PS_PING, sender="alice"),
+    protocol.make_request(protocol.PS_LIST),
+]

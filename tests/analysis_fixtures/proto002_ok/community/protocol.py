@@ -1,0 +1,13 @@
+"""Two declared operations, both fully wired."""
+
+PS_PING = "PS_PING"
+PS_LIST = "PS_LIST"
+
+OPERATIONS = {
+    PS_PING: ("sender",),
+    PS_LIST: (),
+}
+
+
+def make_request(op, **params):
+    return {"op": op, **params}

@@ -1,0 +1,17 @@
+"""Dispatch table covering both declared operations."""
+from proto002_ok.community import protocol
+
+
+class Server:
+    def _dispatch(self, op, params):
+        handlers = {
+            protocol.PS_PING: self._handle_ping,
+            protocol.PS_LIST: self._handle_list,
+        }
+        return handlers[op](params)
+
+    def _handle_ping(self, params):
+        return {"status": "OK"}
+
+    def _handle_list(self, params):
+        return {"status": "OK", "items": []}

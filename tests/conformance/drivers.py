@@ -1,0 +1,141 @@
+"""Backend drivers: replay one conformance exchange, capture the wire.
+
+Each driver prepares an identical server (fresh
+:func:`~repro.community.exchanges.build_server_store`), replays the
+exchange's steps from the client side and returns a
+:class:`~repro.eval.conformance.Transcript` of every frame as the
+client saw it.  The drivers differ *only* in the transport underneath;
+that is the whole point.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.community import protocol
+from repro.community.exchanges import (
+    Exchange,
+    Mutate,
+    Reconnect,
+    Send,
+    build_server_store,
+)
+from repro.community.server import SERVICE_NAME, CommunityServer, CommunityService
+from repro.eval.conformance import Transcript
+from repro.eval.testbed import Testbed
+from repro.mobility import Point
+from repro.net.messages import serialize
+from repro.net.tcp import TcpServer, dial
+from repro.radio.standards import WLAN
+
+#: Transport backends the conformance matrix covers.
+BACKENDS = ("sim", "tcp")
+
+
+def _check_status(exchange: Exchange, step: Send, reply: object) -> None:
+    if step.expect_status is None:
+        return
+    status = protocol.response_status(reply)
+    assert status == step.expect_status, (
+        f"{exchange.name}: {step.request.get('op', '?')} answered "
+        f"{status}, expected {step.expect_status}")
+
+
+def run_sim_exchange(exchange: Exchange, *, seed: int = 11) -> Transcript:
+    """Replay ``exchange`` over the simulated backend."""
+    bed = Testbed(seed=seed, technologies=("wlan",))
+    try:
+        server_device = bed.add_device("server", position=Point(100.0, 100.0),
+                                       start_daemon=False)
+        client_device = bed.add_device("client", position=Point(105.0, 100.0),
+                                       start_daemon=False)
+        store = build_server_store()
+        server = CommunityServer(server_device.library, store)
+        server.start()
+        transcript = Transcript("sim", exchange.name)
+
+        def script():
+            # The simulated send delivers a structural copy priced at
+            # serialize()'s exact byte count, so serializing the
+            # payloads at the endpoints reproduces the wire bytes.
+            connection = yield from client_device.stack.connect(
+                "server", SERVICE_NAME, WLAN)
+            for step in exchange.steps:
+                if isinstance(step, Mutate):
+                    step.apply(store)
+                elif isinstance(step, Reconnect):
+                    connection.close()
+                    connection = yield from client_device.stack.connect(
+                        "server", SERVICE_NAME, WLAN)
+                else:
+                    assert isinstance(step, Send)
+                    transcript.record("send", serialize(step.request))
+                    connection.send(step.request)
+                    reply = yield connection.recv()
+                    assert reply is not None, \
+                        f"{exchange.name}: connection died mid-exchange"
+                    transcript.record("recv", serialize(reply))
+                    _check_status(exchange, step, reply)
+            connection.close()
+
+        bed.execute(script())
+        bed.run(1.0)  # let the serving processes observe the close
+        assert server_device.stack.open_connection_count() == 0, \
+            "simulated server leaked connections"
+        assert client_device.stack.open_connection_count() == 0, \
+            "simulated client leaked connections"
+        server.stop()
+        return transcript
+    finally:
+        bed.stop()
+        bed.registry.close_all()
+
+
+def run_tcp_exchange(exchange: Exchange) -> Transcript:
+    """Replay ``exchange`` over the asyncio-TCP backend."""
+    return asyncio.run(_tcp_exchange(exchange))
+
+
+async def _tcp_exchange(exchange: Exchange) -> Transcript:
+    store = build_server_store()
+    service = CommunityService(store, device_id="server")
+    server = TcpServer(service.handle_request)
+    await server.start()
+    transcript = Transcript("tcp", exchange.name)
+    try:
+        connection = await dial("127.0.0.1", server.port,
+                                on_frame=transcript.record)
+        try:
+            for step in exchange.steps:
+                if isinstance(step, Mutate):
+                    step.apply(store)
+                elif isinstance(step, Reconnect):
+                    await connection.close()
+                    connection = await dial("127.0.0.1", server.port,
+                                            on_frame=transcript.record)
+                else:
+                    assert isinstance(step, Send)
+                    await connection.send(step.request)
+                    reply = await connection.recv()
+                    assert reply is not None, \
+                        f"{exchange.name}: server closed mid-exchange"
+                    _check_status(exchange, step, reply)
+        finally:
+            await connection.close()
+        while server.open_connection_count():
+            await asyncio.sleep(0)
+        return transcript
+    finally:
+        await server.stop()
+        assert server.open_connection_count() == 0, \
+            "TCP server leaked client connections"
+        assert not server.listening, "TCP listener leaked"
+
+
+def run_exchange(backend: str, exchange: Exchange) -> Transcript:
+    """Replay ``exchange`` on the named backend."""
+    if backend == "sim":
+        return run_sim_exchange(exchange)
+    if backend == "tcp":
+        return run_tcp_exchange(exchange)
+    raise ValueError(f"unknown backend {backend!r}")

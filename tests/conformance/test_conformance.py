@@ -1,0 +1,49 @@
+"""Cross-backend conformance: byte-identical wire transcripts.
+
+The same PS_* exchange, replayed over the simulated medium and over
+real asyncio-TCP sockets, must put the exact same frames on the wire —
+frame-for-frame, byte-for-byte.  A divergence writes both transcripts
+to ``conformance-artifacts/`` (uploaded by CI) before failing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.community.exchanges import CONFORMANCE_EXCHANGES, Send
+from repro.eval.conformance import first_divergence, render_diff, write_artifacts
+
+from tests.conformance.drivers import run_sim_exchange, run_tcp_exchange
+
+
+@pytest.mark.parametrize("exchange", CONFORMANCE_EXCHANGES,
+                         ids=lambda exchange: exchange.name)
+class TestTranscriptEquivalence:
+    def test_transcripts_byte_identical(self, exchange):
+        sim = run_sim_exchange(exchange)
+        tcp = run_tcp_exchange(exchange)
+        if first_divergence(sim, tcp) is not None:
+            paths = write_artifacts([sim, tcp])
+            pytest.fail(render_diff(sim, tcp)
+                        + "\nartifacts: "
+                        + ", ".join(str(path) for path in paths))
+
+    def test_transcript_covers_every_send(self, exchange):
+        """One send + one recv frame per Send step, in order."""
+        transcript = run_tcp_exchange(exchange)
+        sends = [step for step in exchange.steps if isinstance(step, Send)]
+        directions = [frame.direction for frame in transcript.frames]
+        assert directions == ["send", "recv"] * len(sends)
+
+
+def test_every_exchange_name_unique():
+    names = [exchange.name for exchange in CONFORMANCE_EXCHANGES]
+    assert len(names) == len(set(names))
+
+
+def test_transcripts_are_deterministic():
+    """Two replays of the same script produce identical bytes."""
+    exchange = CONFORMANCE_EXCHANGES[0]
+    first = run_tcp_exchange(exchange)
+    second = run_tcp_exchange(exchange)
+    assert first_divergence(first, second) is None

@@ -1,0 +1,214 @@
+"""Backend-parametrized fault mapping and retry parity.
+
+Socket-level failures must land in the same taxonomy the simulated
+stack already uses — :class:`NoListenerError` for a missing listener,
+``None``-from-recv for a peer that went away, ``ConnectionError`` for
+everything the retry layer should absorb — so a retry loop written
+against one backend behaves identically on the other.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.community.server import SERVICE_NAME
+from repro.eval.testbed import Testbed
+from repro.mobility import Point
+from repro.net.framing import TruncatedFrameError
+from repro.net.messages import FrameError, serialize
+from repro.net.retry import RetryPolicy
+from repro.net.tcp import TcpServer, dial
+from repro.net.transport import ConnectionClosedError, NoListenerError
+from repro.radio.standards import WLAN
+from repro.simenv import Environment
+
+
+def _sim_bed():
+    bed = Testbed(seed=23, technologies=("wlan",))
+    bed.add_device("server", position=Point(100.0, 100.0), start_daemon=False)
+    bed.add_device("client", position=Point(105.0, 100.0), start_daemon=False)
+    return bed
+
+
+def _sim_connect(bed):
+    client = bed.devices["client"]
+
+    def script():
+        connection = yield from client.stack.connect(
+            "server", SERVICE_NAME, WLAN)
+        return connection
+
+    return bed.execute(script())
+
+
+async def _tcp_echo_server():
+    """A frame-echo server for connection-level fault tests."""
+    server = TcpServer(lambda payload, remote_id: payload)
+    await server.start()
+    return server
+
+
+class TestListenerGone:
+    def test_sim_dial_without_listener_raises_no_listener(self):
+        bed = _sim_bed()
+        try:
+            with pytest.raises(NoListenerError):
+                _sim_connect(bed)
+        finally:
+            bed.stop()
+            bed.registry.close_all()
+
+    def test_tcp_dial_without_listener_raises_no_listener(self):
+        async def run():
+            # Bind a listener, note its port, shut it down: the port is
+            # known-free-and-dead, the TCP analogue of "listener gone".
+            server = await _tcp_echo_server()
+            port = server.port
+            await server.stop()
+            await dial("127.0.0.1", port)
+
+        with pytest.raises(NoListenerError) as excinfo:
+            asyncio.run(run())
+        # The shared taxonomy: the same except-clause catches both
+        # backends because NoListenerError is a ConnectionError.
+        assert isinstance(excinfo.value, ConnectionError)
+
+
+class TestPeerReset:
+    def test_sim_peer_close_resumes_recv_with_none(self):
+        bed = _sim_bed()
+        try:
+            # The server side closes one virtual second after accept —
+            # while the client is parked in recv().
+            bed.devices["server"].stack.listen(
+                SERVICE_NAME,
+                lambda connection: bed.env.call_in(1.0, connection.close))
+
+            def script():
+                client = bed.devices["client"]
+                connection = yield from client.stack.connect(
+                    "server", SERVICE_NAME, WLAN)
+                payload = yield connection.recv()
+                return connection, payload
+
+            connection, payload = bed.execute(script())
+            assert payload is None
+            with pytest.raises(ConnectionClosedError):
+                connection.send({"op": "PS_GETONLINEMEMBERLIST"})
+        finally:
+            bed.stop()
+            bed.registry.close_all()
+
+    def test_tcp_peer_close_resumes_recv_with_none(self):
+        async def run():
+            server = await _tcp_echo_server()
+            try:
+                connection = await dial("127.0.0.1", server.port)
+                await server.stop()  # server closes all clients
+                payload = await connection.recv()
+                assert payload is None  # clean EOF == sim's None
+                await connection.close()
+                with pytest.raises(ConnectionClosedError):
+                    await connection.send({"op": "PS_GETONLINEMEMBERLIST"})
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+
+class TestMidFrameDisconnect:
+    def test_tcp_mid_frame_disconnect_is_truncated_and_connection_error(self):
+        frame = serialize({"op": "PS_GETONLINEMEMBERLIST"})
+
+        async def half_frame(reader, writer):
+            writer.write(frame[: len(frame) // 2])
+            await writer.drain()
+            writer.close()
+
+        async def run():
+            raw = await asyncio.start_server(half_frame, "127.0.0.1", 0)
+            port = raw.sockets[0].getsockname()[1]
+            try:
+                connection = await dial("127.0.0.1", port)
+                with pytest.raises(TruncatedFrameError) as excinfo:
+                    await connection.recv()
+                # Lands in the retry taxonomy both as a framing problem
+                # and as link loss.
+                assert isinstance(excinfo.value, FrameError)
+                assert isinstance(excinfo.value, ConnectionError)
+                await connection.close()
+            finally:
+                raw.close()
+                await raw.wait_closed()
+
+        asyncio.run(run())
+
+    def test_tcp_server_counts_client_mid_frame_disconnect(self):
+        async def run():
+            server = await _tcp_echo_server()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                frame = serialize({"op": "PS_GETONLINEMEMBERLIST"})
+                writer.write(frame[: len(frame) // 2])
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+                while server.open_connection_count():
+                    await asyncio.sleep(0)
+                assert server.frame_errors == 1
+                assert reader.at_eof() or True  # reader unused further
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+
+class TestRetryParity:
+    """The same policy + the same seeded stream must produce the same
+    attempt count and backoff schedule on both backends."""
+
+    POLICY = RetryPolicy(max_attempts=4, base_delay_s=0.5, max_delay_s=4.0,
+                         attempt_timeout_s=None, budget_s=None)
+
+    def _drive(self, dial_once) -> tuple[int, list[float], bool]:
+        """Backend-agnostic retry loop: returns (attempts, delays, ok)."""
+        rng = Environment(seed=99).random.stream("retry:conformance")
+        delays: list[float] = []
+        attempts = 0
+        for attempt in range(1, self.POLICY.max_attempts + 1):
+            if attempt > 1:
+                delays.append(self.POLICY.backoff_delay(attempt - 1, rng))
+            attempts += 1
+            try:
+                dial_once()
+            except (ConnectionError, OSError):
+                continue
+            return attempts, delays, True
+        return attempts, delays, False
+
+    def test_backoff_schedule_identical_across_backends(self):
+        bed = _sim_bed()
+        try:
+            sim_outcome = self._drive(lambda: _sim_connect(bed))
+        finally:
+            bed.stop()
+            bed.registry.close_all()
+
+        async def find_dead_port():
+            server = await _tcp_echo_server()
+            port = server.port
+            await server.stop()
+            return port
+
+        dead_port = asyncio.run(find_dead_port())
+        tcp_outcome = self._drive(
+            lambda: asyncio.run(dial("127.0.0.1", dead_port)))
+
+        assert sim_outcome == tcp_outcome
+        attempts, delays, ok = sim_outcome
+        assert not ok
+        assert attempts == self.POLICY.max_attempts
+        assert len(delays) == self.POLICY.max_attempts - 1

@@ -1,0 +1,102 @@
+"""Concurrency smoke: ~100 OS-level clients against one TCP server.
+
+Not a microbenchmark — the assertions are about *hygiene*: every client
+gets correct answers, the server's request count adds up, and when the
+dust settles nothing leaked (no client connections, no listener).
+Marked ``slow``; CI runs it in the nightly job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.community import protocol
+from repro.community.exchanges import (
+    CLIENT_MEMBER,
+    SERVER_MEMBER,
+    build_server_store,
+)
+from repro.community.server import CommunityService
+from repro.net.tcp import TcpServer, dial
+
+CLIENTS = 100
+REQUESTS_PER_CLIENT = 4
+
+
+async def _client_session(port: int, index: int) -> int:
+    """One client: dial, run a few PS_* requests, close cleanly."""
+    connection = await dial("127.0.0.1", port)
+    try:
+        served = 0
+        for _ in range(REQUESTS_PER_CLIENT):
+            await connection.send(protocol.make_request(
+                protocol.PS_GETONLINEMEMBERLIST))
+            reply = await connection.recv()
+            assert reply is not None
+            assert protocol.response_status(reply) == protocol.STATUS_OK
+            assert reply["members"][0]["member_id"] == SERVER_MEMBER
+            served += 1
+        # A second operation type, so the smoke isn't one hot path.
+        await connection.send(protocol.make_request(
+            protocol.PS_GETPROFILE, member_id=SERVER_MEMBER,
+            requester=f"{CLIENT_MEMBER}-{index}"))
+        reply = await connection.recv()
+        assert reply is not None
+        assert protocol.response_status(reply) == protocol.STATUS_OK
+        return served + 1
+    finally:
+        await connection.close()
+
+
+@pytest.mark.slow
+def test_hundred_concurrent_clients_no_leaks():
+    async def run():
+        service = CommunityService(build_server_store(), device_id="server")
+        server = TcpServer(service.handle_request)
+        await server.start()
+        try:
+            results = await asyncio.gather(
+                *(_client_session(server.port, index)
+                  for index in range(CLIENTS)))
+            assert results == [REQUESTS_PER_CLIENT + 1] * CLIENTS
+            assert server.requests_handled == CLIENTS * (REQUESTS_PER_CLIENT + 1)
+            assert service.requests_served == server.requests_handled
+            assert service.bad_requests == 0
+            assert server.frame_errors == 0
+            # Every client closed cleanly: no leaked connections.
+            while server.open_connection_count():
+                await asyncio.sleep(0)
+            assert server.open_connection_count() == 0
+        finally:
+            await server.stop()
+        assert not server.listening
+        # The profile recorded every distinct visitor exactly once.
+        active = service.store.active
+        assert active is not None
+        assert len(active.viewers) == CLIENTS
+
+    asyncio.run(run())
+
+
+@pytest.mark.slow
+def test_interleaved_connect_disconnect_churn():
+    """Clients arriving and leaving in waves never leak server state."""
+    async def run():
+        service = CommunityService(build_server_store(), device_id="server")
+        server = TcpServer(service.handle_request)
+        await server.start()
+        try:
+            for _wave in range(5):
+                await asyncio.gather(
+                    *(_client_session(server.port, index)
+                      for index in range(20)))
+                while server.open_connection_count():
+                    await asyncio.sleep(0)
+        finally:
+            await server.stop()
+        assert not server.listening
+        assert server.open_connection_count() == 0
+
+    asyncio.run(run())

@@ -32,9 +32,16 @@ def medium(world: World) -> Medium:
 
 
 @pytest.fixture
-def registry() -> StackRegistry:
-    """A fresh per-simulation stack registry."""
-    return StackRegistry()
+def registry():
+    """A fresh per-simulation stack registry, emptied at teardown.
+
+    The explicit ``close_all`` guarantees listener and connection
+    state cannot leak between tests, however a test ends — which the
+    backend-parametrized conformance matrix relies on.
+    """
+    stacks = StackRegistry()
+    yield stacks
+    stacks.close_all()
 
 
 @pytest.fixture
@@ -56,6 +63,7 @@ def bed() -> Testbed:
     testbed = Testbed(seed=7)
     yield testbed
     testbed.stop()
+    testbed.registry.close_all()
 
 
 @pytest.fixture

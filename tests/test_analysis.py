@@ -151,6 +151,45 @@ def test_proto001_skips_incomplete_package() -> None:
     assert "PROTO001" not in fired_codes(report), report.findings
 
 
+# -- PROTO002 ---------------------------------------------------------------
+
+def test_proto002_quiet_when_every_op_is_exercised() -> None:
+    report = proto_project("proto002_ok")
+    assert "PROTO002" not in fired_codes(report), report.findings
+
+
+def test_proto002_fires_on_unexercised_operation() -> None:
+    report = proto_project("proto002_bad")
+    messages = [f.message for f in report.findings if f.rule == "PROTO002"]
+    assert any("PS_UNCOVERED" in m and "conformance exchange" in m
+               for m in messages)
+    assert not any("PS_PING" in m for m in messages)
+
+
+def test_proto002_skips_projects_without_exchange_scripts() -> None:
+    # The PROTO001 fixture has no exchanges.py: a project without a
+    # conformance script module is out of PROTO002's jurisdiction
+    # (and changed-file runs must not fail for the same reason).
+    report = proto_project("proto_ok")
+    assert "PROTO002" not in fired_codes(report), report.findings
+
+
+def test_proto002_skips_partial_module_sets() -> None:
+    report = analyze_fixture("proto002_bad/community/exchanges.py")
+    assert "PROTO002" not in fired_codes(report)
+
+
+def test_proto002_live_tree_covers_every_operation() -> None:
+    # The real exchanges module must exercise the full vocabulary,
+    # including ops registered outside protocol.py (PS_GETFILECHUNK).
+    from repro.community import protocol
+
+    exchanges = (REPO_ROOT / "src" / "repro" / "community" /
+                 "exchanges.py").read_text()
+    for op in sorted(protocol.OPERATIONS):
+        assert op in exchanges, f"{op} missing from conformance exchanges"
+
+
 # -- report plumbing --------------------------------------------------------
 
 def test_json_report_shape() -> None:
@@ -176,7 +215,8 @@ def test_findings_are_sorted_and_deterministic() -> None:
 
 def test_rule_registry_is_complete() -> None:
     assert set(rule_codes()) >= {"SIM001", "SIM002", "SIM003", "SIM004",
-                                 "PROTO001", "SUP001", "PARSE001"}
+                                 "PROTO001", "PROTO002", "SUP001",
+                                 "PARSE001"}
 
 
 # -- the live tree ----------------------------------------------------------

@@ -1,0 +1,74 @@
+"""Unit tests for the client's pure reply-aggregation helpers.
+
+These functions fold ``[(device_id, response), ...]`` lists with no
+transport state, so the same aggregation serves both the simulated
+stack and the TCP backend; here they are pinned directly on
+hand-built replies.
+"""
+
+from __future__ import annotations
+
+from repro.community import protocol
+from repro.community.client import (
+    collect_shared_listings,
+    merge_interest_lists,
+    merge_member_lists,
+)
+
+
+def ok(**fields) -> dict:
+    return {"status": protocol.STATUS_OK, **fields}
+
+
+def failed(**fields) -> dict:
+    return {"status": protocol.UNSUCCESSFULL, **fields}
+
+
+class TestMergeMemberLists:
+    def test_deduplicates_across_devices(self):
+        replies = [
+            ("dev-a", ok(members=[{"member_id": "bob", "full_name": "B"}])),
+            ("dev-b", ok(members=[{"member_id": "bob", "full_name": "B"},
+                                  {"member_id": "amy", "full_name": "A"}])),
+        ]
+        merged = merge_member_lists(replies)
+        assert [m["member_id"] for m in merged] == ["amy", "bob"]
+
+    def test_skips_non_ok_replies(self):
+        replies = [
+            ("dev-a", failed(members=[{"member_id": "ghost"}])),
+            ("dev-b", ok(members=[{"member_id": "bob"}])),
+        ]
+        assert [m["member_id"] for m in merge_member_lists(replies)] == ["bob"]
+
+    def test_empty_input(self):
+        assert merge_member_lists([]) == []
+
+
+class TestMergeInterestLists:
+    def test_appends_only_unseen_in_first_seen_order(self):
+        interests = ["football"]
+        replies = [
+            ("dev-a", ok(interests=["music", "football"])),
+            ("dev-b", ok(interests=["chess", "music"])),
+        ]
+        merged = merge_interest_lists(replies, interests)
+        assert merged == ["football", "music", "chess"]
+        assert merged is interests  # mutated in place, per the Figure 12 MSC
+
+    def test_non_ok_replies_contribute_nothing(self):
+        assert merge_interest_lists([("dev-a", failed(interests=["x"]))],
+                                    ["a"]) == ["a"]
+
+
+class TestCollectSharedListings:
+    def test_sorted_by_device_ok_only(self):
+        replies = [
+            ("dev-b", ok(files=[{"name": "notes.txt"}])),
+            ("dev-a", ok(files=[])),
+            ("dev-c", failed()),
+        ]
+        assert collect_shared_listings(replies) == [
+            ("dev-a", []),
+            ("dev-b", [{"name": "notes.txt"}]),
+        ]

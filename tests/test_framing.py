@@ -1,0 +1,132 @@
+"""Property tests for the stream framing layer (net/framing.py).
+
+The TCP backend's whole correctness story rests on the decoder: any
+chunking of a valid frame stream must reproduce the frames exactly,
+and any invalid stream must produce a *typed* error — never a hang,
+never an unbounded buffer, never a crash with a non-protocol exception.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.framing import FrameDecoder, TruncatedFrameError
+from repro.net.messages import MAX_FRAME_BYTES, FrameError, serialize
+
+# JSON-shaped payloads (what the PS_* protocol actually moves).
+_scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(min_value=-10**9, max_value=10**9),
+    st.text(max_size=30))
+_payloads = st.recursive(
+    _scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.dictionaries(st.text(max_size=10), inner, max_size=4)),
+    max_leaves=12)
+
+
+def _chunkings(data: bytes, cut_points: list[int]) -> list[bytes]:
+    """Split ``data`` at the given sorted cut points."""
+    chunks = []
+    previous = 0
+    for cut in sorted(cut_points):
+        chunks.append(data[previous:cut])
+        previous = cut
+    chunks.append(data[previous:])
+    return chunks
+
+
+class TestRoundTrip:
+    @settings(deadline=None, max_examples=200)
+    @given(payloads=st.lists(_payloads, min_size=1, max_size=5),
+           data=st.data())
+    def test_frames_survive_arbitrary_chunking(self, payloads, data):
+        """Any split of the byte stream — mid-prefix, mid-body,
+        several frames coalesced — yields the same frames in order."""
+        stream = b"".join(serialize(payload) for payload in payloads)
+        cut_points = data.draw(st.lists(
+            st.integers(min_value=0, max_value=len(stream)), max_size=12))
+        decoder = FrameDecoder()
+        frames = []
+        for chunk in _chunkings(stream, cut_points):
+            frames.extend(decoder.feed(chunk))
+        decoder.eof()  # no partial bytes may remain
+        assert [frame.payload for frame in frames] == payloads
+        assert b"".join(frame.raw for frame in frames) == stream
+        assert decoder.buffered == 0
+
+    @settings(deadline=None, max_examples=100)
+    @given(payload=_payloads)
+    def test_byte_at_a_time(self, payload):
+        stream = serialize(payload)
+        decoder = FrameDecoder()
+        frames = []
+        for index in range(len(stream)):
+            frames.extend(decoder.feed(stream[index:index + 1]))
+        assert len(frames) == 1
+        assert frames[0].payload == payload
+
+
+class TestTruncation:
+    @settings(deadline=None, max_examples=100)
+    @given(payload=_payloads, data=st.data())
+    def test_truncated_stream_raises_typed_error(self, payload, data):
+        """A stream cut mid-frame raises TruncatedFrameError at EOF —
+        which is both a FrameError and a ConnectionError."""
+        stream = serialize(payload)
+        cut = data.draw(st.integers(min_value=1, max_value=len(stream) - 1))
+        decoder = FrameDecoder()
+        assert decoder.feed(stream[:cut]) == []
+        with pytest.raises(TruncatedFrameError) as excinfo:
+            decoder.eof()
+        assert isinstance(excinfo.value, FrameError)
+        assert isinstance(excinfo.value, ConnectionError)
+
+    def test_clean_eof_is_silent(self):
+        decoder = FrameDecoder()
+        decoder.feed(serialize({"op": "PS_X"}))
+        decoder.eof()  # complete frames consumed; nothing buffered
+
+
+class TestJunk:
+    @settings(deadline=None, max_examples=150)
+    @given(junk=st.binary(min_size=4, max_size=64))
+    def test_junk_bytes_never_hang_or_crash(self, junk):
+        """Arbitrary bytes either decode (if they happen to be a valid
+        frame), wait for more input, or raise FrameError — nothing
+        else escapes."""
+        decoder = FrameDecoder()
+        try:
+            decoder.feed(junk)
+        except FrameError:
+            # Poisoned: every further feed refuses with the same type.
+            with pytest.raises(FrameError):
+                decoder.feed(b"\x00")
+
+    def test_oversize_prefix_rejected_before_buffering(self):
+        """A hostile length prefix fails immediately; the decoder never
+        waits for (or allocates) the declared gigabytes."""
+        prefix = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError):
+            decoder.feed(prefix)
+
+    def test_non_json_body_is_a_frame_error(self):
+        body = b"\xff\xfenot json"
+        stream = struct.pack(">I", len(body)) + body
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError):
+            decoder.feed(stream)
+
+    def test_poisoned_decoder_eof_stays_quiet(self):
+        """After a junk-body failure, eof() must not mask the original
+        error with a second exception."""
+        body = b"not json"
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError):
+            decoder.feed(struct.pack(">I", len(body)) + body)
+        decoder.eof()  # already poisoned; no double report

@@ -264,3 +264,34 @@ class TestStack:
         NetworkStack(env, medium, "a", registry)
         registry.remove("a")
         assert registry.stack_of("a") is None
+
+    def test_registry_device_ids_sorted(self, env, medium, registry, world):
+        for name in ("cara", "abe", "bo"):
+            world.add_node(name, Point(0, 0))
+            NetworkStack(env, medium, name, registry)
+        assert registry.device_ids() == ["abe", "bo", "cara"]
+
+    def test_registry_close_all(self, env, linked_pair):
+        stack_a, stack_b = linked_pair
+        client, (server,) = _connect(env, stack_a, stack_b)
+        registry = stack_a.registry
+        registry.close_all()
+        assert registry.device_ids() == []
+        assert client.closed and server.closed
+        assert registry.stack_of("a") is None
+
+
+class TestTransportContract:
+    """The sim stack satisfies the structural transport protocols."""
+
+    def test_stack_is_a_transport(self, linked_pair):
+        from repro.net.transport import Transport
+        stack_a, _ = linked_pair
+        assert isinstance(stack_a, Transport)
+
+    def test_connection_is_a_transport_connection(self, env, linked_pair):
+        from repro.net.transport import TransportConnection
+        stack_a, stack_b = linked_pair
+        client, (server,) = _connect(env, stack_a, stack_b)
+        assert isinstance(client, TransportConnection)
+        assert isinstance(server, TransportConnection)
