@@ -10,6 +10,9 @@ Run:
     PYTHONPATH=src python scripts/bench.py               # full, 3 repeats
     PYTHONPATH=src python scripts/bench.py --quick       # CI mode, 1 repeat
     PYTHONPATH=src python scripts/bench.py --jobs 4      # scenarios in parallel
+    PYTHONPATH=src python scripts/bench.py --shards 4    # sharded world engine
+    PYTHONPATH=src python scripts/bench.py --shards 4 \\
+        --scenario discovery_n100k                       # 100k-device crowd
     PYTHONPATH=src python scripts/bench.py --profile     # + cProfile pstats
     PYTHONPATH=src python scripts/bench.py --quick \\
         --check benchmarks/baseline.json                 # regression gate
@@ -32,8 +35,8 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.eval.bench import (SCENARIOS, ScenarioResult,  # noqa: E402
-                              compare_reports, run_bench)
+from repro.eval.bench import (SCENARIOS, SHARDED_SCENARIOS,  # noqa: E402
+                              ScenarioResult, compare_reports, run_bench)
 
 
 def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
@@ -45,13 +48,19 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
                         help="run under cProfile and dump pstats next to "
                              "the JSON output")
     parser.add_argument("--scenario", action="append", dest="scenarios",
-                        metavar="NAME", choices=sorted(SCENARIOS),
-                        help="run only this scenario (repeatable)")
+                        metavar="NAME",
+                        choices=sorted(set(SCENARIOS) | set(SHARDED_SCENARIOS)),
+                        help="run only this scenario (repeatable); "
+                             "discovery_n100k and city_n1M need --shards")
     parser.add_argument("--repeats", type=int, default=None,
                         help="override repeat count (default: 1 quick, 3 full)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for scenario fan-out "
                              "(default 1 = serial; wall timings contend)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="run shardable scenarios on N region shards "
+                             "(worker processes when N > 1); mutually "
+                             "exclusive with --jobs")
     parser.add_argument("--output", type=Path,
                         default=REPO_ROOT / "BENCH_v2.json",
                         help="report path (default: BENCH_v2.json)")
@@ -61,7 +70,15 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed relative slowdown for --check "
                              "(default 0.30)")
-    return parser.parse_args(argv)
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.shards is not None and args.shards < 1:
+        parser.error(f"--shards must be >= 1, got {args.shards}")
+    if args.shards is not None and args.jobs > 1:
+        parser.error("--shards and --jobs both multiply processes; "
+                     "use one or the other")
+    return args
 
 
 def _print_result(name: str, result: ScenarioResult) -> None:
@@ -84,7 +101,7 @@ def main(argv: list[str] | None = None) -> int:
         profiler.enable()
     report = run_bench(quick=args.quick, scenarios=args.scenarios,
                        repeats=args.repeats, jobs=args.jobs,
-                       progress=_print_result)
+                       shards=args.shards, progress=_print_result)
     if profiler is not None:
         profiler.disable()
         pstats_path = args.output.with_suffix(".pstats")

@@ -63,7 +63,10 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
                              "(default 1 = serial)")
     parser.add_argument("--output", type=Path, default=None,
                         help="write the JSON report here (default: stdout)")
-    return parser.parse_args(argv)
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    return args
 
 
 def run_sweeps(args: argparse.Namespace) -> dict:

@@ -40,6 +40,8 @@ from repro.eval.testbed import Testbed
 from repro.eval.workloads import crowd_bounds, populate_crowd
 from repro.net.faults import FaultConfig
 from repro.net.retry import RetryPolicy
+from repro.shard.runner import (ShardedResult, ShardedRunner, ShardWorkload,
+                                crowd_workload)
 from repro.simenv import events as _events
 
 #: Bump when the JSON layout changes; consumers refuse unknown majors.
@@ -218,6 +220,26 @@ SCENARIOS: dict[str, Callable[[bool], float]] = {
     "chaos_replay_101": _scenario_chaos_replay,
 }
 
+#: Sharded-engine workloads, selected by ``run_bench(..., shards=N)``.
+#: The discovery family mirrors the legacy scenarios' crowd geometry;
+#: ``discovery_n100k`` and the stretch ``city_n1M`` exist only here —
+#: they are what the sharded engine is *for* and never run by default
+#: (too heavy for the blocking quick-bench path; the CI
+#: ``sharded-equivalence`` job runs n100k explicitly).  Scenario names
+#: shared with :data:`SCENARIOS` run the same crowd through the shard
+#: kernel instead of the full PS_* testbed, so compare ``--shards``
+#: runs only against other ``--shards`` runs.
+SHARDED_SCENARIOS: dict[str, ShardWorkload] = {
+    "discovery_n4": crowd_workload(4, seed=11, sim_seconds=30.0),
+    "discovery_n16": crowd_workload(16, seed=11, sim_seconds=30.0),
+    "discovery_n64": crowd_workload(64, seed=11, sim_seconds=30.0),
+    "discovery_n256": crowd_workload(256, seed=11, sim_seconds=30.0),
+    "discovery_n1024": crowd_workload(1024, seed=11, sim_seconds=30.0),
+    "discovery_n100k": crowd_workload(100_000, seed=11, sim_seconds=12.0),
+    "city_n1M": crowd_workload(1_000_000, seed=11, sim_seconds=4.0,
+                               scan_interval=2.0, window=2.0),
+}
+
 
 # -- running ------------------------------------------------------------------
 
@@ -278,6 +300,41 @@ def run_scenario(name: str, *, quick: bool = False,
                           sim_seconds=sim_seconds)
 
 
+def run_sharded_scenario(name: str, *, shards: int,
+                         collect_logs: bool = False,
+                         processes: bool | None = None,
+                         ) -> tuple[ScenarioResult, ShardedResult]:
+    """Run one sharded-engine scenario and time it.
+
+    Returns both the wall-clock record (``events_processed`` counts
+    *device-attributable* events — walker moves, scans, sightings —
+    which are shard-count-invariant by the determinism contract) and
+    the full :class:`ShardedResult` for equivalence checking.  One
+    repeat: the deterministic fields cannot vary, and the expensive
+    scenarios are exactly the ones repeats would punish.
+    """
+    workload = SHARDED_SCENARIOS[name]
+    runner = ShardedRunner(workload, shards, processes=processes,
+                           collect_logs=collect_logs)
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    start = time.perf_counter()
+    try:
+        outcome = runner.run()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    wall = time.perf_counter() - start
+    rate = outcome.events / wall if wall > 0 else 0.0
+    result = ScenarioResult(scenario=name, wall_seconds=wall,
+                            events_processed=outcome.events,
+                            events_per_sec=rate,
+                            rss_mb=max(_rss_mb(), outcome.worker_rss_mb),
+                            sim_seconds=outcome.sim_seconds)
+    return result, outcome
+
+
 def _scenario_task(task: tuple[str, bool, int | None]) -> ScenarioResult:
     """Picklable per-scenario unit for the parallel runner."""
     name, quick, repeats = task
@@ -288,6 +345,7 @@ def run_bench(*, quick: bool = False,
               scenarios: list[str] | None = None,
               repeats: int | None = None,
               jobs: int = 1,
+              shards: int | None = None,
               progress: Callable[[str, ScenarioResult], None] | None = None,
               ) -> dict:
     """Run scenarios and return the ``BENCH_v2.json`` report dict.
@@ -298,12 +356,31 @@ def run_bench(*, quick: bool = False,
     are identical to a serial run; wall-clock fields are whatever the
     (now contended) host delivers, so parallel runs suit correctness
     smoke and sweep fan-out, not regression timing.
+
+    ``shards=N`` routes every scenario with a :data:`SHARDED_SCENARIOS`
+    workload through the sharded single-world engine on ``N`` region
+    shards (other scenarios run unchanged — sharding does not apply to
+    them, so they are trivially identical at any shard count).  The
+    deterministic fields are shard-count-invariant; only wall-clock
+    fields change with ``N``.  Mutually exclusive with ``jobs > 1``:
+    shard workers already use the host's cores.
     """
+    if shards is not None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards!r}")
+        if jobs > 1:
+            raise ValueError("--shards and --jobs both multiply processes; "
+                             "use one or the other")
+    known = set(SCENARIOS)
+    if shards is not None:
+        known |= set(SHARDED_SCENARIOS)
     names = list(SCENARIOS) if scenarios is None else scenarios
-    unknown = [name for name in names if name not in SCENARIOS]
+    unknown = [name for name in names if name not in known]
     if unknown:
+        hint = ("" if shards is not None else
+                " (sharded-only scenarios need --shards N)")
         raise KeyError(f"unknown scenarios {unknown}; "
-                       f"known: {list(SCENARIOS)}")
+                       f"known: {sorted(known)}{hint}")
     report: dict = {
         "schema": BENCH_SCHEMA,
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -314,7 +391,20 @@ def run_bench(*, quick: bool = False,
         "calibration_seconds": calibrate(),
         "scenarios": {},
     }
-    if jobs <= 1:
+    if shards is not None:
+        report["shards"] = shards
+        for name in names:
+            if name in SHARDED_SCENARIOS:
+                result, _ = run_sharded_scenario(name, shards=shards)
+            else:
+                result = run_scenario(name, quick=quick, repeats=repeats)
+            record = result.as_dict()
+            if name in SHARDED_SCENARIOS:
+                record["shards"] = shards
+            report["scenarios"][name] = record
+            if progress is not None:
+                progress(name, result)
+    elif jobs <= 1:
         for name in names:
             result = run_scenario(name, quick=quick, repeats=repeats)
             report["scenarios"][name] = result.as_dict()

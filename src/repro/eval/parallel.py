@@ -35,14 +35,18 @@ def parallel_map(fn: Callable[[_Task], _Result], tasks: Iterable[_Task], *,
                  jobs: int = 1) -> list[_Result]:
     """Map ``fn`` over ``tasks`` on ``jobs`` worker processes.
 
-    Results keep task order.  ``jobs <= 1`` (or a single task) runs in
+    Results keep task order.  ``jobs=1`` (or a single task) runs in
     the calling process with no multiprocessing machinery at all, so
     the serial path stays debuggable and exceptions propagate plainly.
+    ``jobs < 1`` is rejected — a zero or negative job count is always
+    a caller bug (a mistyped CLI flag), never a request for serial.
     ``fn`` must be a module-level callable and both tasks and results
     must pickle; worker exceptions propagate to the caller.
     """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs!r}")
     tasks = list(tasks)
-    if jobs <= 1 or len(tasks) <= 1:
+    if jobs == 1 or len(tasks) <= 1:
         return [fn(task) for task in tasks]
     context = multiprocessing.get_context("spawn")
     workers = min(jobs, len(tasks))

@@ -147,14 +147,20 @@ class SpatialGrid:
                     found.extend(bucket)
         return found
 
-    def region_stamp(self, center: Point, radius: float) -> tuple[int, int]:
+    def region_stamp(self, center: Point,
+                     radius: float) -> tuple[int, ...]:
         """Opaque stamp identifying the state of the disc's cell cover.
 
-        Equal stamps guarantee that no node inside the covered cells
-        moved, entered, left or was touched since the earlier stamp was
-        taken (epochs only grow, so the sum over a fixed cover only
-        grows).  The grid generation is included so stamps taken before
-        a :meth:`rebuild` never match stamps taken after.
+        Equal stamps guarantee the *same* cells were covered and that
+        no node inside them moved, entered, left or was touched since
+        the earlier stamp was taken (epochs only grow, so the sum over
+        a fixed cover only grows).  The cover bounds are part of the
+        stamp: when the disc's centre drifts onto a different cell set,
+        the epoch sums of the old and new covers are sums over
+        *different* cells and can coincide numerically — without the
+        bounds, such a collision would validate a stale listing.  The
+        grid generation is included so stamps taken before a
+        :meth:`rebuild` never match stamps taken after.
         """
         min_cx, max_cx, min_cy, max_cy = self.cell_range(center, radius)
         epochs = self._epochs
@@ -162,7 +168,7 @@ class SpatialGrid:
         for cx in range(min_cx, max_cx + 1):
             for cy in range(min_cy, max_cy + 1):
                 total += epochs.get((cx, cy), 0)
-        return (self.generation, total)
+        return (self.generation, min_cx, max_cx, min_cy, max_cy, total)
 
     # -- maintenance --------------------------------------------------------
 

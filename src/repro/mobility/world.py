@@ -197,7 +197,7 @@ class World:
         found.sort(key=lambda node: node.node_id)
         return found
 
-    def region_stamp(self, node_id: str, radius: float) -> tuple[int, int]:
+    def region_stamp(self, node_id: str, radius: float) -> tuple[int, ...]:
         """Change stamp for the disc around ``node_id`` (see grid docs).
 
         Constant in brute-force mode — callers relying on stamps for

@@ -91,7 +91,10 @@ class Medium:
         self._adapters: dict[tuple[str, str], Adapter] = {}
         #: Device ids per technology name — the roster wide-area
         #: listings enumerate (local listings go through the grid).
-        self._by_technology: dict[str, list[str]] = {}
+        #: Insertion-ordered dict-as-set so ``detach`` is O(1); a list
+        #: remove is O(roster) and shard-border ghost churn detaches
+        #: constantly at 100k-device scale.
+        self._by_technology: dict[str, dict[str, None]] = {}
         #: Technology names each device holds adapters for — lets
         #: per-node invalidation find the device's neighbour listings
         #: without scanning the full adapter registry.
@@ -111,7 +114,7 @@ class Medium:
         #: region stamp of the radio disc (local radios) or the
         #: (roster epoch, gateway epoch) pair (wide-area).
         self._neighbors_cache: dict[tuple[str, str],
-                                    tuple[list[str], tuple[int, int]]] = {}
+                                    tuple[list[str], tuple[int, ...]]] = {}
         #: Per-technology roster change counter (attach/detach/power
         #: toggles) — validates wide-area neighbour listings.
         self._tech_epoch: dict[str, int] = {}
@@ -213,7 +216,7 @@ class Medium:
         adapter = Adapter(device_id, technology)
         adapter._medium = self
         self._adapters[key] = adapter
-        self._by_technology.setdefault(technology.name, []).append(device_id)
+        self._by_technology.setdefault(technology.name, {})[device_id] = None
         self._techs_of.setdefault(device_id, []).append(technology.name)
         if technology.range_m is not None:
             # Keep grid cells at least one radio range wide so a
@@ -225,7 +228,7 @@ class Medium:
     def detach(self, device_id: str, technology_name: str) -> None:
         """Remove an adapter (device powered the radio off)."""
         del self._adapters[(device_id, technology_name)]
-        self._by_technology[technology_name].remove(device_id)
+        del self._by_technology[technology_name][device_id]
         self._techs_of[device_id].remove(technology_name)
         self._neighbors_cache.pop((device_id, technology_name), None)
         self._adapter_changed(device_id, technology_name)

@@ -1,0 +1,55 @@
+"""Sharded single-world simulation (``repro.shard``).
+
+``repro.eval.parallel`` fans *independent* runs across processes; this
+package partitions **one** simulated world across worker processes.
+The spatial grid's plane is split into vertical region strips, each
+shard owning the devices inside its strip: their slice of the event
+queue (a per-shard :class:`~repro.simenv.environment.Environment`),
+their movement, their discovery scans and their cached medium state (a
+per-shard :class:`~repro.radio.medium.Medium`).
+
+Shards run a conservative time-windowed synchronisation protocol: the
+radio range bounds how far apart two interacting devices can be, so a
+shard only needs *border state* — devices within one halo width of its
+strip — and only at window edges.  The halo width is the lookahead
+bound ``radio_range + 2 * max_speed * window``: within one window a
+device and a potential neighbour can close at most ``2 * max_speed *
+window`` metres, so any pair that could interact during the window is
+covered by the exchange that opened it (DESIGN.md §9 gives the full
+argument).
+
+Determinism is the contract: a run at any shard count produces the
+identical per-device interaction log and device-event count as the
+single-shard run and as the unsharded reference simulation, because
+ghost replicas advance through exactly the same float arithmetic as
+their originals.  ``tests/test_shard_engine.py`` pins this against a
+lockstep oracle and Hypothesis-generated border-crossing trajectories;
+CI's ``sharded-equivalence`` job enforces it on every PR via
+``scripts/shardcheck.py``.
+"""
+
+from repro.shard.devices import DeviceState, SeededWalk, build_crowd
+from repro.shard.engine import ShardConfig, ShardSim
+from repro.shard.equivalence import (compare_results, interaction_digests,
+                                     write_divergence_artifacts)
+from repro.shard.partition import StripPartition, halo_width
+from repro.shard.runner import (ShardedResult, ShardedRunner, ShardWorkload,
+                                crowd_workload, reference_run)
+
+__all__ = [
+    "DeviceState",
+    "SeededWalk",
+    "ShardConfig",
+    "ShardSim",
+    "ShardWorkload",
+    "ShardedResult",
+    "ShardedRunner",
+    "StripPartition",
+    "build_crowd",
+    "compare_results",
+    "crowd_workload",
+    "halo_width",
+    "interaction_digests",
+    "reference_run",
+    "write_divergence_artifacts",
+]

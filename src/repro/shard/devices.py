@@ -1,0 +1,144 @@
+"""Device state that can cross shard boundaries byte-for-byte.
+
+The sharded engine's correctness rests on *exact ghost replication*: a
+shard that imports a foreign device's state must advance it through
+bit-identical float arithmetic to the owner's copy.  That requires the
+whole mobility state — position, heading, phase, and the random stream
+driving direction changes — to travel in one picklable value.
+
+:class:`SeededWalk` is the walker model built for that: the same
+bounce-off-the-walls random walk as
+:class:`repro.mobility.models.RandomWalk`, but drawing headings from a
+self-contained 64-bit LCG (a hundred-byte pickle) instead of a shared
+``random.Random`` stream (a ~2.5 KiB Mersenne state per device —
+meaningful when a 100,000-device crowd is distributed to workers).
+Any :class:`~repro.mobility.models.MobilityModel` whose state pickles
+completely works as a shard device model; ``SeededWalk`` is simply the
+cheap default.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.mobility.geometry import Point, Rect
+from repro.mobility.models import MobilityModel
+from repro.simenv.rng import RandomStreams
+
+#: Interest pool mirroring :data:`repro.eval.workloads.INTEREST_POOL`
+#: (kept local so shard workers never import the eval layer).
+INTEREST_POOL = (
+    "football", "music", "movies", "photography", "travel", "cooking",
+    "gaming", "books", "hiking", "cycling", "tennis", "ice hockey",
+)
+
+_LCG_MULT = 6364136223846793005
+_LCG_INC = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
+
+
+class SeededWalk:
+    """Random walk with a self-contained, picklable random state.
+
+    Step semantics match :class:`repro.mobility.models.RandomWalk`:
+    advance along the current heading, re-draw it every
+    ``turn_interval`` seconds, bounce off the bounds by reversing.
+    The heading stream is a 64-bit LCG seeded per device, so a pickled
+    copy resumes the identical draw sequence — the property ghost
+    replication depends on.
+    """
+
+    def __init__(self, bounds: Rect, speed: float, seed: int,
+                 turn_interval: float = 8.0) -> None:
+        if speed < 0:
+            raise ValueError(f"speed must be non-negative, got {speed!r}")
+        if turn_interval <= 0:
+            raise ValueError(
+                f"turn_interval must be positive, got {turn_interval!r}")
+        self._bounds = bounds
+        self._speed = speed
+        self._turn_interval = turn_interval
+        self._state = (seed ^ _LCG_INC) & _LCG_MASK
+        self._heading = self._draw_heading()
+        self._until_turn = turn_interval
+
+    def _draw_heading(self) -> float:
+        self._state = (self._state * _LCG_MULT + _LCG_INC) & _LCG_MASK
+        return (self._state >> 11) * (2.0 * math.pi / (1 << 53))
+
+    def step(self, position: Point, dt: float) -> Point:
+        """Advance along the heading, re-drawing it periodically."""
+        self._until_turn -= dt
+        if self._until_turn <= 0.0:
+            self._heading = self._draw_heading()
+            self._until_turn = self._turn_interval
+        moved = position.offset(math.cos(self._heading) * self._speed * dt,
+                                math.sin(self._heading) * self._speed * dt)
+        clamped = self._bounds.clamp(moved)
+        if clamped != moved:
+            self._heading = (self._heading + math.pi) % (2.0 * math.pi)
+        return clamped
+
+
+@dataclass
+class DeviceState:
+    """One device's complete, transferable simulation state.
+
+    This is the unit of both *migration* (ownership hand-off when a
+    device walks into another strip) and *ghosting* (border export so
+    neighbouring shards see it).  ``x``/``y`` are refreshed from the
+    world immediately before export; ``model`` is the live mobility
+    model object, whose internal state must pickle exactly
+    (``None`` means stationary).
+    """
+
+    device_id: str
+    x: float
+    y: float
+    interests: tuple[str, ...] = ()
+    model: MobilityModel | None = None
+    #: Per-device discovery-scan phase offset in seconds (added to the
+    #: global scan schedule; 0 keeps everyone on the shared schedule).
+    scan_phase: float = 0.0
+
+    def position(self) -> Point:
+        return Point(self.x, self.y)
+
+
+def build_crowd(*, count: int, bounds: Rect, seed: int,
+                walker_fraction: float = 0.25,
+                walker_speed: float = 1.2,
+                turn_interval: float = 8.0,
+                stream: str = "shardcrowd") -> list[DeviceState]:
+    """Deterministic jittered-lattice crowd, mirroring
+    :func:`repro.eval.workloads.populate_crowd`'s layout.
+
+    Built once by the coordinator and then distributed, so the device
+    list — positions, interests, walker assignment, walker seeds — is
+    identical at every shard count by construction.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count!r}")
+    rng = RandomStreams(seed).stream(stream)
+    columns = max(2, math.isqrt(max(1, count - 1)) + 1)
+    pitch_x = bounds.width / columns
+    pitch_y = bounds.height / columns
+    devices: list[DeviceState] = []
+    for index in range(count):
+        row, column = divmod(index, columns)
+        x = bounds.min_x + (column + 0.5 + rng.uniform(-0.3, 0.3)) * pitch_x
+        y = bounds.min_y + (row + 0.5 + rng.uniform(-0.3, 0.3)) * pitch_y
+        interest_count = rng.randint(1, 4)
+        interests = tuple(rng.sample(INTEREST_POOL, interest_count))
+        model: MobilityModel | None = None
+        if rng.random() < walker_fraction:
+            model = SeededWalk(bounds, walker_speed,
+                               seed=rng.getrandbits(63),
+                               turn_interval=turn_interval)
+        devices.append(DeviceState(device_id=f"d{index:06d}", x=x, y=y,
+                                   interests=interests, model=model))
+    return devices
+
+
+__all__ = ["DeviceState", "SeededWalk", "build_crowd", "INTEREST_POOL"]

@@ -1,0 +1,258 @@
+"""One shard of the sharded world: its devices, events and medium.
+
+A :class:`ShardSim` owns a slice of the global simulation:
+
+* a private :class:`~repro.simenv.environment.Environment` whose event
+  queue holds only this shard's movement ticks and discovery scans —
+  the "slice of the event queue" the sharded design calls for;
+* a private :class:`~repro.mobility.world.World` (full global bounds,
+  so clamping arithmetic is identical everywhere) populated with the
+  shard's *owned* devices plus *ghost* replicas of border devices
+  owned by other shards;
+* a private :class:`~repro.radio.medium.Medium` whose region-stamped
+  neighbour cache serves this shard's scans.
+
+Ghosts are full replicas: their mobility models advance through the
+same tick schedule and the same float arithmetic as the owner's copy,
+so their positions are bit-identical (there is no approximation to
+drift).  Owned devices run discovery scans and accrue the interaction
+log; ghosts are merely visible.
+
+Between windows the coordinator calls :meth:`collect_exchange` /
+:meth:`apply_exchange`: devices that walked into another strip migrate
+(their full state moves), and the border ghost set is refreshed.  A
+persisting ghost keeps its *local* replica — by the exactness
+invariant the incoming snapshot is identical, which
+``verify_ghosts=True`` asserts in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mobility.geometry import Rect
+from repro.mobility.world import MovementReport, World
+from repro.radio.medium import Medium
+from repro.radio.technology import Technology
+from repro.shard.devices import DeviceState
+from repro.shard.partition import StripPartition
+from repro.simenv.environment import Environment
+
+#: Technology name the shard radio registers under.
+SHARD_TECH = "shardlink"
+
+#: One interaction-log record: (sim time, sorted neighbour ids).
+LogEntry = tuple[float, tuple[str, ...]]
+
+
+def shard_technology(radio_range: float) -> Technology:
+    """The uniform local radio every shard device carries."""
+    return Technology(name=SHARD_TECH, range_m=radio_range,
+                      bandwidth_bps=1_000_000.0, latency_s=0.005,
+                      setup_time_s=0.0, discovery_time_s=0.0)
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Shard-count-independent parameters of one sharded run.
+
+    Every shard receives the same config; only the initial device
+    split differs.  ``scan_times`` is the full global scan schedule
+    (each owned device scans at ``t + device.scan_phase``), computed
+    once by the coordinator so no shard re-derives it with different
+    float rounding.
+    """
+
+    seed: int
+    bounds: Rect
+    shards: int
+    sim_seconds: float
+    tick: float
+    window: float
+    radio_range: float
+    halo: float
+    scan_times: tuple[float, ...]
+    collect_logs: bool = True
+    verify_ghosts: bool = False
+
+    def boundaries(self) -> list[float]:
+        """Window-edge times: multiples of ``window`` up to the end.
+
+        The final entry is always ``sim_seconds``; exchanges happen at
+        every boundary except the last.
+        """
+        edges: list[float] = []
+        k = 1
+        while k * self.window < self.sim_seconds:
+            edges.append(k * self.window)
+            k += 1
+        edges.append(self.sim_seconds)
+        return edges
+
+
+@dataclass
+class ShardExchange:
+    """One shard's outgoing border traffic at a window edge."""
+
+    #: (destination shard, device state) for devices that changed owner.
+    migrations: list[tuple[int, DeviceState]] = field(default_factory=list)
+    #: (destination shard, device state) border exports for ghosting.
+    ghosts: list[tuple[int, DeviceState]] = field(default_factory=list)
+
+
+class GhostDivergenceError(AssertionError):
+    """A ghost replica's position diverged from the owner's copy.
+
+    Raised only under ``verify_ghosts=True`` (tests); in production the
+    exactness invariant makes this unreachable.
+    """
+
+
+class ShardSim:
+    """One region shard's private simulation slice."""
+
+    def __init__(self, config: ShardConfig, shard_id: int,
+                 owned: list[DeviceState],
+                 ghosts: list[DeviceState]) -> None:
+        self.config = config
+        self.shard_id = shard_id
+        self.partition = StripPartition(config.bounds, config.shards)
+        self.env = Environment(seed=config.seed)
+        self.world = World(self.env, bounds=config.bounds, tick=config.tick,
+                           cell_size=config.radio_range)
+        self.medium = Medium(self.world)
+        self.technology = shard_technology(config.radio_range)
+        self.owned: dict[str, DeviceState] = {}
+        self.ghosts: dict[str, DeviceState] = {}
+        #: device id -> this shard's segment of its interaction log.
+        self.logs: dict[str, list[LogEntry]] = {}
+        #: Device-attributable events fired here: one per owned-walker
+        #: movement step, one per scan, one per neighbour sighted.
+        #: Infrastructure events (shard tick timers, window plumbing)
+        #: are excluded so totals are shard-count-invariant.
+        self.device_events = 0
+        self.migrations_out = 0
+        self._emigrant_ids: list[str] = []
+        self.world.on_moves(self._count_owned_moves)
+        with self.world.batch():
+            for state in owned:
+                self._install(state, self.owned)
+            for state in ghosts:
+                self._install(state, self.ghosts)
+
+    # -- population --------------------------------------------------------
+
+    def _install(self, state: DeviceState,
+                 bucket: dict[str, DeviceState]) -> None:
+        bucket[state.device_id] = state
+        self.world.add_node(state.device_id, state.position(), state.model)
+        self.medium.attach(state.device_id, self.technology)
+
+    def _uninstall(self, device_id: str) -> None:
+        self.medium.detach(device_id, SHARD_TECH)
+        self.world.remove_node(device_id)
+
+    def _count_owned_moves(self, report: MovementReport) -> None:
+        owned = self.owned
+        moved = report.moved
+        if moved:
+            self.device_events += sum(1 for nid in moved if nid in owned)
+
+    # -- running -----------------------------------------------------------
+
+    def run_window(self, until: float) -> None:
+        """Advance this shard's slice to ``until`` (a window edge)."""
+        start = self.env.now
+        scan_times = self.config.scan_times
+        call_at = self.env.call_at
+        for device_id, state in self.owned.items():
+            phase = state.scan_phase
+            for base in scan_times:
+                when = base + phase
+                if start < when <= until:
+                    call_at(when, self._scan, device_id)
+        self.env.run(until=until)
+
+    def _scan(self, device_id: str) -> None:
+        listing = self.medium.neighbors(device_id, SHARD_TECH)
+        self.device_events += 1 + len(listing)
+        if self.config.collect_logs:
+            log = self.logs.get(device_id)
+            if log is None:
+                log = self.logs[device_id] = []
+            log.append((self.env.now, tuple(listing)))
+
+    def stop(self) -> None:
+        """Stop the world tick timer (ends this shard's busy loop)."""
+        self.world.stop()
+
+    # -- window-edge exchange ----------------------------------------------
+
+    def collect_exchange(self) -> ShardExchange:
+        """Refresh owned state from the world and package border traffic.
+
+        Ownership is re-evaluated from each device's exact position
+        (the same pure float function on every shard).  The old owner
+        announces both the migration and the ghost exports for a
+        departing device, so a window edge costs exactly one
+        gather/scatter round through the coordinator.
+        """
+        exchange = ShardExchange()
+        halo = self.config.halo
+        owner_of = self.partition.owner_of
+        shards_within = self.partition.shards_within
+        node = self.world.node
+        emigrants: list[str] = []
+        for device_id, state in self.owned.items():
+            position = node(device_id).position
+            state.x = position.x
+            state.y = position.y
+            new_owner = owner_of(state.x)
+            if new_owner != self.shard_id:
+                exchange.migrations.append((new_owner, state))
+                emigrants.append(device_id)
+            for target in shards_within(state.x, halo):
+                if target != new_owner:
+                    exchange.ghosts.append((target, state))
+        self._emigrant_ids = emigrants
+        self.migrations_out += len(emigrants)
+        return exchange
+
+    def apply_exchange(self, immigrants: list[DeviceState],
+                       ghost_specs: list[DeviceState]) -> None:
+        """Install the coordinator's routed border traffic.
+
+        Removals run before additions so a device converting between
+        owned and ghost (either direction) passes through a clean
+        remove/insert; a *persisting* ghost keeps its live local
+        replica untouched — the incoming snapshot is bit-identical by
+        the exactness invariant.
+        """
+        fresh_ghost_ids = {state.device_id for state in ghost_specs}
+        with self.world.batch():
+            for device_id in self._emigrant_ids:
+                self._uninstall(device_id)
+                del self.owned[device_id]
+            self._emigrant_ids = []
+            for device_id in [ghost_id for ghost_id in self.ghosts
+                              if ghost_id not in fresh_ghost_ids]:
+                self._uninstall(device_id)
+                del self.ghosts[device_id]
+            for state in immigrants:
+                self._install(state, self.owned)
+            for state in ghost_specs:
+                existing = self.ghosts.get(state.device_id)
+                if existing is None:
+                    self._install(state, self.ghosts)
+                elif self.config.verify_ghosts:
+                    local = self.world.node(state.device_id).position
+                    if (local.x, local.y) != (state.x, state.y):
+                        raise GhostDivergenceError(
+                            f"ghost {state.device_id!r} in shard "
+                            f"{self.shard_id} at ({local.x!r}, {local.y!r}) "
+                            f"but owner reports ({state.x!r}, {state.y!r})")
+
+    def __repr__(self) -> str:
+        return (f"ShardSim(shard={self.shard_id}/{self.config.shards}, "
+                f"t={self.env.now:g}, owned={len(self.owned)}, "
+                f"ghosts={len(self.ghosts)})")

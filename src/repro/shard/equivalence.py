@@ -1,0 +1,126 @@
+"""Sharded-equivalence checking: digests, diffs and CI artifacts.
+
+The sharded engine's headline claim — any shard count produces the
+identical per-device interaction log and device-event count — is
+enforced in two places: the lockstep oracle tests
+(``tests/test_shard_engine.py``) and CI's blocking
+``sharded-equivalence`` job, which runs ``scripts/shardcheck.py`` on
+the bench scenarios and calls :func:`compare_results`.  On divergence,
+:func:`write_divergence_artifacts` dumps both runs' logs plus a
+per-device diff summary so the failing pair can be inspected from the
+uploaded CI artifact without re-running anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.shard.engine import LogEntry
+from repro.shard.runner import ShardedResult
+
+
+def _canonical_log(entries: list[LogEntry]) -> str:
+    """Stable text form of one device's log.
+
+    Times use ``repr`` so two floats digest equal only when they are
+    bit-identical — FP drift between runs is exactly what the gate
+    must catch, not paper over with rounding.
+    """
+    return "\n".join(f"{time!r}|{','.join(neighbors)}"
+                     for time, neighbors in entries)
+
+
+def interaction_digests(logs: dict[str, list[LogEntry]]) -> dict[str, str]:
+    """Per-device SHA-256 digest of the canonical interaction log."""
+    return {device_id: hashlib.sha256(
+                _canonical_log(entries).encode()).hexdigest()
+            for device_id, entries in logs.items()}
+
+
+def compare_results(a: ShardedResult, b: ShardedResult,
+                    *, label_a: str = "a", label_b: str = "b") -> list[str]:
+    """Divergence messages between two runs of the same workload.
+
+    Empty means equivalent: same device population, same total device
+    events, and — when both runs collected logs — an identical
+    interaction log for every device.
+    """
+    problems: list[str] = []
+    if a.device_count != b.device_count:
+        problems.append(f"device_count: {label_a}={a.device_count} "
+                        f"{label_b}={b.device_count}")
+    if a.events != b.events:
+        problems.append(f"events: {label_a}={a.events} {label_b}={b.events}")
+    if a.logs is None or b.logs is None:
+        if (a.logs is None) != (b.logs is None):
+            problems.append("one run collected logs, the other did not")
+        return problems
+    only_a = sorted(set(a.logs) - set(b.logs))
+    only_b = sorted(set(b.logs) - set(a.logs))
+    if only_a:
+        problems.append(f"devices logged only in {label_a}: {only_a[:5]}"
+                        f"{'...' if len(only_a) > 5 else ''}")
+    if only_b:
+        problems.append(f"devices logged only in {label_b}: {only_b[:5]}"
+                        f"{'...' if len(only_b) > 5 else ''}")
+    for device_id in sorted(set(a.logs) & set(b.logs)):
+        entries_a = a.logs[device_id]
+        entries_b = b.logs[device_id]
+        if entries_a == entries_b:
+            continue
+        detail = f"{len(entries_a)} vs {len(entries_b)} entries"
+        for index, (ea, eb) in enumerate(zip(entries_a, entries_b,
+                                             strict=False)):
+            if ea != eb:
+                detail = (f"first divergence at entry {index}: "
+                          f"{label_a}={ea!r} {label_b}={eb!r}")
+                break
+        problems.append(f"{device_id}: interaction log differs ({detail})")
+    return problems
+
+
+def _result_payload(result: ShardedResult) -> dict:
+    payload = {
+        "shards": result.shards,
+        "device_count": result.device_count,
+        "sim_seconds": result.sim_seconds,
+        "events": result.events,
+        "migrations": result.migrations,
+        "windows": result.windows,
+        "ghost_peak": result.ghost_peak,
+        "per_shard_events": {str(shard): events for shard, events
+                             in sorted(result.per_shard_events.items())},
+    }
+    if result.logs is not None:
+        payload["digests"] = interaction_digests(result.logs)
+        payload["logs"] = {
+            device_id: [[repr(time), list(neighbors)]
+                        for time, neighbors in entries]
+            for device_id, entries in sorted(result.logs.items())}
+    return payload
+
+
+def write_divergence_artifacts(directory: Path, scenario: str,
+                               a: ShardedResult, b: ShardedResult,
+                               problems: list[str], *,
+                               label_a: str = "a",
+                               label_b: str = "b") -> list[Path]:
+    """Dump both runs and the diff summary for CI upload.
+
+    Returns the written paths.  Mirrors the conformance job's
+    divergence-transcript pattern: artifacts appear only on failure
+    and are self-contained JSON.
+    """
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for label, result in ((label_a, a), (label_b, b)):
+        path = directory / f"{scenario}_{label}.json"
+        path.write_text(json.dumps(_result_payload(result), indent=2,
+                                   sort_keys=True) + "\n", encoding="utf-8")
+        written.append(path)
+    summary = directory / f"{scenario}_diff.txt"
+    summary.write_text("\n".join(problems) + "\n", encoding="utf-8")
+    written.append(summary)
+    return written

@@ -1,0 +1,418 @@
+"""Coordinator for sharded runs, plus the unsharded reference oracle.
+
+:class:`ShardedRunner` drives N :class:`~repro.shard.engine.ShardSim`
+slices through the conservative windowed protocol:
+
+1. build the full device list once (deterministically, from the seed);
+2. split ownership by strip, export initial border ghosts;
+3. alternate ``run_window`` with a gather/scatter exchange of
+   migrations and ghost refreshes through the coordinator;
+4. merge per-shard interaction-log segments and event counts.
+
+Shards run either **in-process** (sequentially, for tests and for
+``shards=1``) or as **spawned worker processes** (one per shard, the
+production path).  Both modes execute the identical ``ShardSim`` code
+and route exchanged state through a pickle round-trip, so their
+results are byte-identical — the in-process mode is not a separate
+implementation, just a different scheduler.
+
+:func:`reference_run` is the lockstep oracle: the same workload on a
+single world with no partitioning, no windows and no ghosts.  Its
+interaction logs and event counts are what every sharded run must
+reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+import sys
+from dataclasses import dataclass
+from multiprocessing import get_context
+from multiprocessing.connection import Connection
+
+from repro.mobility.geometry import Rect
+from repro.radio.medium import Medium
+from repro.shard.devices import DeviceState, build_crowd
+from repro.shard.engine import (SHARD_TECH, LogEntry, ShardConfig, ShardSim,
+                                shard_technology)
+from repro.shard.partition import StripPartition, halo_width
+from repro.simenv.environment import Environment
+from repro.mobility.world import World
+
+#: Crowd lattice pitch (metres), matching the bench crowd scenarios.
+CROWD_PITCH_M = 50.0
+
+
+def _rss_mb() -> float:
+    """Peak resident set size of this process in MiB."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX fallback
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+@dataclass(frozen=True)
+class ShardWorkload:
+    """Shard-count-independent description of one sharded scenario."""
+
+    count: int
+    seed: int
+    sim_seconds: float
+    bounds: Rect
+    tick: float = 1.0
+    scan_interval: float = 5.0
+    radio_range: float = 60.0
+    walker_fraction: float = 0.25
+    walker_speed: float = 1.2
+    turn_interval: float = 8.0
+    window: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count!r}")
+        if self.sim_seconds <= 0:
+            raise ValueError(
+                f"sim_seconds must be positive, got {self.sim_seconds!r}")
+        if self.window <= 0 or self.tick <= 0 or self.scan_interval <= 0:
+            raise ValueError("window, tick and scan_interval must be positive")
+
+    def scan_times(self) -> tuple[float, ...]:
+        """Global scan schedule: offset half a tick so scans never
+        coincide with movement ticks (ordering then follows from time
+        alone, independent of per-shard event sequence numbers)."""
+        offset = self.tick * 0.5
+        times = []
+        k = 0
+        while True:
+            when = offset + k * self.scan_interval
+            if when > self.sim_seconds:
+                break
+            times.append(when)
+            k += 1
+        return tuple(times)
+
+    def build_devices(self) -> list[DeviceState]:
+        """The full deterministic device list (coordinator-side)."""
+        return build_crowd(count=self.count, bounds=self.bounds,
+                           seed=self.seed,
+                           walker_fraction=self.walker_fraction,
+                           walker_speed=self.walker_speed,
+                           turn_interval=self.turn_interval)
+
+
+def crowd_workload(count: int, *, seed: int = 11, sim_seconds: float = 30.0,
+                   pitch: float = CROWD_PITCH_M,
+                   **overrides) -> ShardWorkload:
+    """Constant-density crowd workload: area grows with the count."""
+    side = pitch * max(2, math.isqrt(max(1, count - 1)) + 1)
+    bounds = Rect(0.0, 0.0, side, side)
+    return ShardWorkload(count=count, seed=seed, sim_seconds=sim_seconds,
+                         bounds=bounds, **overrides)
+
+
+@dataclass
+class ShardedResult:
+    """Merged outcome of one sharded (or reference) run."""
+
+    shards: int
+    device_count: int
+    sim_seconds: float
+    #: Device-attributable events: walker moves + scans + sightings.
+    events: int
+    #: device id -> time-ordered interaction log (``None`` when the
+    #: run skipped log collection for speed).
+    logs: dict[str, list[LogEntry]] | None
+    #: Ownership hand-offs over the whole run.
+    migrations: int
+    #: Synchronisation windows executed.
+    windows: int
+    #: Peak ghost population across shards and windows.
+    ghost_peak: int
+    #: Max worker peak RSS in MiB (coordinator RSS for in-process runs).
+    worker_rss_mb: float
+    #: shard id -> device events fired there (diagnostics).
+    per_shard_events: dict[int, int]
+
+
+def _clone(state: DeviceState) -> DeviceState:
+    """Pickle round-trip — the same isolation a process hop applies."""
+    return pickle.loads(pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _initial_split(config: ShardConfig, devices: list[DeviceState],
+                   ) -> list[tuple[list[DeviceState], list[DeviceState]]]:
+    """Per-shard (owned, ghosts) lists for t=0."""
+    partition = StripPartition(config.bounds, config.shards)
+    split: list[tuple[list[DeviceState], list[DeviceState]]] = [
+        ([], []) for _ in range(config.shards)]
+    for state in devices:
+        owner = partition.owner_of(state.x)
+        split[owner][0].append(state)
+        for target in partition.shards_within(state.x, config.halo):
+            if target != owner:
+                split[target][1].append(_clone(state))
+    return split
+
+
+def _route(exchanges: list[tuple[list[tuple[int, DeviceState]],
+                                 list[tuple[int, DeviceState]]]],
+           shards: int) -> list[tuple[list[DeviceState], list[DeviceState]]]:
+    """Gather/scatter: bundle every shard's exports per destination."""
+    bundles: list[tuple[list[DeviceState], list[DeviceState]]] = [
+        ([], []) for _ in range(shards)]
+    for migrations, ghosts in exchanges:
+        for target, state in migrations:
+            bundles[target][0].append(state)
+        for target, state in ghosts:
+            bundles[target][1].append(state)
+    for immigrants, ghost_specs in bundles:
+        immigrants.sort(key=lambda state: state.device_id)
+        ghost_specs.sort(key=lambda state: state.device_id)
+    return bundles
+
+
+def _merge_logs(segments: list[dict[str, list[LogEntry]]],
+                ) -> dict[str, list[LogEntry]]:
+    """Concatenate per-shard log segments, time-ordered per device.
+
+    A device that migrated has segments in several shards; every scan
+    time is unique per device, so sorting by time reassembles the
+    exact single-world log.
+    """
+    merged: dict[str, list[LogEntry]] = {}
+    for segment in segments:
+        for device_id, entries in segment.items():
+            bucket = merged.get(device_id)
+            if bucket is None:
+                merged[device_id] = list(entries)
+            else:
+                bucket.extend(entries)
+    for entries in merged.values():
+        entries.sort(key=lambda entry: entry[0])
+    return merged
+
+
+def _worker_report(sim: ShardSim) -> dict:
+    return {"shard_id": sim.shard_id,
+            "device_events": sim.device_events,
+            "logs": sim.logs,
+            "migrations": sim.migrations_out,
+            "ghost_peak": len(sim.ghosts),
+            "rss_mb": _rss_mb()}
+
+
+def _shard_worker(conn: Connection, config: ShardConfig, shard_id: int,
+                  owned: list[DeviceState],
+                  ghosts: list[DeviceState]) -> None:
+    """Worker-process entry point: lockstep windows over the pipe."""
+    try:
+        sim = ShardSim(config, shard_id, owned, ghosts)
+        ghost_peak = len(sim.ghosts)
+        boundaries = config.boundaries()
+        for index, boundary in enumerate(boundaries):
+            sim.run_window(boundary)
+            if index == len(boundaries) - 1:
+                break
+            exchange = sim.collect_exchange()
+            conn.send(("exchange", exchange.migrations, exchange.ghosts))
+            message = conn.recv()
+            if message[0] != "apply":  # pragma: no cover - protocol guard
+                raise RuntimeError(f"unexpected message {message[0]!r}")
+            sim.apply_exchange(message[1], message[2])
+            ghost_peak = max(ghost_peak, len(sim.ghosts))
+        sim.stop()
+        report = _worker_report(sim)
+        report["ghost_peak"] = ghost_peak
+        conn.send(("report", report))
+    except BaseException as exc:  # noqa: B036 - forwarded to coordinator
+        import traceback
+        conn.send(("error", f"{exc!r}\n{traceback.format_exc()}"))
+        raise
+    finally:
+        conn.close()
+
+
+class ShardedRunner:
+    """Partition one workload across shards and run it to completion."""
+
+    def __init__(self, workload: ShardWorkload, shards: int, *,
+                 processes: bool | None = None, collect_logs: bool = True,
+                 verify_ghosts: bool = False) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards!r}")
+        self.workload = workload
+        self.shards = shards
+        #: Default: worker processes once there is real fan-out.
+        self.processes = (shards > 1) if processes is None else processes
+        self.config = ShardConfig(
+            seed=workload.seed, bounds=workload.bounds, shards=shards,
+            sim_seconds=workload.sim_seconds, tick=workload.tick,
+            window=workload.window, radio_range=workload.radio_range,
+            halo=halo_width(workload.radio_range, workload.walker_speed,
+                            workload.window),
+            scan_times=workload.scan_times(), collect_logs=collect_logs,
+            verify_ghosts=verify_ghosts)
+
+    def run(self) -> ShardedResult:
+        devices = self.workload.build_devices()
+        split = _initial_split(self.config, devices)
+        if self.processes and self.shards > 1:
+            reports = self._run_processes(split)
+        else:
+            reports = self._run_inline(split)
+        reports.sort(key=lambda report: report["shard_id"])
+        logs = None
+        if self.config.collect_logs:
+            logs = _merge_logs([report["logs"] for report in reports])
+        return ShardedResult(
+            shards=self.shards, device_count=len(devices),
+            sim_seconds=self.workload.sim_seconds,
+            events=sum(report["device_events"] for report in reports),
+            logs=logs,
+            migrations=sum(report["migrations"] for report in reports),
+            windows=len(self.config.boundaries()),
+            ghost_peak=max(report["ghost_peak"] for report in reports),
+            worker_rss_mb=max(report["rss_mb"] for report in reports),
+            per_shard_events={report["shard_id"]: report["device_events"]
+                              for report in reports})
+
+    # -- in-process scheduler ---------------------------------------------
+
+    def _run_inline(self, split) -> list[dict]:
+        sims = [ShardSim(self.config, shard_id, owned, ghosts)
+                for shard_id, (owned, ghosts) in enumerate(split)]
+        ghost_peaks = [len(sim.ghosts) for sim in sims]
+        boundaries = self.config.boundaries()
+        for index, boundary in enumerate(boundaries):
+            for sim in sims:
+                sim.run_window(boundary)
+            if index == len(boundaries) - 1:
+                break
+            exchanges = []
+            for sim in sims:
+                exchange = sim.collect_exchange()
+                # The pickle round-trip mirrors process-mode isolation:
+                # a routed state must never share live objects with the
+                # exporting shard.
+                exchanges.append(
+                    ([(target, _clone(state))
+                      for target, state in exchange.migrations],
+                     [(target, _clone(state))
+                      for target, state in exchange.ghosts]))
+            bundles = _route(exchanges, self.shards)
+            for sim, (immigrants, ghost_specs) in zip(sims, bundles,
+                                                      strict=True):
+                sim.apply_exchange(immigrants, ghost_specs)
+                ghost_peaks[sim.shard_id] = max(ghost_peaks[sim.shard_id],
+                                                len(sim.ghosts))
+        reports = []
+        for sim in sims:
+            sim.stop()
+            report = _worker_report(sim)
+            report["ghost_peak"] = ghost_peaks[sim.shard_id]
+            reports.append(report)
+        return reports
+
+    # -- process scheduler ------------------------------------------------
+
+    def _run_processes(self, split) -> list[dict]:
+        context = get_context("spawn")
+        workers = []
+        pipes: list[Connection] = []
+        try:
+            for shard_id, (owned, ghosts) in enumerate(split):
+                parent_conn, child_conn = context.Pipe(duplex=True)
+                process = context.Process(
+                    target=_shard_worker,
+                    args=(child_conn, self.config, shard_id, owned, ghosts),
+                    name=f"shard-{shard_id}", daemon=True)
+                process.start()
+                child_conn.close()
+                workers.append(process)
+                pipes.append(parent_conn)
+            boundaries = self.config.boundaries()
+            for _ in range(len(boundaries) - 1):
+                exchanges = [self._recv(conn, "exchange") for conn in pipes]
+                bundles = _route([(message[1], message[2])
+                                  for message in exchanges], self.shards)
+                for conn, (immigrants, ghost_specs) in zip(pipes, bundles,
+                                                           strict=True):
+                    conn.send(("apply", immigrants, ghost_specs))
+            return [self._recv(conn, "report")[1] for conn in pipes]
+        finally:
+            for conn in pipes:
+                conn.close()
+            for process in workers:
+                process.join(timeout=60.0)
+                if process.is_alive():  # pragma: no cover - hung worker
+                    process.terminate()
+                    process.join(timeout=10.0)
+
+    @staticmethod
+    def _recv(conn: Connection, expected: str) -> tuple:
+        try:
+            message = conn.recv()
+        except EOFError as exc:
+            raise RuntimeError("shard worker died without a report; "
+                               "see worker stderr") from exc
+        if message[0] == "error":
+            raise RuntimeError(f"shard worker failed:\n{message[1]}")
+        if message[0] != expected:  # pragma: no cover - protocol guard
+            raise RuntimeError(f"expected {expected!r}, got {message[0]!r}")
+        return message
+
+
+def reference_run(workload: ShardWorkload, *,
+                  collect_logs: bool = True) -> ShardedResult:
+    """The lockstep oracle: one world, no partition, no windows.
+
+    Deliberately a separate code path from :class:`ShardSim` — it
+    shares only the device builder and the scan schedule, so an
+    agreement between reference and sharded runs certifies the whole
+    window/halo/migration machinery, not a shared bug.
+    """
+    devices = workload.build_devices()
+    env = Environment(seed=workload.seed)
+    world = World(env, bounds=workload.bounds, tick=workload.tick,
+                  cell_size=workload.radio_range)
+    medium = Medium(world)
+    technology = shard_technology(workload.radio_range)
+    events = 0
+    logs: dict[str, list[LogEntry]] = {}
+
+    def count_moves(report) -> None:
+        nonlocal events
+        events += len(report.moved)
+
+    world.on_moves(count_moves)
+    with world.batch():
+        for state in devices:
+            world.add_node(state.device_id, state.position(), state.model)
+            medium.attach(state.device_id, technology)
+
+    def scan(device_id: str) -> None:
+        nonlocal events
+        listing = medium.neighbors(device_id, SHARD_TECH)
+        events += 1 + len(listing)
+        if collect_logs:
+            logs.setdefault(device_id, []).append(
+                (env.now, tuple(listing)))
+
+    for state in devices:
+        for base in workload.scan_times():
+            when = base + state.scan_phase
+            if 0.0 < when <= workload.sim_seconds:
+                env.call_at(when, scan, state.device_id)
+    env.run(until=workload.sim_seconds)
+    world.stop()
+    return ShardedResult(
+        shards=1, device_count=len(devices),
+        sim_seconds=workload.sim_seconds, events=events,
+        logs=logs if collect_logs else None, migrations=0, windows=1,
+        ghost_peak=0, worker_rss_mb=_rss_mb(),
+        per_shard_events={0: events})

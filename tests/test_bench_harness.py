@@ -23,9 +23,11 @@ from repro.eval.bench import (
     REPORT_KEYS,
     SCENARIO_KEYS,
     SCENARIOS,
+    SHARDED_SCENARIOS,
     compare_reports,
     run_bench,
     run_scenario,
+    run_sharded_scenario,
 )
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -97,6 +99,45 @@ class TestRunScenario:
         assert result.scenario == "testbed_boot"
         assert result.events_processed > 0
         assert result.sim_seconds == pytest.approx(1.0)
+
+
+class TestShardedScenarios:
+    def test_discovery_names_are_shardable(self):
+        """Every discovery_* bench scenario must have a sharded twin,
+        so CI's --shards runs cover the same names the perf gate does."""
+        discovery = {name for name in SCENARIOS
+                     if name.startswith("discovery_n")}
+        assert discovery <= set(SHARDED_SCENARIOS)
+        assert "discovery_n100k" in SHARDED_SCENARIOS
+
+    def test_run_sharded_scenario_reports_both_views(self):
+        scenario, outcome = run_sharded_scenario("discovery_n16", shards=2,
+                                                 processes=False)
+        assert scenario.scenario == "discovery_n16"
+        assert scenario.wall_seconds > 0
+        assert scenario.events_processed == outcome.events > 0
+        assert outcome.shards == 2
+        assert outcome.device_count == 16
+
+    def test_run_bench_shards_path_emits_schema_report(self):
+        report = run_bench(quick=True, scenarios=["discovery_n16"], shards=1)
+        assert report["shards"] == 1
+        record = report["scenarios"]["discovery_n16"]
+        for key in SCENARIO_KEYS:
+            assert key in record
+        assert record["shards"] == 1
+
+    def test_sharded_events_match_across_shard_counts(self):
+        """The bench-level view of the determinism contract: the
+        events_processed field is identical at any shard count."""
+        one = run_bench(quick=True, scenarios=["discovery_n16"], shards=1)
+        two = run_bench(quick=True, scenarios=["discovery_n16"], shards=2)
+        assert (one["scenarios"]["discovery_n16"]["events_processed"]
+                == two["scenarios"]["discovery_n16"]["events_processed"])
+
+    def test_sharded_only_scenarios_need_shards_flag(self):
+        with pytest.raises(KeyError, match="--shards"):
+            run_bench(quick=True, scenarios=["discovery_n100k"])
 
 
 def _report(wall: float, *, cal: float = 1.0, name: str = "s") -> dict:

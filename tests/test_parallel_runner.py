@@ -49,6 +49,13 @@ class TestParallelMap:
         with pytest.raises(ZeroDivisionError):
             parallel_map(_reciprocal, [1, 0], jobs=2)
 
+    @pytest.mark.parametrize("jobs", [0, -1, -4])
+    def test_job_counts_below_one_rejected(self, jobs):
+        """A zero/negative job count is a caller bug (mistyped flag),
+        not a request for serial — it must fail loudly."""
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            parallel_map(_square, [1, 2, 3], jobs=jobs)
+
 
 def _reciprocal(task: int) -> float:
     return 1.0 / task
@@ -65,6 +72,43 @@ class TestBenchParallelDeterminism:
             a, b = serial["scenarios"][name], fanned["scenarios"][name]
             assert a["events_processed"] == b["events_processed"], name
             assert a["sim_seconds"] == b["sim_seconds"], name
+
+
+class TestCliValidation:
+    """`--jobs`/`--shards` below 1 must die at argument parsing with a
+    clear message, in both CLIs and in the library entry point."""
+
+    def _run(self, script: str, *argv: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / script), *argv],
+            capture_output=True, text=True, timeout=120)
+
+    def test_sweep_rejects_zero_jobs(self):
+        proc = self._run("sweep.py", "density", "--jobs", "0")
+        assert proc.returncode == 2
+        assert "--jobs must be >= 1" in proc.stderr
+
+    def test_bench_rejects_negative_jobs(self):
+        proc = self._run("bench.py", "--jobs", "-2")
+        assert proc.returncode == 2
+        assert "--jobs must be >= 1" in proc.stderr
+
+    def test_bench_rejects_zero_shards(self):
+        proc = self._run("bench.py", "--shards", "0")
+        assert proc.returncode == 2
+        assert "--shards must be >= 1" in proc.stderr
+
+    def test_bench_rejects_shards_with_jobs(self):
+        proc = self._run("bench.py", "--shards", "2", "--jobs", "2")
+        assert proc.returncode == 2
+        assert "--shards and --jobs" in proc.stderr
+
+    def test_run_bench_rejects_invalid_shards(self):
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            run_bench(quick=True, scenarios=["discovery_n4"], shards=0)
+        with pytest.raises(ValueError, match="--shards and --jobs"):
+            run_bench(quick=True, scenarios=["discovery_n4"],
+                      shards=2, jobs=2)
 
 
 class TestSweepParallelDeterminism:

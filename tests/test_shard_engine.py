@@ -1,0 +1,176 @@
+"""The sharded engine must be invisible in the results.
+
+The contract under test: for any workload, a sharded run at any shard
+count produces the *identical* device-event count and per-device
+interaction log as :func:`repro.shard.runner.reference_run` — a
+deliberately separate single-world code path with no partitioning,
+windows or ghosts.  The oracle tests pin fixed workloads at several
+shard counts (with ``verify_ghosts=True`` so any replica drift raises
+instead of silently shifting a neighbour set); the Hypothesis property
+randomises crowd shape, walker speed and window length; and the
+adversarial case parks a device that teleports across a strip border
+every single tick, the worst case for the migration/ghost machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.geometry import Point, Rect
+from repro.shard import (ShardWorkload, ShardedRunner, compare_results,
+                         crowd_workload, interaction_digests, reference_run)
+from repro.shard.devices import DeviceState, SeededWalk
+
+#: Shard counts every oracle comparison covers: trivial, even splits
+#: and a count that does not divide the bounds evenly.
+SHARD_COUNTS = (1, 2, 4, 7)
+
+#: Fixed oracle workload: small enough to run four times per test,
+#: dense enough (50 m pitch vs 60 m radio) for real interactions, and
+#: walker-heavy so devices actually cross strip borders.
+ORACLE = crowd_workload(24, seed=7, sim_seconds=20.0, walker_fraction=0.5)
+
+
+def run_sharded(workload: ShardWorkload, shards: int, *,
+                processes: bool = False) -> object:
+    return ShardedRunner(workload, shards, processes=processes,
+                         collect_logs=True, verify_ghosts=True).run()
+
+
+class TestLockstepOracle:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_sharded_equals_reference(self, shards):
+        reference = reference_run(ORACLE)
+        sharded = run_sharded(ORACLE, shards)
+        problems = compare_results(reference, sharded,
+                                   label_a="reference",
+                                   label_b=f"shards{shards}")
+        assert problems == []
+
+    def test_oracle_workload_is_non_trivial(self):
+        """Guard the guard: the oracle must exercise real interactions
+        and real border traffic, or the equivalence checks above pass
+        vacuously."""
+        reference = reference_run(ORACLE)
+        assert reference.events > 0
+        assert reference.logs
+        assert any(entries and entries[-1][1]
+                   for entries in reference.logs.values())
+        sharded = run_sharded(ORACLE, 4)
+        assert sharded.ghost_peak > 0
+
+    def test_event_totals_are_shard_count_invariant(self):
+        totals = {shards: run_sharded(ORACLE, shards).events
+                  for shards in SHARD_COUNTS}
+        assert len(set(totals.values())) == 1, totals
+
+    def test_digests_match_across_shard_counts(self):
+        reference = interaction_digests(reference_run(ORACLE).logs)
+        for shards in SHARD_COUNTS:
+            assert interaction_digests(
+                run_sharded(ORACLE, shards).logs) == reference
+
+
+class TestProcessMode:
+    def test_spawned_workers_match_reference(self):
+        """The production scheduler (one OS process per shard) must
+        produce the same bytes as the in-process one."""
+        workload = crowd_workload(24, seed=13, sim_seconds=15.0,
+                                  walker_fraction=0.5)
+        reference = reference_run(workload)
+        sharded = ShardedRunner(workload, 2, processes=True,
+                                collect_logs=True).run()
+        assert compare_results(reference, sharded, label_a="reference",
+                               label_b="processes") == []
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(count=st.integers(min_value=4, max_value=20),
+       seed=st.integers(min_value=0, max_value=2**32),
+       walker_speed=st.floats(min_value=0.5, max_value=4.0),
+       window=st.sampled_from([2.5, 5.0]),
+       shards=st.sampled_from(SHARD_COUNTS))
+def test_random_walks_property(count, seed, walker_speed, window, shards):
+    """Random crowds with border-crossing walkers: any shard count
+    reproduces the reference neighbour sets exactly."""
+    workload = crowd_workload(count, seed=seed, sim_seconds=10.0,
+                              walker_fraction=1.0,
+                              walker_speed=walker_speed, window=window)
+    reference = reference_run(workload)
+    sharded = run_sharded(workload, shards)
+    assert compare_results(reference, sharded, label_a="reference",
+                           label_b=f"shards{shards}") == []
+
+
+class BorderHopper:
+    """Mobility model that teleports across a strip border every tick.
+
+    Alternates between ``center - amplitude`` and ``center + amplitude``
+    — with ``center`` on a shard border this forces an ownership
+    re-evaluation at every window edge and keeps the device permanently
+    inside two shards' halos.  State is one sign flag, so a pickled
+    replica resumes the identical trajectory.
+    """
+
+    def __init__(self, center: float, y: float, amplitude: float) -> None:
+        self.center = center
+        self.y = y
+        self.amplitude = amplitude
+        self._sign = 1.0
+
+    def step(self, position: Point, dt: float) -> Point:
+        self._sign = -self._sign
+        return Point(self.center + self._sign * self.amplitude, self.y)
+
+
+@dataclass(frozen=True)
+class HopperWorkload(ShardWorkload):
+    """Adversarial workload: one border hopper plus fixed observers."""
+
+    def build_devices(self) -> list[DeviceState]:
+        border = self.bounds.min_x + self.bounds.width / 4.0  # 4-shard edge
+        y = self.bounds.height / 2.0
+        hopper = DeviceState(
+            device_id="hopper", x=border - 5.0, y=y,
+            model=BorderHopper(center=border, y=y, amplitude=5.0))
+        observers = [
+            DeviceState(device_id="obs_left", x=border - 30.0, y=y),
+            DeviceState(device_id="obs_right", x=border + 30.0, y=y),
+            DeviceState(device_id="obs_far", x=border + 150.0, y=y),
+        ]
+        walker = DeviceState(
+            device_id="walker", x=border + 20.0, y=y - 20.0,
+            model=SeededWalk(self.bounds, self.walker_speed, seed=99))
+        return [hopper, *observers, walker]
+
+
+#: walker_speed doubles as the halo's max-speed bound, so it must
+#: cover the hopper's 10 m-per-1 s-tick teleport.
+HOPPER = HopperWorkload(count=5, seed=3, sim_seconds=30.0,
+                        bounds=Rect(0.0, 0.0, 400.0, 400.0),
+                        walker_speed=12.0)
+
+
+class TestBorderHopper:
+    def test_oscillating_device_is_adversarial(self):
+        """The scenario must actually hammer the border machinery."""
+        sharded = run_sharded(HOPPER, 4)
+        assert sharded.migrations > 0
+        assert sharded.ghost_peak > 0
+        # Both near observers keep seeing the hopper; the far one never does.
+        logs = sharded.logs
+        assert any("hopper" in entry[1] for entry in logs["obs_left"])
+        assert any("hopper" in entry[1] for entry in logs["obs_right"])
+        assert all("hopper" not in entry[1] for entry in logs["obs_far"])
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_hopper_equals_reference(self, shards):
+        reference = reference_run(HOPPER)
+        sharded = run_sharded(HOPPER, shards)
+        assert compare_results(reference, sharded, label_a="reference",
+                               label_b=f"shards{shards}") == []

@@ -1,0 +1,125 @@
+"""Strip partition and halo arithmetic — the sharded engine's geometry.
+
+Ownership must be a total, pure function of x (every position maps to
+exactly one shard, out-of-bounds clamps to the edge strips) and the
+ghost routing set must cover every shard a device could interact with
+during one window.  These are the invariants the equivalence gate
+leans on, so they get direct unit coverage here.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mobility.geometry import Rect
+from repro.shard.partition import StripPartition, halo_width
+
+BOUNDS = Rect(0.0, 0.0, 400.0, 400.0)
+
+
+class TestHaloWidth:
+    def test_lookahead_bound(self):
+        # R + 2 v W: both endpoints of a pair can close the gap.
+        assert halo_width(60.0, 1.5, 5.0) == 60.0 + 2.0 * 1.5 * 5.0
+
+    def test_stationary_crowd_needs_only_radio_range(self):
+        assert halo_width(60.0, 0.0, 5.0) == 60.0
+
+    @pytest.mark.parametrize(("radio", "speed", "window"), [
+        (0.0, 1.0, 5.0), (-1.0, 1.0, 5.0),
+        (60.0, -0.1, 5.0),
+        (60.0, 1.0, 0.0), (60.0, 1.0, -2.0),
+    ])
+    def test_invalid_parameters_rejected(self, radio, speed, window):
+        with pytest.raises(ValueError):
+            halo_width(radio, speed, window)
+
+
+class TestOwnership:
+    def test_interior_points(self):
+        partition = StripPartition(BOUNDS, 4)
+        assert partition.owner_of(0.0) == 0
+        assert partition.owner_of(99.9) == 0
+        assert partition.owner_of(100.0) == 1
+        assert partition.owner_of(399.9) == 3
+
+    def test_right_edge_belongs_to_last_strip(self):
+        partition = StripPartition(BOUNDS, 4)
+        assert partition.owner_of(400.0) == 3
+
+    def test_out_of_bounds_clamps_to_edge_strips(self):
+        partition = StripPartition(BOUNDS, 4)
+        assert partition.owner_of(-5.0) == 0
+        assert partition.owner_of(1e9) == 3
+
+    def test_single_shard_owns_everything(self):
+        partition = StripPartition(BOUNDS, 1)
+        assert partition.owner_of(-1.0) == 0
+        assert partition.owner_of(200.0) == 0
+        assert partition.owner_of(401.0) == 0
+
+    def test_offset_bounds(self):
+        partition = StripPartition(Rect(-100.0, 0.0, 100.0, 50.0), 2)
+        assert partition.owner_of(-100.0) == 0
+        assert partition.owner_of(-0.1) == 0
+        assert partition.owner_of(0.0) == 1
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            StripPartition(BOUNDS, 0)
+        with pytest.raises(ValueError):
+            StripPartition(BOUNDS, -3)
+
+    @given(x=st.floats(min_value=-50.0, max_value=450.0,
+                       allow_nan=False, allow_infinity=False),
+           shards=st.integers(min_value=1, max_value=9))
+    def test_ownership_is_total(self, x, shards):
+        partition = StripPartition(BOUNDS, shards)
+        assert 0 <= partition.owner_of(x) < shards
+
+
+class TestStripInterval:
+    def test_intervals_tile_the_bounds(self):
+        partition = StripPartition(BOUNDS, 4)
+        edges = [partition.strip_interval(i) for i in range(4)]
+        assert edges[0][0] == BOUNDS.min_x
+        assert edges[-1][1] == BOUNDS.max_x
+        for left, right in zip(edges, edges[1:]):
+            assert left[1] == right[0]
+
+    def test_out_of_range_shard_id_rejected(self):
+        partition = StripPartition(BOUNDS, 4)
+        with pytest.raises(ValueError):
+            partition.strip_interval(4)
+        with pytest.raises(ValueError):
+            partition.strip_interval(-1)
+
+
+class TestShardsWithin:
+    def test_interior_device_far_from_borders_stays_home(self):
+        partition = StripPartition(BOUNDS, 4)
+        assert list(partition.shards_within(50.0, 20.0)) == [0]
+
+    def test_border_device_covers_both_neighbours(self):
+        partition = StripPartition(BOUNDS, 4)
+        assert list(partition.shards_within(100.0, 20.0)) == [0, 1]
+
+    def test_halo_wider_than_strip_spans_several_shards(self):
+        partition = StripPartition(BOUNDS, 8)  # 50 m strips
+        assert list(partition.shards_within(200.0, 120.0)) == [1, 2, 3, 4, 5, 6]
+
+    def test_negative_halo_rejected(self):
+        partition = StripPartition(BOUNDS, 4)
+        with pytest.raises(ValueError):
+            partition.shards_within(50.0, -1.0)
+
+    @given(x=st.floats(min_value=0.0, max_value=400.0,
+                       allow_nan=False, allow_infinity=False),
+           halo=st.floats(min_value=0.0, max_value=200.0,
+                          allow_nan=False, allow_infinity=False),
+           shards=st.integers(min_value=1, max_value=9))
+    def test_routing_set_always_contains_the_owner(self, x, halo, shards):
+        partition = StripPartition(BOUNDS, shards)
+        assert partition.owner_of(x) in partition.shards_within(x, halo)

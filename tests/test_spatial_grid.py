@@ -256,3 +256,29 @@ def test_batch_coalesces_to_one_report() -> None:
     with world.batch():
         pass  # nothing changed: listeners must stay silent
     assert len(reports) == 1 and len(ticks) == 1
+
+
+def test_stamp_detects_cover_shift_despite_equal_epoch_sums() -> None:
+    """A moved query centre must never validate a stale listing.
+
+    Epoch *sums* over two different cell covers can coincide: here the
+    old cover carries its changes in cell (-1, 0) and the new cover an
+    equal amount in cell (2, 0), so a sum-only stamp would compare
+    equal across the shift and a cached neighbour listing taken at the
+    old centre would survive the move.  The stamp embeds the cover
+    bounds precisely to kill this aliasing (found as a one-sighting
+    divergence between sharded and single-process 100k-device runs).
+    """
+    grid = SpatialGrid(cell_size=10.0)
+    grid.insert("mover", Point(5.0, 5.0))  # cell (0, 0): epoch 1
+    grid.insert("a", Point(-5.0, 5.0))     # cell (-1, 0): epoch 1
+    grid.remove("a")                       # cell (-1, 0): epoch 2
+    old_stamp = grid.region_stamp(Point(5.0, 5.0), 10.0)
+    grid.insert("b", Point(25.0, 5.0))     # cell (2, 0): epoch 1
+    grid.remove("b")                       # cell (2, 0): epoch 2
+    # Disc shifts one cell right: cover x-range goes [-1, 1] -> [0, 2],
+    # dropping epoch-2 cell (-1, 0) and gaining epoch-2 cell (2, 0) —
+    # the epoch sums over both covers are identical.
+    new_stamp = grid.region_stamp(Point(15.0, 5.0), 10.0)
+    assert old_stamp[-1] == new_stamp[-1]  # the sums really do collide
+    assert old_stamp != new_stamp
