@@ -47,6 +47,10 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
     parser.add_argument("--profile", action="store_true",
                         help="run under cProfile and dump pstats next to "
                              "the JSON output")
+    parser.add_argument("--alloc", action="store_true",
+                        help="attach a gc/tracemalloc allocation profile "
+                             "to each record (one extra instrumented pass "
+                             "per scenario; timed repeats are unaffected)")
     parser.add_argument("--scenario", action="append", dest="scenarios",
                         metavar="NAME",
                         choices=sorted(set(SCENARIOS) | set(SHARDED_SCENARIOS)),
@@ -101,7 +105,8 @@ def main(argv: list[str] | None = None) -> int:
         profiler.enable()
     report = run_bench(quick=args.quick, scenarios=args.scenarios,
                        repeats=args.repeats, jobs=args.jobs,
-                       shards=args.shards, progress=_print_result)
+                       shards=args.shards, alloc=args.alloc,
+                       progress=_print_result)
     if profiler is not None:
         profiler.disable()
         pstats_path = args.output.with_suffix(".pstats")

@@ -1,9 +1,10 @@
-"""Simulation-determinism rules (SIM001-SIM004).
+"""Simulation-determinism rules (SIM001-SIM005).
 
-These encode the contract that makes Table 8 timings and parallel
-sweeps byte-identical: simulated code computes *only* from the
-simulation state — the event clock, the named random streams, and the
-deterministic data structures feeding them.
+SIM001-SIM004 encode the contract that makes Table 8 timings and
+parallel sweeps byte-identical: simulated code computes *only* from
+the simulation state — the event clock, the named random streams, and
+the deterministic data structures feeding them.  SIM005 guards the
+allocation discipline of the per-event hot loop (DESIGN.md §10).
 """
 
 from __future__ import annotations
@@ -180,6 +181,73 @@ class UnorderedIterationRule(_SimPathRule):
                         module, target,
                         "iteration over an unordered set; the order feeds "
                         "simulation state, so wrap it in sorted(...)")
+
+
+#: Modules on the per-event hot loop: every scheduled event runs
+#: through them, so one allocation here multiplies by the ~75k events
+#: a 30-second 1,024-device crowd fires.  Scoped by *filename* inside
+#: the sim-path packages because the packages also hold the designated
+#: serialization boundary (``net/messages.py`` owns json) and stats
+#: snapshots (``dict(...)`` copies in ``faults.py``/``retry.py``) that
+#: run once per report, not once per event.
+HOT_LOOP_MODULES = frozenset({
+    "events.py", "environment.py", "process.py", "clock.py",
+    "framing.py", "buffers.py", "medium.py", "sweep.py",
+})
+
+#: Serialization calls that re-encode per event; the boundary modules
+#: own these, the hot loop reuses their pre-built encoder/decoder.
+_HOT_LOOP_SERIALIZE = frozenset({
+    "json.dumps", "json.loads", "json.dump", "json.load",
+    "copy.copy", "copy.deepcopy", "pickle.dumps", "pickle.loads",
+})
+
+
+@register
+class HotLoopAllocationRule(_SimPathRule):
+    code = "SIM005"
+    summary = ("no json/pickle/copy serialization or dict(...) "
+               "copy-construction inside hot-loop modules")
+
+    def applies_to(self, module: Module) -> bool:
+        return (super().applies_to(module)
+                and module.display_path.rsplit("/", 1)[-1]
+                in HOT_LOOP_MODULES)
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        rule = self
+        aliases = import_aliases(module.tree)
+        findings: list[Finding] = []
+
+        class Visitor(ScopeTracker):
+            def visit_Call(self, node: ast.Call) -> None:
+                # Module-level setup (pre-built encoders, constants)
+                # runs once per import and is fine; only function
+                # bodies sit on the per-event path.
+                if self.current_function() is not None:
+                    message = _hot_loop_call_message(node, aliases)
+                    if message is not None:
+                        findings.append(rule.finding(module, node, message))
+                self.generic_visit(node)
+
+        Visitor().visit(module.tree)
+        yield from findings
+
+
+def _hot_loop_call_message(node: ast.Call,
+                           aliases: dict[str, str]) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "dict" \
+            and "dict" not in aliases and node.args:
+        return ("dict(...) copy-construction allocates a fresh mapping "
+                "per event on the hot loop; mutate in place or hoist "
+                "the copy out of the per-event path")
+    qualified = qualified_name(func, aliases)
+    if qualified in _HOT_LOOP_SERIALIZE:
+        return (f"{qualified} re-serializes per event on the hot loop; "
+                f"the boundary module (net/messages.py) owns encoding — "
+                f"reuse its pre-built encoder outside the event path")
+    return None
 
 
 _SET_METHODS = frozenset({"intersection", "union", "difference",

@@ -52,6 +52,17 @@ BENCH_SCHEMA_VERSION = 2
 SCENARIO_KEYS = ("wall_seconds", "events_processed", "events_per_sec",
                  "rss_mb", "sim_seconds")
 
+#: Keys an ``--alloc`` record carries (under the ``"alloc"`` key).
+ALLOC_KEYS = ("gc_collections", "gc_collected", "gc_uncollectable",
+              "tracemalloc_peak_kb", "events_processed")
+
+#: Scenarios whose baseline processed fewer events than this are
+#: jitter-dominated — wall time is scheduler noise around milliseconds
+#: of real work — and exempt from the relative regression gate (the
+#: quick-mode chaos replay runs ~581 events and used to flake the 30%
+#: gate on nothing).  A wide absolute guard still catches blowups.
+MIN_GATED_EVENTS = 1000
+
 #: Keys every report carries at the top level.
 REPORT_KEYS = ("schema", "schema_version", "git_sha", "python",
                "platform", "quick", "calibration_seconds", "scenarios")
@@ -254,18 +265,59 @@ class ScenarioResult:
     events_per_sec: float
     rss_mb: float
     sim_seconds: float
+    alloc: dict | None = None
 
     def as_dict(self) -> dict:
-        return {"wall_seconds": self.wall_seconds,
-                "events_processed": self.events_processed,
-                "events_per_sec": self.events_per_sec,
-                "rss_mb": self.rss_mb,
-                "sim_seconds": self.sim_seconds}
+        record = {"wall_seconds": self.wall_seconds,
+                  "events_processed": self.events_processed,
+                  "events_per_sec": self.events_per_sec,
+                  "rss_mb": self.rss_mb,
+                  "sim_seconds": self.sim_seconds}
+        if self.alloc is not None:
+            record["alloc"] = self.alloc
+        return record
+
+
+def measure_alloc(fn: Callable[[bool], float], quick: bool) -> dict:
+    """Allocation profile of one instrumented scenario pass.
+
+    Runs the scenario once more with the cyclic collector *enabled*
+    (so ``gc.get_stats()`` deltas mean something) and tracemalloc
+    tracing every allocation.  Tracing costs roughly 2x wall clock,
+    which is why this is a separate pass and never contaminates the
+    timed repeats.  Keys: :data:`ALLOC_KEYS`.
+    """
+    import tracemalloc
+    gc.collect()
+    before = gc.get_stats()
+    events_before = _events.events_popped_global
+    tracemalloc.start()
+    try:
+        fn(quick)
+        peak = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+    after = gc.get_stats()
+
+    def delta(key: str) -> int:
+        return sum(a[key] - b[key]
+                   for a, b in zip(after, before, strict=True))
+
+    return {"gc_collections": delta("collections"),
+            "gc_collected": delta("collected"),
+            "gc_uncollectable": delta("uncollectable"),
+            "tracemalloc_peak_kb": round(peak / 1024.0, 1),
+            "events_processed": _events.events_popped_global - events_before}
 
 
 def run_scenario(name: str, *, quick: bool = False,
-                 repeats: int | None = None) -> ScenarioResult:
-    """Time one named scenario; best-of-``repeats`` wall clock."""
+                 repeats: int | None = None,
+                 alloc: bool = False) -> ScenarioResult:
+    """Time one named scenario; best-of-``repeats`` wall clock.
+
+    ``alloc=True`` appends one extra instrumented pass (see
+    :func:`measure_alloc`) and attaches its profile to the record.
+    """
     fn = SCENARIOS[name]
     if repeats is None:
         repeats = 2 if quick else 3
@@ -297,7 +349,8 @@ def run_scenario(name: str, *, quick: bool = False,
     return ScenarioResult(scenario=name, wall_seconds=best_wall,
                           events_processed=best_events,
                           events_per_sec=rate, rss_mb=_rss_mb(),
-                          sim_seconds=sim_seconds)
+                          sim_seconds=sim_seconds,
+                          alloc=measure_alloc(fn, quick) if alloc else None)
 
 
 def run_sharded_scenario(name: str, *, shards: int,
@@ -335,10 +388,10 @@ def run_sharded_scenario(name: str, *, shards: int,
     return result, outcome
 
 
-def _scenario_task(task: tuple[str, bool, int | None]) -> ScenarioResult:
+def _scenario_task(task: tuple[str, bool, int | None, bool]) -> ScenarioResult:
     """Picklable per-scenario unit for the parallel runner."""
-    name, quick, repeats = task
-    return run_scenario(name, quick=quick, repeats=repeats)
+    name, quick, repeats, alloc = task
+    return run_scenario(name, quick=quick, repeats=repeats, alloc=alloc)
 
 
 def run_bench(*, quick: bool = False,
@@ -346,6 +399,7 @@ def run_bench(*, quick: bool = False,
               repeats: int | None = None,
               jobs: int = 1,
               shards: int | None = None,
+              alloc: bool = False,
               progress: Callable[[str, ScenarioResult], None] | None = None,
               ) -> dict:
     """Run scenarios and return the ``BENCH_v2.json`` report dict.
@@ -364,6 +418,11 @@ def run_bench(*, quick: bool = False,
     deterministic fields are shard-count-invariant; only wall-clock
     fields change with ``N``.  Mutually exclusive with ``jobs > 1``:
     shard workers already use the host's cores.
+
+    ``alloc=True`` adds an ``"alloc"`` sub-record to every
+    non-sharded scenario: :func:`measure_alloc` gc/tracemalloc deltas
+    from one extra instrumented pass (sharded workloads run in worker
+    processes where in-process tracing cannot see them).
     """
     if shards is not None:
         if shards < 1:
@@ -397,7 +456,8 @@ def run_bench(*, quick: bool = False,
             if name in SHARDED_SCENARIOS:
                 result, _ = run_sharded_scenario(name, shards=shards)
             else:
-                result = run_scenario(name, quick=quick, repeats=repeats)
+                result = run_scenario(name, quick=quick, repeats=repeats,
+                                      alloc=alloc)
             record = result.as_dict()
             if name in SHARDED_SCENARIOS:
                 record["shards"] = shards
@@ -406,12 +466,13 @@ def run_bench(*, quick: bool = False,
                 progress(name, result)
     elif jobs <= 1:
         for name in names:
-            result = run_scenario(name, quick=quick, repeats=repeats)
+            result = run_scenario(name, quick=quick, repeats=repeats,
+                                  alloc=alloc)
             report["scenarios"][name] = result.as_dict()
             if progress is not None:
                 progress(name, result)
     else:
-        tasks = [(name, quick, repeats) for name in names]
+        tasks = [(name, quick, repeats, alloc) for name in names]
         for result in parallel_map(_scenario_task, tasks, jobs=jobs):
             report["scenarios"][result.scenario] = result.as_dict()
             if progress is not None:
@@ -424,7 +485,8 @@ def run_bench(*, quick: bool = False,
 
 def compare_reports(current: dict, baseline: dict, *,
                     tolerance: float = 0.30,
-                    slack_seconds: float = 0.05) -> list[str]:
+                    slack_seconds: float = 0.05,
+                    min_events: int = MIN_GATED_EVENTS) -> list[str]:
     """Regression messages comparing ``current`` against ``baseline``.
 
     A scenario regresses when its wall time exceeds the baseline's by
@@ -432,8 +494,12 @@ def compare_reports(current: dict, baseline: dict, *,
     two calibration workloads, clamped so a wildly different host
     cannot mask — or fabricate — a regression).  ``slack_seconds`` of
     absolute headroom keeps millisecond-scale scenarios from tripping
-    the relative gate on scheduler jitter.  Returns ``[]`` when
-    everything is within tolerance.
+    the relative gate on scheduler jitter.  Scenarios whose baseline
+    processed fewer than ``min_events`` events are jitter-dominated
+    and bypass the relative gate entirely; they keep a wide absolute
+    guard (4x host-scaled wall + 1 s) so a genuine order-of-magnitude
+    blowup still fails.  Returns ``[]`` when everything is within
+    tolerance.
     """
     problems: list[str] = []
     if baseline.get("schema_version") != BENCH_SCHEMA_VERSION:
@@ -449,6 +515,15 @@ def compare_reports(current: dict, baseline: dict, *,
         mine = current.get("scenarios", {}).get(name)
         if mine is None:
             problems.append(f"{name}: present in baseline but not run")
+            continue
+        if int(base.get("events_processed") or 0) < min_events:
+            guard = float(base["wall_seconds"]) * scale * 4.0 + 1.0
+            if float(mine["wall_seconds"]) > guard:
+                problems.append(
+                    f"{name}: wall {mine['wall_seconds']:.3f}s blows the "
+                    f"jitter-exempt guard {guard:.3f}s (baseline "
+                    f"{base['wall_seconds']:.3f}s at "
+                    f"{base['events_processed']} events < {min_events})")
             continue
         allowed = (float(base["wall_seconds"]) * scale * (1.0 + tolerance)
                    + slack_seconds)

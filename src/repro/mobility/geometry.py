@@ -6,12 +6,31 @@ import math
 from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
 class Point:
-    """An immutable position on the 2D plane, in metres."""
+    """A position on the 2D plane, in metres.
 
-    x: float
-    y: float
+    Treated as immutable everywhere (methods return new points), but
+    hand-rolled rather than a frozen dataclass: walkers construct one
+    per movement tick, and frozen-dataclass ``__init__`` pays two
+    ``object.__setattr__`` calls per instance on that hot path.
+    """
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: float, y: float) -> None:
+        self.x = x
+        self.y = y
+
+    def __repr__(self) -> str:
+        return f"Point(x={self.x!r}, y={self.y!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Point):
+            return self.x == other.x and self.y == other.y
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.x, self.y))
 
     def moved_towards(self, target: Point, step: float) -> Point:
         """Return the point ``step`` metres from here towards ``target``.
@@ -66,8 +85,12 @@ class Rect:
 
     def clamp(self, point: Point) -> Point:
         """Project ``point`` onto the nearest position inside the rect."""
-        return Point(min(max(point.x, self.min_x), self.max_x),
-                     min(max(point.y, self.min_y), self.max_y))
+        x = point.x
+        y = point.y
+        if self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y:
+            return point  # already inside: no fresh allocation
+        return Point(min(max(x, self.min_x), self.max_x),
+                     min(max(y, self.min_y), self.max_y))
 
     def random_point(self, rng) -> Point:
         """Uniform random point inside the rectangle."""

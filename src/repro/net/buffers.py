@@ -1,0 +1,75 @@
+"""Reusable wire-buffer pool (allocation discipline, DESIGN.md §10).
+
+Every TCP send used to materialise a fresh ``bytes`` frame: prefix
+pack, body encode, concatenation — three transients per message, all
+garbage one syscall later.  The pool keeps a small free list of
+``bytearray`` buffers that :func:`repro.net.messages.serialize_into`
+fills in place, so the steady state reuses the same few buffers
+round-robin instead of churning the allocator.
+
+Discipline rules:
+
+* ``checkout`` returns an *owned* buffer — exactly one ``checkin`` per
+  checkout, after the bytes have been consumed (written to the socket,
+  copied into a transcript).
+* ``checkin`` trims buffers that ballooned past the high-water mark
+  back down, so one oversized file-listing frame cannot pin megabytes
+  inside the pool forever.
+* The pool holds at most ``max_buffers``; extras are simply dropped
+  for the garbage collector (correct, just slower — the pool is an
+  optimisation, never a correctness dependency).
+
+The pool is not thread-safe; like the rest of the kernel it assumes
+the single-threaded event loop.
+"""
+
+from __future__ import annotations
+
+#: Buffers returned larger than this are shrunk on checkin.
+DEFAULT_HIGH_WATER = 64 * 1024
+
+#: Free-list cap; beyond it checked-in buffers are dropped.
+DEFAULT_MAX_BUFFERS = 32
+
+
+class BufferPool:
+    """Checkout/checkin free list of reusable ``bytearray`` buffers."""
+
+    def __init__(self, *, max_buffers: int = DEFAULT_MAX_BUFFERS,
+                 high_water: int = DEFAULT_HIGH_WATER) -> None:
+        if max_buffers < 0:
+            raise ValueError(f"max_buffers must be >= 0: {max_buffers!r}")
+        if high_water <= 0:
+            raise ValueError(f"high_water must be positive: {high_water!r}")
+        self.max_buffers = max_buffers
+        self.high_water = high_water
+        self._free: list[bytearray] = []
+        #: Counters for the bench --alloc report and tests.
+        self.checkouts = 0
+        self.reuses = 0
+        self.trims = 0
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def checkout(self) -> bytearray:
+        """Borrow a buffer (its previous contents are undefined)."""
+        self.checkouts += 1
+        if self._free:
+            self.reuses += 1
+            return self._free.pop()
+        return bytearray()
+
+    def checkin(self, buffer: bytearray) -> None:
+        """Return a borrowed buffer to the free list."""
+        if len(self._free) >= self.max_buffers:
+            return
+        if len(buffer) > self.high_water:
+            # One giant frame must not pin its capacity forever.
+            del buffer[self.high_water:]
+            self.trims += 1
+        self._free.append(buffer)
+
+
+#: Shared pool for wire frames; single-threaded event-loop use only.
+frame_pool = BufferPool()

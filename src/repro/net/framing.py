@@ -94,7 +94,9 @@ class FrameDecoder:
             end = _LENGTH.size + length
             if len(header) < end:
                 break
-            raw = bytes(header[:end])
+            # One copy, not two: a bytearray slice would build a
+            # throwaway bytearray before ``bytes`` copied it again.
+            raw = bytes(memoryview(header)[:end])
             del self._buffer[:end]
             try:
                 payload = deserialize(raw)

@@ -55,17 +55,53 @@ def serialize(payload: Any) -> bytes:
     return _LENGTH.pack(len(body)) + body
 
 
-def deserialize(frame: bytes) -> Any:
+def serialize_into(payload: Any, buffer: bytearray) -> int:
+    """Encode ``payload`` into ``buffer`` (resized in place).
+
+    Produces byte-for-byte the same frame as :func:`serialize`, but
+    reuses the caller's buffer (normally one checked out of
+    :data:`repro.net.buffers.frame_pool`) instead of materialising a
+    fresh ``bytes`` per message: the header is struct-packed in place
+    and the only transient left on the happy path is the encoder's
+    output text itself.  Returns the frame length.
+    """
+    try:
+        text = _ENCODER.encode(payload)
+    except (TypeError, ValueError) as exc:
+        raise FrameError(f"payload not serialisable: {exc}") from exc
+    # Canonical frames are pure ASCII (ensure_ascii), so the text
+    # length *is* the body byte count.
+    length = len(text)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    if len(buffer) < _LENGTH.size:
+        buffer[:] = b"\x00\x00\x00\x00"
+    buffer[_LENGTH.size:] = text.encode()
+    _LENGTH.pack_into(buffer, 0, length)
+    return _LENGTH.size + length
+
+
+def deserialize(frame: bytes | bytearray) -> Any:
     """Decode a frame produced by :func:`serialize`."""
     if len(frame) < _LENGTH.size:
         raise FrameError(f"frame too short: {len(frame)} bytes")
     (length,) = _LENGTH.unpack_from(frame)
-    body = frame[_LENGTH.size:]
-    if len(body) != length:
-        raise FrameError(f"length prefix says {length}, body is {len(body)}")
+    if len(frame) - _LENGTH.size != length:
+        raise FrameError(f"length prefix says {length}, "
+                         f"body is {len(frame) - _LENGTH.size}")
     try:
-        return json.loads(body)
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        # Decode straight off a view: no body-slice copy per message.
+        return _DECODER.decode(str(memoryview(frame)[_LENGTH.size:], "utf-8"))
+    except UnicodeDecodeError:
+        # Non-UTF-8 body: canonical frames are ASCII, so only corrupt
+        # or foreign input lands here.  Fall back to ``json.loads``,
+        # whose bytes path sniffs UTF-16/32 BOMs, to keep the historic
+        # accept/reject behaviour exactly.
+        try:
+            return json.loads(bytes(frame[_LENGTH.size:]))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise FrameError(f"frame body not valid JSON: {exc}") from exc
+    except json.JSONDecodeError as exc:
         raise FrameError(f"frame body not valid JSON: {exc}") from exc
 
 

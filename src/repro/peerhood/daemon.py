@@ -70,6 +70,13 @@ class PeerHoodDaemon:
         #: Devices with a service query in flight — dedupes the
         #: per-round retry of still-unfresh neighbours.
         self._querying: set[str] = set()
+        #: Per-technology result of the latest scan — equals
+        #: ``{d for d in neighbors if tech in neighbors[d].technologies}``
+        #: at all times, letting a steady-state merge skip the
+        #: walk over the whole neighbourhood table.
+        self._seen_by_tech: dict[str, set[str]] = {}
+        #: Reused between rounds: the loop delay is identical each time.
+        self._interval_delay = Delay(scan_interval)
         stack.listen(PHD_PORT, self._accept_control)
 
     # -- lifecycle ----------------------------------------------------------
@@ -186,31 +193,45 @@ class PeerHoodDaemon:
     # -- discovery internals -------------------------------------------------
 
     def _discovery_loop(self, plugin: Plugin) -> Generator:
+        plugin_name = plugin.name
         while self._running:
             found = yield from plugin.discover()
-            self._merge_scan(plugin.name, set(found))
-            from repro.simenv import Delay
-            yield Delay(self.scan_interval)
+            self._merge_scan(plugin_name, set(found))
+            delay = self._interval_delay
+            if delay.seconds != self.scan_interval:
+                delay = self._interval_delay = Delay(self.scan_interval)
+            yield delay
 
     def _merge_scan(self, technology_name: str, found: set[str]) -> None:
         now = self.env.now
+        neighbors = self.neighbors
         new_devices: list[str] = []
+        unfresh: list[str] = []
         for device_id in sorted(found):
-            neighbor = self.neighbors.get(device_id)
+            neighbor = neighbors.get(device_id)
             if neighbor is None:
                 neighbor = NeighborDevice(device_id=device_id)
-                self.neighbors[device_id] = neighbor
+                neighbors[device_id] = neighbor
                 new_devices.append(device_id)
+            elif not neighbor.services_fresh:
+                unfresh.append(device_id)
             neighbor.technologies.add(technology_name)
             neighbor.last_seen = now
         # Devices previously visible on this technology but now absent.
+        # The table walk preserves the historical (insertion-order)
+        # loss sequence but is skipped entirely in the steady state,
+        # where the previous scan saw a subset of this one.
         lost_devices: list[str] = []
-        for device_id, neighbor in list(self.neighbors.items()):
-            if technology_name in neighbor.technologies and device_id not in found:
-                neighbor.technologies.discard(technology_name)
-                if not neighbor.technologies:
-                    del self.neighbors[device_id]
-                    lost_devices.append(device_id)
+        seen = self._seen_by_tech.get(technology_name)
+        if seen is not None and not seen.issubset(found):
+            for device_id, neighbor in list(neighbors.items()):
+                if (technology_name in neighbor.technologies
+                        and device_id not in found):
+                    neighbor.technologies.discard(technology_name)
+                    if not neighbor.technologies:
+                        del neighbors[device_id]
+                        lost_devices.append(device_id)
+        self._seen_by_tech[technology_name] = found
         for device_id in new_devices:
             for callback in list(self._found_callbacks):
                 callback(device_id)
@@ -220,11 +241,8 @@ class PeerHoodDaemon:
         # serviceless forever: only *new* devices are queried, and a
         # continuously-visible device never becomes new again.  Retry
         # unfresh neighbours each round until a query lands.
-        for device_id in sorted(found):
-            neighbor = self.neighbors.get(device_id)
-            if (neighbor is not None and not neighbor.services_fresh
-                    and device_id not in new_devices):
-                self._start_service_query(device_id)
+        for device_id in unfresh:
+            self._start_service_query(device_id)
         for device_id in lost_devices:
             # An abrupt disappearance (flap, walk-away) must not leave
             # half-open connections behind: closing them wakes every

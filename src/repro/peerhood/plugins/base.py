@@ -9,7 +9,7 @@ from repro.net.connection import Connection
 from repro.net.stack import NetworkStack
 from repro.radio.medium import Medium
 from repro.radio.technology import Technology
-from repro.simenv import Environment
+from repro.simenv import Delay, Environment
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.radio.gprs import GprsGateway
@@ -37,6 +37,9 @@ class Plugin:
         self.stack = stack
         self.device_id = device_id
         self.scan_count = 0
+        #: Scan delays repeat the same duration almost always; reuse
+        #: the (immutable) Delay instead of allocating one per scan.
+        self._scan_delay: Delay | None = None
 
     @property
     def name(self) -> str:
@@ -62,15 +65,18 @@ class Plugin:
         Returns the list of device ids currently reachable over this
         plugin's technology, after the scan's virtual-time cost.
         """
-        from repro.simenv import Delay
-
         if not self.available():
             return []
-        found = self.medium.neighbors(self.device_id, self.technology.name)
+        technology_name = self.technology.name
+        found = self.medium.neighbors(self.device_id, technology_name)
         self.scan_count += 1
-        yield Delay(self.scan_duration(len(found)))
+        duration = self.scan_duration(len(found))
+        delay = self._scan_delay
+        if delay is None or delay.seconds != duration:
+            delay = self._scan_delay = Delay(duration)
+        yield delay
         # Re-read after the scan: devices may have moved during it.
-        return self.medium.neighbors(self.device_id, self.technology.name)
+        return self.medium.neighbors(self.device_id, technology_name)
 
     def connect(self, remote_id: str, port: str) -> Generator:
         """Process generator: connect to ``port`` on ``remote_id``.

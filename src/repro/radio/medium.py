@@ -28,13 +28,37 @@ back to the historical clear-everything listeners.
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING
 
 from repro.mobility.world import MovementReport, World
+from repro.radio import sweep as _sweep
 from repro.radio.technology import Technology
 
 if TYPE_CHECKING:  # pragma: no cover - layering guard (net builds on radio)
     from repro.net.faults import FaultInjector
+
+#: Same-technology roster size at which a vectorized whole-population
+#: sweep beats per-scan scalar queries.  Below it the numpy dispatch
+#: overhead outweighs the batching win.
+VECTOR_SWEEP_MIN_DEVICES = 256
+
+
+def vector_sweep_enabled() -> bool:
+    """Whether new media may use vectorized sweeps (REPRO_VECTOR_SWEEP)."""
+    return (os.environ.get("REPRO_VECTOR_SWEEP", "1") != "0"
+            and _sweep.available())
+
+
+def _vector_sweep_min() -> int:
+    """Roster threshold, overridable for tests (REPRO_VECTOR_SWEEP_MIN)."""
+    raw = os.environ.get("REPRO_VECTOR_SWEEP_MIN")
+    if raw is None:
+        return VECTOR_SWEEP_MIN_DEVICES
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return VECTOR_SWEEP_MIN_DEVICES
 
 
 class NotReachableError(ConnectionError):
@@ -88,6 +112,10 @@ class Medium:
 
     def __init__(self, world: World) -> None:
         self.world = world
+        #: Direct handle on the world's node table (stable for the
+        #: world's lifetime) — membership checks run once per neighbour
+        #: query, and ``__contains__`` dispatch is measurable there.
+        self._world_nodes = world._nodes
         self._adapters: dict[tuple[str, str], Adapter] = {}
         #: Device ids per technology name — the roster wide-area
         #: listings enumerate (local listings go through the grid).
@@ -110,11 +138,16 @@ class Medium:
         #: their key, so the indexes stay bounded by the live pair set.
         self._dist_index: dict[str, set[tuple[str, str]]] = {}
         self._reach_index: dict[str, set[tuple[str, str, str]]] = {}
-        #: (device, tech) -> (listing, stamp) where stamp is the grid
-        #: region stamp of the radio disc (local radios) or the
-        #: (roster epoch, gateway epoch) pair (wide-area).
+        #: (device, tech) -> (listing, stamp).  Scalar entries pair a
+        #: materialized listing with the grid region stamp of the radio
+        #: disc (local radios) or the (roster epoch, gateway epoch)
+        #: tuple (wide-area).  Vector-sweep entries pair a (start, end)
+        #: span into ``_sweep_flat`` with the topology-version *int* —
+        #: an int never equals a tuple stamp, so entries from one
+        #: regime are always treated as stale by the other.
         self._neighbors_cache: dict[tuple[str, str],
-                                    tuple[list[str], tuple[int, ...]]] = {}
+                                    tuple[list[str] | tuple[int, int],
+                                          tuple[int, ...] | int]] = {}
         #: Per-technology roster change counter (attach/detach/power
         #: toggles) — validates wide-area neighbour listings.
         self._tech_epoch: dict[str, int] = {}
@@ -122,6 +155,20 @@ class Medium:
         #: With a spatial grid, region stamps + per-node eviction carry
         #: invalidation; without one, clear-everything listeners do.
         self._incremental = world.grid is not None
+        #: Monotone counter covering *anything* that can change a
+        #: neighbour listing: movement, population, adapter power,
+        #: gateways.  Listings computed by a vectorized sweep are
+        #: stamped with it, so validating one costs a single integer
+        #: compare instead of a region-stamp walk.
+        self._topology_version = 0
+        #: Vectorized sweeps need the grid (for cell geometry) and
+        #: numpy; ``REPRO_VECTOR_SWEEP=0`` forces the scalar path.
+        self._vector = self._incremental and vector_sweep_enabled()
+        self._vector_min = _vector_sweep_min()
+        #: tech -> flat neighbour-id list the sweep entries slice into.
+        self._sweep_flat: dict[str, list[str]] = {}
+        #: tech -> (roster epoch, sorted roster ids) memo for sweeps.
+        self._sorted_roster: dict[str, tuple[int, list[str]]] = {}
         if self._incremental:
             world.on_moves(self._apply_report)
         else:
@@ -152,12 +199,14 @@ class Medium:
         movers' cell epochs, so any listing whose disc covers them
         fails its region-stamp check on next read.
         """
+        self._topology_version += 1
         for node_id in report.changed_ids():
             self._evict_node(node_id)
 
     def _invalidate_positions(self) -> None:
         """Brute-force-mode movement listener: drop position-derived
         caches (distances, reachability, neighbour listings)."""
+        self._topology_version += 1
         self._distances.clear()
         self._reachable_cache.clear()
         self._neighbors_cache.clear()
@@ -173,6 +222,7 @@ class Medium:
         listings).  Its memoized *distances* stay valid — radios do not
         move the device.
         """
+        self._topology_version += 1
         self._tech_epoch[technology_name] = \
             self._tech_epoch.get(technology_name, 0) + 1
         if self._incremental:
@@ -226,11 +276,29 @@ class Medium:
         return adapter
 
     def detach(self, device_id: str, technology_name: str) -> None:
-        """Remove an adapter (device powered the radio off)."""
+        """Remove an adapter (device powered the radio off).
+
+        Sweeps the device's stale cache entries as it goes: verdicts
+        for this technology always, and — once its *last* adapter is
+        gone — its memoized distances too.  Without this, churn-heavy
+        runs (shard-border ghosts detach constantly) grow ``_distances``
+        with pairs no live query will ever touch again.
+        """
         del self._adapters[(device_id, technology_name)]
         del self._by_technology[technology_name][device_id]
-        self._techs_of[device_id].remove(technology_name)
+        techs = self._techs_of[device_id]
+        techs.remove(technology_name)
         self._neighbors_cache.pop((device_id, technology_name), None)
+        keys = self._reach_index.get(device_id)
+        if keys:
+            cache = self._reachable_cache
+            stale = [key for key in keys if key[2] == technology_name]
+            for key in stale:
+                cache.pop(key, None)
+                keys.discard(key)
+        if not techs:
+            del self._techs_of[device_id]
+            self._evict_node(device_id)
         self._adapter_changed(device_id, technology_name)
 
     def adapter(self, device_id: str, technology_name: str) -> Adapter | None:
@@ -246,6 +314,7 @@ class Medium:
         """Declare operator infrastructure for a wide-area technology."""
         self._gateways.add(technology_name)
         self._gateway_epoch += 1
+        self._topology_version += 1
         # Gateway presence flips wide-area verdicts wholesale; this is
         # a scenario-setup event, so a full drop is fine.
         self._reachable_cache.clear()
@@ -326,8 +395,28 @@ class Medium:
         if local_range is None:
             stamp = (self._tech_epoch.get(technology_name, 0),
                      self._gateway_epoch)
-        elif device_id not in self.world:
+        elif device_id not in self._world_nodes:
             return []  # off-map device: nothing in radio range
+        elif (self._vector and len(self._by_technology[technology_name])
+                >= self._vector_min):
+            # Vectorized regime: listings come from whole-population
+            # sweeps stamped with the topology version (a bare int —
+            # never equal to the tuple stamps of the scalar paths, so
+            # regime switches self-invalidate).  A version hit costs
+            # one dict probe and one slice; any topology change bumps
+            # the version and the next read triggers one batched
+            # re-sweep that refreshes everybody.
+            version = self._topology_version
+            entry = self._neighbors_cache.get((device_id, technology_name))
+            if entry is not None and entry[1] == version:
+                span = entry[0]
+                return self._sweep_flat[technology_name][span[0]:span[1]]
+            self._vector_sweep(technology_name, local_range)
+            entry = self._neighbors_cache.get((device_id, technology_name))
+            if entry is None:  # pragma: no cover - guarded above
+                return []
+            span = entry[0]
+            return self._sweep_flat[technology_name][span[0]:span[1]]
         else:
             stamp = self.world.region_stamp(device_id, local_range)
         key = (device_id, technology_name)
@@ -350,6 +439,43 @@ class Medium:
                     listing.append(node.node_id)
         self._neighbors_cache[key] = (listing, stamp)
         return list(listing)
+
+    def _vector_sweep(self, technology_name: str, radius: float) -> None:
+        """Recompute every device's listing for one technology at once.
+
+        Populates ``_neighbors_cache`` with ``((start, end), version)``
+        spans into a shared flat neighbour list — the cache shape the
+        scalar path uses, with the span standing in for the listing and
+        the topology version for the region stamp.  Listings are
+        bit-identical to the scalar path's: candidates come from cell
+        bucketing (over-approximate, harmless) and membership from the
+        exact squared-distance comparison ``nodes_within`` applies.
+        """
+        roster_epoch = self._tech_epoch.get(technology_name, 0)
+        memo = self._sorted_roster.get(technology_name)
+        if memo is not None and memo[0] == roster_epoch:
+            roster = memo[1]
+        else:
+            roster = sorted(self._by_technology[technology_name])
+            self._sorted_roster[technology_name] = (roster_epoch, roster)
+        adapters = self._adapters
+        world = self.world
+        nodes = self._world_nodes
+        ids = [device_id for device_id in roster
+               if adapters[(device_id, technology_name)]._enabled
+               and device_id in nodes]
+        grid = world.grid
+        assert grid is not None  # _vector requires the spatial grid
+        xs, ys = world.positions_of(ids)
+        starts, flat_index = _sweep.sweep_pairs(
+            xs, ys, radius, grid.cell_size)
+        flat = [ids[index] for index in flat_index]
+        self._sweep_flat[technology_name] = flat
+        version = self._topology_version
+        cache = self._neighbors_cache
+        for index, device_id in enumerate(ids):
+            cache[(device_id, technology_name)] = (
+                (starts[index], starts[index + 1]), version)
 
     def record_transfer(self, device_id: str, technology_name: str,
                         nbytes: int) -> None:

@@ -5,18 +5,28 @@ ordering of simultaneous events deterministic: events scheduled earlier
 fire earlier.  Determinism matters because the MSC reproduction tests
 assert exact message orders.
 
-The heap stores bare ``(time, sequence, event)`` tuples so ordering
-uses CPython's C-level tuple comparison; profiling showed the
-dataclass-generated ``__lt__`` of an event object dominating kernel
-time at 64-device scale.  Cancelled events are lazily deleted, with a
-compaction pass once dead entries outnumber live ones, so a workload
-that cancels heavily (retry timers, rediscovery probes) cannot grow
-the heap without bound.
+The queue is a *calendar queue*: virtual time is cut into fixed-width
+buckets.  Only the earliest non-empty bucket (the "current" bucket) is
+kept as a real binary heap of bare ``(time, sequence, event)`` tuples —
+ordering uses CPython's C-level tuple comparison, and heap discipline
+is only paid where it buys anything.  Later buckets are plain unsorted
+lists: scheduling into the future is a single ``append`` instead of an
+O(log n) sift, and a bucket is heapified once, when the clock reaches
+it.  A side min-heap of bucket indexes finds the next non-empty bucket
+in O(log buckets).
+
+Two allocation disciplines keep the steady state churn-free (see
+DESIGN.md §10): cancelled events are lazily deleted with per-bucket
+dead counters and per-bucket compaction (a cancel-heavy workload —
+retry timers, rediscovery probes — cannot grow any bucket without
+bound), and fired events are recycled through a free list when the
+run loop proves no one else holds a handle, so steady-state scheduling
+reuses ``__slots__``-packed objects instead of allocating.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
 from collections.abc import Callable
 from typing import Any
 
@@ -27,8 +37,21 @@ from typing import Any
 events_popped_global = 0
 
 #: Compaction triggers once at least this many cancelled entries are
-#: buried in the heap *and* they outnumber the live ones.
+#: buried in a bucket *and* they outnumber the live ones there.
 _COMPACT_MIN_CANCELLED = 64
+
+#: Seconds of virtual time per calendar bucket.  Scheduling less than
+#: one bucket ahead degenerates to the classic single-heap behaviour;
+#: anything further is an O(1) append.  Sized so periodic second-scale
+#: work (discovery scans, retry backoff) lands past the current bucket.
+DEFAULT_BUCKET_WIDTH = 0.5
+
+#: Free-list cap: bounds how many fired events are kept for reuse.
+_FREE_LIST_MAX = 2048
+
+
+def _no_callback() -> None:  # pragma: no cover - never scheduled
+    raise AssertionError("recycled event fired")
 
 
 class Event:
@@ -38,10 +61,11 @@ class Event:
         time: Virtual time at which the callback fires.
         sequence: Tie-breaker preserving scheduling order at equal times.
         callback: Zero-argument callable invoked when the event fires.
-        cancelled: Cancelled events stay in the heap but are skipped.
+        cancelled: Cancelled events stay queued but are skipped.
     """
 
-    __slots__ = ("time", "sequence", "callback", "cancelled", "_queue")
+    __slots__ = ("time", "sequence", "callback", "cancelled", "_queue",
+                 "_bucket")
 
     def __init__(self, time: float, sequence: int,
                  callback: Callable[[], Any]) -> None:
@@ -50,13 +74,19 @@ class Event:
         self.callback = callback
         self.cancelled = False
         self._queue: EventQueue | None = None
+        #: Calendar bucket index at scheduling time.  Compared against
+        #: the queue's current index to attribute a lazy cancel to the
+        #: right dead counter; promotion moves events without touching
+        #: this (the comparison stays correct because the current index
+        #: only grows).
+        self._bucket = 0
 
     def cancel(self) -> None:
         """Mark the event so the loop skips it (O(1); lazy deletion)."""
         if not self.cancelled:
             self.cancelled = True
             if self._queue is not None:
-                self._queue._note_cancel()
+                self._queue._note_cancel(self)
 
     def __repr__(self) -> str:
         state = "cancelled" if self.cancelled else "pending"
@@ -64,28 +94,69 @@ class Event:
 
 
 class EventQueue:
-    """Min-heap of :class:`Event` with deterministic tie-breaking."""
+    """Calendar queue of :class:`Event` with deterministic tie-breaking.
 
-    def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Event]] = []
-        self._sequence = 0
+    Invariant: every entry in a future bucket has a strictly later
+    bucket index than ``_current_index``, and bucket boundaries respect
+    time order, so the current heap's minimum is always the global
+    minimum.  Late schedules that land at or before the current bucket
+    are heap-pushed into it directly, preserving the invariant.
+    """
+
+    def __init__(self, bucket_width: float = DEFAULT_BUCKET_WIDTH) -> None:
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be positive: {bucket_width!r}")
+        self._inv_width = 1.0 / bucket_width
+        #: The earliest bucket, kept heapified.
+        self._current: list[tuple[float, int, Event]] = []
+        self._current_index = 0
+        #: Later buckets, unsorted; heapified on promotion.
+        self._future: dict[int, list[tuple[float, int, Event]]] = {}
+        #: Min-heap of future bucket indexes (may hold stale duplicates;
+        #: promotion skips indexes no longer present in ``_future``).
+        self._bucket_heap: list[int] = []
+        #: Cancelled-but-present counts: current bucket / per future bucket.
         self._cancelled = 0
+        self._dead: dict[int, int] = {}
+        self._sequence = 0
+        self._live = 0
+        self._free: list[Event] = []
         #: Live events fired so far (cancelled pops excluded) — the
         #: denominator for wall-clock events/sec benchmarks.
         self.popped_total = 0
 
     def __len__(self) -> int:
-        return len(self._heap) - self._cancelled
+        return self._live
 
     def __bool__(self) -> bool:
-        return len(self._heap) > self._cancelled
+        return self._live > 0
 
     def push(self, time: float, callback: Callable[[], Any]) -> Event:
         """Schedule ``callback`` at virtual ``time`` and return the event."""
-        event = Event(time, self._sequence, callback)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.sequence = sequence
+            event.callback = callback
+            event.cancelled = False
+        else:
+            event = Event(time, sequence, callback)
         event._queue = self
-        heapq.heappush(self._heap, (time, self._sequence, event))
-        self._sequence += 1
+        index = int(time * self._inv_width)
+        event._bucket = index
+        self._live += 1
+        if index <= self._current_index:
+            heappush(self._current, (time, sequence, event))
+        else:
+            bucket = self._future.get(index)
+            if bucket is None:
+                self._future[index] = [(time, sequence, event)]
+                heappush(self._bucket_heap, index)
+            else:
+                bucket.append((time, sequence, event))
         return event
 
     def pop(self) -> Event:
@@ -94,57 +165,117 @@ class EventQueue:
         Raises:
             IndexError: If the queue holds no live events.
         """
-        global events_popped_global
-        heap = self._heap
-        while heap:
-            event = heapq.heappop(heap)[2]
-            if not event.cancelled:
-                self.popped_total += 1
-                events_popped_global += 1
-                return event
-            self._cancelled -= 1
-        raise IndexError("pop from empty event queue")
+        event = self.pop_before(None)
+        if event is None:
+            raise IndexError("pop from empty event queue")
+        return event
 
     def pop_before(self, until: float | None) -> Event | None:
         """Pop the earliest live event at or before ``until``.
 
-        Fused peek+pop for the environment's run loop: one heap scan
-        per fired event instead of two.  Returns ``None`` when the
-        queue is empty or the earliest live event lies beyond
-        ``until`` (which is left in place).
+        Fused peek+pop for the environment's run loop: one scan per
+        fired event instead of two.  Returns ``None`` when the queue is
+        empty or the earliest live event lies beyond ``until`` (which
+        is left in place).
         """
         global events_popped_global
-        heap = self._heap
-        while heap and heap[0][2].cancelled:
-            heapq.heappop(heap)
-            self._cancelled -= 1
-        if not heap or (until is not None and heap[0][0] > until):
-            return None
-        event = heapq.heappop(heap)[2]
-        self.popped_total += 1
-        events_popped_global += 1
-        return event
+        heap = self._current
+        while True:
+            while heap:
+                entry = heap[0]
+                event = entry[2]
+                if event.cancelled:
+                    heappop(heap)
+                    self._cancelled -= 1
+                    continue
+                if until is not None and entry[0] > until:
+                    return None
+                heappop(heap)
+                # Detach before firing: a cancel() on an already-popped
+                # handle must not corrupt the dead counters, and a
+                # recycled event must not pin its old queue.
+                event._queue = None
+                self._live -= 1
+                self.popped_total += 1
+                events_popped_global += 1
+                return event
+            if not self._promote():
+                return None
+            heap = self._current
 
     def peek_time(self) -> float | None:
         """Time of the earliest live event, or ``None`` when empty."""
-        heap = self._heap
-        while heap and heap[0][2].cancelled:
-            heapq.heappop(heap)
-            self._cancelled -= 1
-        if not heap:
-            return None
-        return heap[0][0]
+        heap = self._current
+        while True:
+            while heap and heap[0][2].cancelled:
+                heappop(heap)
+                self._cancelled -= 1
+            if heap:
+                return heap[0][0]
+            if not self._promote():
+                return None
+            heap = self._current
 
-    def _note_cancel(self) -> None:
+    def release(self, event: Event) -> None:
+        """Offer a fired event back to the free list.
+
+        Only the run loop calls this, and only after proving (by
+        refcount) that no other handle to the event survives — a stale
+        handle could otherwise cancel a recycled event's *next*
+        incarnation.
+        """
+        free = self._free
+        if len(free) < _FREE_LIST_MAX:
+            event.callback = _no_callback
+            free.append(event)
+
+    # -- internals ---------------------------------------------------------
+
+    def _promote(self) -> bool:
+        """Move the earliest future bucket into the current heap."""
+        bucket_heap = self._bucket_heap
+        future = self._future
+        while bucket_heap:
+            index = heappop(bucket_heap)
+            bucket = future.pop(index, None)
+            if bucket is None:
+                continue  # stale duplicate or compacted-away bucket
+            heapify(bucket)
+            self._current = bucket
+            self._current_index = index
+            self._cancelled = self._dead.pop(index, 0)
+            return True
+        return False
+
+    def _note_cancel(self, event: Event) -> None:
         """Account one lazy deletion; compact when the dead dominate."""
-        self._cancelled += 1
-        if (self._cancelled >= _COMPACT_MIN_CANCELLED
-                and self._cancelled * 2 > len(self._heap)):
-            self._compact()
-
-    def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify (O(live))."""
-        self._heap = [entry for entry in self._heap
-                      if not entry[2].cancelled]
-        heapq.heapify(self._heap)
-        self._cancelled = 0
+        self._live -= 1
+        index = event._bucket
+        if index > self._current_index:
+            dead = self._dead
+            count = dead.get(index, 0) + 1
+            bucket = self._future[index]
+            if (count >= _COMPACT_MIN_CANCELLED
+                    and count * 2 > len(bucket)):
+                alive = [entry for entry in bucket
+                         if not entry[2].cancelled]
+                if alive:
+                    self._future[index] = alive
+                    dead[index] = 0
+                else:
+                    # The stale index stays in _bucket_heap; promotion
+                    # skips it once _future no longer holds it.
+                    del self._future[index]
+                    dead.pop(index, None)
+            else:
+                dead[index] = count
+        else:
+            count = self._cancelled + 1
+            if (count >= _COMPACT_MIN_CANCELLED
+                    and count * 2 > len(self._current)):
+                self._current = [entry for entry in self._current
+                                 if not entry[2].cancelled]
+                heapify(self._current)
+                self._cancelled = 0
+            else:
+                self._cancelled = count

@@ -1,0 +1,13 @@
+"""SIM005 firing fixture: serialization and copies on the hot loop."""
+
+import copy
+import json
+
+
+def fire_event(event, log):
+    log.append(json.dumps({"time": event.time}))  # per-event encode
+    snapshot = dict(event.state)  # per-event mapping copy
+    return copy.deepcopy(snapshot)  # per-event deep copy
+
+
+_SCHEMA = json.loads('{"ok": true}')  # module-level setup: allowed

@@ -1,0 +1,13 @@
+"""SIM005 passing fixture: the hot loop mutates, never re-encodes."""
+
+import json
+
+_ENCODER = json.JSONEncoder(sort_keys=True)  # built once at import
+
+
+def fire_event(event, log, scratch):
+    scratch.clear()  # reuse, don't reallocate
+    scratch["time"] = event.time
+    log.append(_ENCODER.encode(scratch))
+    empty = dict()  # bare constructor: not a copy  # noqa: C408
+    return empty

@@ -1,0 +1,11 @@
+"""Boundary-module fixture: same calls, not a hot-loop filename."""
+
+import json
+
+
+def serialize(payload):
+    return json.dumps(payload).encode()
+
+
+def snapshot(stats):
+    return dict(stats)

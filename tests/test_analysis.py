@@ -41,6 +41,7 @@ RULE_FIXTURES = [
     ("SIM002", "simenv/bad_sim002.py", "simenv/good_sim002.py"),
     ("SIM003", "simenv/bad_sim003.py", "simenv/good_sim003.py"),
     ("SIM004", "simenv/bad_sim004.py", "simenv/good_sim004.py"),
+    ("SIM005", "sim005_bad/simenv/events.py", "sim005_ok/simenv/events.py"),
 ]
 
 
@@ -88,6 +89,21 @@ def test_sim003_only_flags_generator_bodies() -> None:
     sim003 = [f for f in report.findings if f.rule == "SIM003"]
     # time.sleep, socket.create_connection, open()
     assert len(sim003) == 3
+
+
+def test_sim005_fires_once_per_hot_loop_allocation() -> None:
+    report = analyze_fixture("sim005_bad/simenv/events.py")
+    sim005 = [f for f in report.findings if f.rule == "SIM005"]
+    # json.dumps, dict(event.state), copy.deepcopy — but not the
+    # module-level json.loads setup.
+    assert len(sim005) == 3
+
+
+def test_sim005_scoped_to_hot_loop_filenames() -> None:
+    # The same serialization calls in a sim-path module that is *not*
+    # on the hot loop (messages.py owns encoding) stay unflagged.
+    report = analyze_fixture("sim005_ok/simenv/messages.py")
+    assert "SIM005" not in fired_codes(report)
 
 
 # -- suppressions -----------------------------------------------------------

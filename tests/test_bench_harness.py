@@ -18,8 +18,10 @@ from pathlib import Path
 import pytest
 
 from repro.eval.bench import (
+    ALLOC_KEYS,
     BENCH_SCHEMA,
     BENCH_SCHEMA_VERSION,
+    MIN_GATED_EVENTS,
     REPORT_KEYS,
     SCENARIO_KEYS,
     SCENARIOS,
@@ -99,6 +101,32 @@ class TestRunScenario:
         assert result.scenario == "testbed_boot"
         assert result.events_processed > 0
         assert result.sim_seconds == pytest.approx(1.0)
+        assert result.alloc is None
+        assert "alloc" not in result.as_dict()
+
+
+class TestAllocMode:
+    def test_alloc_pass_attaches_profile(self):
+        result = run_scenario("testbed_boot", quick=True, repeats=1,
+                              alloc=True)
+        assert result.alloc is not None
+        for key in ALLOC_KEYS:
+            assert key in result.alloc, f"missing alloc key {key!r}"
+        assert result.alloc["tracemalloc_peak_kb"] > 0
+        assert result.alloc["events_processed"] > 0
+        assert result.alloc["gc_uncollectable"] == 0
+        assert result.as_dict()["alloc"] == result.alloc
+
+    def test_cli_flag_lands_in_report(self, tmp_path):
+        out = tmp_path / "alloc.json"
+        proc = _run_cli(["--quick", "--repeats", "1", "--alloc",
+                         "--scenario", "testbed_boot",
+                         "--output", str(out)], tmp_path)
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(out.read_text(encoding="utf-8"))
+        record = report["scenarios"]["testbed_boot"]
+        for key in ALLOC_KEYS:
+            assert key in record["alloc"]
 
 
 class TestShardedScenarios:
@@ -189,3 +217,27 @@ class TestCompareReports:
         # the scale clamps at 4x.
         problems = compare_reports(_report(10.0, cal=100.0), _report(1.0))
         assert len(problems) == 1
+
+    def test_low_event_scenarios_skip_relative_gate(self):
+        # The quick-mode chaos replay (~581 events) is scheduler noise
+        # around milliseconds of work; a 2x wall blip is not a
+        # regression there.
+        current, baseline = _report(2.0), _report(1.0)
+        for report in (current, baseline):
+            report["scenarios"]["s"]["events_processed"] = 581
+        assert compare_reports(current, baseline) == []
+
+    def test_low_event_scenarios_keep_absolute_guard(self):
+        current, baseline = _report(20.0), _report(1.0)
+        for report in (current, baseline):
+            report["scenarios"]["s"]["events_processed"] = 581
+        problems = compare_reports(current, baseline)
+        assert len(problems) == 1
+        assert "jitter-exempt guard" in problems[0]
+
+    def test_gate_applies_at_event_floor(self):
+        # Exactly MIN_GATED_EVENTS events: the relative gate holds.
+        current, baseline = _report(1.5), _report(1.0)
+        for report in (current, baseline):
+            report["scenarios"]["s"]["events_processed"] = MIN_GATED_EVENTS
+        assert len(compare_reports(current, baseline)) == 1

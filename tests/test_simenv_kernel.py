@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.simenv import Environment, EventQueue, SimClock, SimulationError
 from repro.simenv.clock import SimClock as Clock
+from repro.simenv.events import _COMPACT_MIN_CANCELLED
 
 
 class TestSimClock:
@@ -86,6 +89,157 @@ class TestEventQueue:
         queue = EventQueue()
         event = queue.push(1.0, lambda: None)
         event.cancel()
+        assert not queue
+
+
+class TestCalendarQueueEdges:
+    """Compaction, promotion and recycling edges of the calendar queue."""
+
+    def test_cancel_then_reschedule_identical_timestamp(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(1.0, lambda: fired.append("a"))
+        doomed = queue.push(1.0, lambda: fired.append("doomed"))
+        queue.push(1.0, lambda: fired.append("b"))
+        doomed.cancel()
+        # The replacement shares the timestamp but fires *after* the
+        # survivors: sequence order is scheduling order, always.
+        queue.push(1.0, lambda: fired.append("c"))
+        while queue:
+            queue.pop().callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_far_future_bucket_preserves_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(1000.25, lambda: fired.append("far-late"))
+        queue.push(0.1, lambda: fired.append("near"))
+        queue.push(1000.0, lambda: fired.append("far-early"))
+        while queue:
+            queue.pop().callback()
+        assert fired == ["near", "far-early", "far-late"]
+
+    def test_current_bucket_compaction_mid_pop_before(self):
+        queue = EventQueue()
+        survivors = []
+        doomed = [queue.push(0.01 * i, lambda: None)
+                  for i in range(2 * _COMPACT_MIN_CANCELLED)]
+        keep = [queue.push(0.01 * i + 0.005,
+                           lambda i=i: survivors.append(i))
+                for i in range(8)]
+        fired_first = queue.pop_before(0.001)
+        assert fired_first is doomed[0]
+        # Cancelling the rest triggers compaction while pop_before's
+        # cursor sits mid-bucket; the survivors must come out intact
+        # and in order.
+        for event in doomed[1:]:
+            event.cancel()
+        assert len(queue) == len(keep)
+        while queue:
+            event = queue.pop_before(None)
+            event.callback()
+        assert survivors == list(range(8))
+
+    def test_future_bucket_compaction_drops_empty_bucket(self):
+        queue = EventQueue()
+        far = [queue.push(100.0, lambda: None)
+               for _ in range(2 * _COMPACT_MIN_CANCELLED)]
+        queue.push(200.0, lambda: None)
+        for event in far:
+            event.cancel()
+        assert len(queue) == 1
+        assert queue.peek_time() == 200.0
+
+    def test_promotion_skips_cancelled_entries(self):
+        queue = EventQueue()
+        fired = []
+        doomed = queue.push(50.0, lambda: fired.append("doomed"))
+        queue.push(50.0, lambda: fired.append("live"))
+        doomed.cancel()
+        assert queue.pop().callback() or fired == ["live"]
+        assert not queue
+
+    def test_cancel_after_pop_is_inert(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        popped = queue.pop()
+        assert popped is event
+        popped.cancel()  # late cancel of a fired event: no accounting
+        assert len(queue) == 1
+        assert queue.pop().time == 2.0
+
+    def test_run_loop_recycles_unreferenced_events(self, env: Environment):
+        env.call_in(0.5, lambda: None)
+        env.run()
+        recycled = env.queue.push(9.0, lambda: None)
+        assert recycled.cancelled is False
+        assert recycled.time == 9.0
+        # The free list had exactly the one fired event in it.
+        assert env.queue._free == []
+
+    def test_held_handles_are_never_recycled(self, env: Environment):
+        held = env.call_in(0.5, lambda: None)
+        env.run()
+        fresh = env.queue.push(9.0, lambda: None)
+        assert fresh is not held
+
+    @settings(max_examples=120, deadline=None)
+    @given(ops=st.lists(st.one_of(
+        st.tuples(st.just("push"),
+                  st.floats(min_value=0.0, max_value=100.0,
+                            allow_nan=False, allow_infinity=False)),
+        st.tuples(st.just("cancel"), st.integers(min_value=0)),
+        st.tuples(st.just("pop")),
+        st.tuples(st.just("pop_before"),
+                  st.floats(min_value=0.0, max_value=100.0,
+                            allow_nan=False, allow_infinity=False)),
+    ), min_size=1, max_size=60))
+    def test_interleavings_preserve_time_sequence_order(self, ops):
+        """Any schedule/cancel/pop interleaving matches a sorted model."""
+        queue = EventQueue(bucket_width=0.75)
+        model: list[tuple[float, int]] = []  # live (time, sequence)
+        handles = {}
+        sequence = 0
+        floor = 0.0  # popped events only ever move forward in time
+        for op in ops:
+            if op[0] == "push":
+                time = max(op[1], floor)
+                handles[sequence] = queue.push(time, lambda: None)
+                model.append((time, sequence))
+                sequence += 1
+            elif op[0] == "cancel":
+                if model:
+                    victim = model[op[1] % len(model)]
+                    handles[victim[1]].cancel()
+                    model.remove(victim)
+            elif op[0] == "pop":
+                if model:
+                    expected = min(model)
+                    event = queue.pop()
+                    assert (event.time, event.sequence) == expected
+                    model.remove(expected)
+                    floor = expected[0]
+                else:
+                    with pytest.raises(IndexError):
+                        queue.pop()
+            else:
+                until = op[1]
+                expected = min(model) if model else None
+                event = queue.pop_before(until)
+                if expected is not None and expected[0] <= until:
+                    assert event is not None
+                    assert (event.time, event.sequence) == expected
+                    model.remove(expected)
+                    floor = expected[0]
+                else:
+                    assert event is None
+            assert len(queue) == len(model)
+        while model:
+            expected = min(model)
+            event = queue.pop()
+            assert (event.time, event.sequence) == expected
+            model.remove(expected)
         assert not queue
 
 

@@ -1,0 +1,216 @@
+"""Vectorized medium sweeps vs the scalar path — lockstep oracle.
+
+The numpy whole-population sweep (:mod:`repro.radio.sweep`) must
+produce listings *bit-identical* to the scalar region-stamped path:
+same neighbours, same order, across arbitrary interleavings of moves,
+adapter toggles and detaches.  The tests drive a vectorized medium and
+a scalar medium (``REPRO_VECTOR_SWEEP=0``) through identical operation
+streams and compare every listing after every operation, and check the
+kernel itself against a brute-force O(n^2) oracle.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.geometry import Point, Rect
+from repro.mobility.world import World
+from repro.radio import sweep
+from repro.radio.medium import (Medium, vector_sweep_enabled,
+                                VECTOR_SWEEP_MIN_DEVICES)
+from repro.radio.standards import BLUETOOTH, WLAN
+from repro.simenv import Environment
+
+pytestmark = pytest.mark.skipif(not sweep.available(),
+                                reason="numpy not available")
+
+BOUNDS = Rect(0.0, 0.0, 300.0, 300.0)
+NODE_IDS = tuple(f"n{i:02d}" for i in range(12))
+TECHNOLOGIES = (BLUETOOTH, WLAN)
+
+coords = st.floats(min_value=0.0, max_value=300.0,
+                   allow_nan=False, allow_infinity=False)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("move"), st.sampled_from(NODE_IDS), coords, coords),
+        st.tuples(st.just("toggle"), st.sampled_from(NODE_IDS),
+                  st.sampled_from([t.name for t in TECHNOLOGIES])),
+        st.tuples(st.just("detach"), st.sampled_from(NODE_IDS),
+                  st.sampled_from([t.name for t in TECHNOLOGIES])),
+    ),
+    min_size=1, max_size=25)
+
+
+def _build(monkeypatch_env: dict[str, str]) -> tuple[World, Medium]:
+    env = Environment(seed=7)
+    world = World(env, bounds=BOUNDS)
+    medium = Medium(world)
+    return world, medium
+
+
+def _populate(world: World, medium: Medium, seed: int = 3) -> None:
+    rng = random.Random(seed)
+    with world.batch():
+        for node_id in NODE_IDS:
+            world.add_node(node_id, Point(rng.uniform(0, 300),
+                                          rng.uniform(0, 300)))
+            for technology in TECHNOLOGIES:
+                medium.attach(node_id, technology)
+
+
+def _listings(medium: Medium) -> dict[tuple[str, str], list[str]]:
+    return {(node_id, technology.name):
+            medium.neighbors(node_id, technology.name)
+            for node_id in NODE_IDS for technology in TECHNOLOGIES}
+
+
+class TestEscapeHatch:
+    def test_vector_sweep_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VECTOR_SWEEP", raising=False)
+        assert vector_sweep_enabled()
+
+    def test_escape_hatch_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_SWEEP", "0")
+        assert not vector_sweep_enabled()
+
+    def test_scalar_medium_never_sweeps(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_SWEEP", "0")
+        monkeypatch.setenv("REPRO_VECTOR_SWEEP_MIN", "1")
+        world, medium = _build({})
+        _populate(world, medium)
+        assert not medium._vector
+        _listings(medium)
+        assert medium._sweep_flat == {}
+
+    def test_threshold_gates_small_populations(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VECTOR_SWEEP", raising=False)
+        monkeypatch.delenv("REPRO_VECTOR_SWEEP_MIN", raising=False)
+        world, medium = _build({})
+        _populate(world, medium)
+        assert len(NODE_IDS) < VECTOR_SWEEP_MIN_DEVICES
+        _listings(medium)
+        # Below the threshold the scalar path serves everything.
+        assert medium._sweep_flat == {}
+
+
+@contextmanager
+def _media_pair():
+    """A vectorized and a scalar medium, freshly populated alike.
+
+    Plain environment-variable juggling instead of ``monkeypatch`` —
+    hypothesis forbids function-scoped fixtures inside ``@given``.
+    """
+    saved = {name: os.environ.get(name)
+             for name in ("REPRO_VECTOR_SWEEP", "REPRO_VECTOR_SWEEP_MIN")}
+    try:
+        os.environ["REPRO_VECTOR_SWEEP_MIN"] = "1"
+        os.environ.pop("REPRO_VECTOR_SWEEP", None)
+        vec_world, vec_medium = _build({})
+        assert vec_medium._vector
+        os.environ["REPRO_VECTOR_SWEEP"] = "0"
+        scal_world, scal_medium = _build({})
+        assert not scal_medium._vector
+        _populate(vec_world, vec_medium)
+        _populate(scal_world, scal_medium)
+        yield vec_world, vec_medium, scal_world, scal_medium
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+class TestLockstep:
+    """Vectorized and scalar media, identical operation streams."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=operations)
+    def test_arbitrary_interleavings_identical(self, ops):
+        with _media_pair() as (vec_world, vec_medium,
+                               scal_world, scal_medium):
+            self._drive(ops, vec_world, vec_medium, scal_world, scal_medium)
+
+    def _drive(self, ops, vec_world, vec_medium, scal_world, scal_medium):
+        assert _listings(vec_medium) == _listings(scal_medium)
+        detached: set[tuple[str, str]] = set()
+        for op in ops:
+            if op[0] == "move":
+                _, node_id, x, y = op
+                vec_world.move_node(node_id, Point(x, y))
+                scal_world.move_node(node_id, Point(x, y))
+            elif op[0] == "toggle":
+                _, node_id, technology_name = op
+                if (node_id, technology_name) in detached:
+                    continue
+                for medium in (vec_medium, scal_medium):
+                    adapter = medium.adapter(node_id, technology_name)
+                    adapter.enabled = not adapter.enabled
+            else:
+                _, node_id, technology_name = op
+                if (node_id, technology_name) in detached:
+                    continue
+                detached.add((node_id, technology_name))
+                vec_medium.detach(node_id, technology_name)
+                scal_medium.detach(node_id, technology_name)
+            vec = {key: listing for key, listing
+                   in _listings(vec_medium).items() if key not in detached}
+            scal = {key: listing for key, listing
+                    in _listings(scal_medium).items() if key not in detached}
+            assert vec == scal
+
+    def test_repeat_reads_are_cached_spans(self):
+        with _media_pair() as (_, vec_medium, _, scal_medium):
+            first = _listings(vec_medium)
+            sweeps_done = len(vec_medium._sweep_flat)
+            assert sweeps_done  # the vector path actually ran
+            assert _listings(vec_medium) == first == _listings(scal_medium)
+
+
+class TestSweepKernel:
+    """sweep_pairs against a brute-force O(n^2) oracle."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(points=st.lists(st.tuples(coords, coords),
+                           min_size=1, max_size=40),
+           radius=st.floats(min_value=0.5, max_value=120.0,
+                            allow_nan=False, allow_infinity=False),
+           cell_size=st.floats(min_value=1.0, max_value=80.0,
+                               allow_nan=False, allow_infinity=False))
+    def test_matches_brute_force(self, points, radius, cell_size):
+        numpy = pytest.importorskip("numpy")
+        xs = numpy.array([x for x, _ in points], dtype=numpy.float64)
+        ys = numpy.array([y for _, y in points], dtype=numpy.float64)
+        starts, flat = sweep.sweep_pairs(xs, ys, radius, cell_size)
+        n = len(points)
+        assert len(starts) == n + 1
+        r2 = radius * radius
+        for i in range(n):
+            expected = [j for j in range(n)
+                        if j != i
+                        and ((xs[j] - xs[i]) ** 2
+                             + (ys[j] - ys[i]) ** 2) <= r2]
+            assert flat[starts[i]:starts[i + 1]] == expected
+
+    def test_empty_population(self):
+        numpy = pytest.importorskip("numpy")
+        starts, flat = sweep.sweep_pairs(
+            numpy.empty(0), numpy.empty(0), 10.0, 25.0)
+        assert starts == [0]
+        assert flat == []
+
+    def test_positions_array_order(self):
+        env = Environment()
+        world = World(env, bounds=BOUNDS)
+        world.add_node("b", Point(1.0, 2.0))
+        world.add_node("a", Point(3.0, 4.0))
+        xs, ys = world.positions_of(["a", "b"])
+        assert list(xs) == [3.0, 1.0]
+        assert list(ys) == [4.0, 2.0]
