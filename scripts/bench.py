@@ -13,6 +13,9 @@ Run:
     PYTHONPATH=src python scripts/bench.py --shards 4    # sharded world engine
     PYTHONPATH=src python scripts/bench.py --shards 4 \\
         --scenario discovery_n100k                       # 100k-device crowd
+    PYTHONPATH=src python scripts/bench.py --shards 4 \\
+        --partition tile --rebalance \\
+        --scenario crowd_clustered_n100k                 # tile + rebalancer
     PYTHONPATH=src python scripts/bench.py --profile     # + cProfile pstats
     PYTHONPATH=src python scripts/bench.py --quick \\
         --check benchmarks/baseline.json                 # regression gate
@@ -65,6 +68,15 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
                         help="run shardable scenarios on N region shards "
                              "(worker processes when N > 1); mutually "
                              "exclusive with --jobs")
+    parser.add_argument("--partition", choices=("strip", "tile"),
+                        default="strip",
+                        help="region geometry for --shards runs: vertical "
+                             "strips or a load-balanceable 2D tile grid "
+                             "(default strip)")
+    parser.add_argument("--rebalance", action="store_true",
+                        help="let the coordinator reassign tiles between "
+                             "shards at window edges (needs "
+                             "--partition tile)")
     parser.add_argument("--output", type=Path,
                         default=REPO_ROOT / "BENCH_v2.json",
                         help="report path (default: BENCH_v2.json)")
@@ -82,6 +94,11 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
     if args.shards is not None and args.jobs > 1:
         parser.error("--shards and --jobs both multiply processes; "
                      "use one or the other")
+    if args.shards is None and (args.partition != "strip" or args.rebalance):
+        parser.error("--partition/--rebalance only apply to sharded runs; "
+                     "pass --shards N")
+    if args.rebalance and args.partition != "tile":
+        parser.error("--rebalance needs --partition tile")
     return args
 
 
@@ -105,7 +122,8 @@ def main(argv: list[str] | None = None) -> int:
         profiler.enable()
     report = run_bench(quick=args.quick, scenarios=args.scenarios,
                        repeats=args.repeats, jobs=args.jobs,
-                       shards=args.shards, alloc=args.alloc,
+                       shards=args.shards, partition=args.partition,
+                       rebalance=args.rebalance, alloc=args.alloc,
                        progress=_print_result)
     if profiler is not None:
         profiler.disable()

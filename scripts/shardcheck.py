@@ -12,6 +12,13 @@ Run:
     PYTHONPATH=src python scripts/shardcheck.py                  # n64 + n256
     PYTHONPATH=src python scripts/shardcheck.py --shards 7 \\
         --scenario discovery_n1024 --artifacts /tmp/sharddiff
+    PYTHONPATH=src python scripts/shardcheck.py --partition tile \\
+        --rebalance --scenario crowd_clustered_n256      # tile + rebalancer
+
+Both runs of a pair use the same partition geometry and rebalance
+setting (at one shard they are no-ops), so the gate certifies the tile
+partition and the dynamic rebalancer against the identical oracle the
+strip partition answers to.
 
 This is the script behind CI's blocking ``sharded-equivalence`` job.
 """
@@ -44,6 +51,13 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
                              f"{', '.join(DEFAULT_SCENARIOS)})")
     parser.add_argument("--shards", type=int, default=4, metavar="N",
                         help="shard count to compare against 1 (default 4)")
+    parser.add_argument("--partition", choices=("strip", "tile"),
+                        default="strip",
+                        help="region geometry both runs use "
+                             "(default strip)")
+    parser.add_argument("--rebalance", action="store_true",
+                        help="enable dynamic tile rebalancing in both "
+                             "runs (needs --partition tile)")
     parser.add_argument("--artifacts", type=Path,
                         default=REPO_ROOT / "shard-divergence",
                         help="directory for divergence dumps "
@@ -51,28 +65,39 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
     args = parser.parse_args(argv)
     if args.shards < 2:
         parser.error(f"--shards must be >= 2 to compare, got {args.shards}")
+    if args.rebalance and args.partition != "tile":
+        parser.error("--rebalance needs --partition tile")
     return args
 
 
-def _timed_run(name: str, *, shards: int,
-               processes: bool) -> tuple[ShardedResult, float]:
+def _timed_run(name: str, *, shards: int, processes: bool, partition: str,
+               rebalance: bool) -> tuple[ShardedResult, float]:
     runner = ShardedRunner(SHARDED_SCENARIOS[name], shards,
-                           processes=processes, collect_logs=True)
+                           processes=processes, collect_logs=True,
+                           partition=partition, rebalance=rebalance)
     start = time.perf_counter()
     result = runner.run()
     return result, time.perf_counter() - start
 
 
-def check_scenario(name: str, shards: int, artifacts: Path) -> bool:
+def check_scenario(name: str, shards: int, artifacts: Path, *,
+                   partition: str = "strip",
+                   rebalance: bool = False) -> bool:
     """Run the pair, compare, dump artifacts on divergence."""
-    single, wall_single = _timed_run(name, shards=1, processes=False)
-    sharded, wall_sharded = _timed_run(name, shards=shards, processes=True)
+    single, wall_single = _timed_run(name, shards=1, processes=False,
+                                     partition=partition,
+                                     rebalance=rebalance)
+    sharded, wall_sharded = _timed_run(name, shards=shards, processes=True,
+                                       partition=partition,
+                                       rebalance=rebalance)
     label_a, label_b = "shards1", f"shards{shards}"
     problems = compare_results(single, sharded,
                                label_a=label_a, label_b=label_b)
     print(f"  {name:20s} events {single.events:>9d} vs {sharded.events:>9d}  "
           f"migrations {sharded.migrations:>5d}  "
           f"ghost_peak {sharded.ghost_peak:>4d}  "
+          f"rebalances {sharded.rebalances:>3d}  "
+          f"imb {sharded.imbalance_factor:5.2f}  "
           f"wall {wall_single:6.2f}s vs {wall_sharded:6.2f}s", flush=True)
     if not problems:
         return True
@@ -90,10 +115,14 @@ def check_scenario(name: str, shards: int, artifacts: Path) -> bool:
 def main(argv: list[str] | None = None) -> int:
     args = parse_args(argv)
     names = args.scenarios or list(DEFAULT_SCENARIOS)
-    print(f"checking {len(names)} scenario(s), 1 vs {args.shards} shards...")
+    detail = args.partition + (" + rebalance" if args.rebalance else "")
+    print(f"checking {len(names)} scenario(s), 1 vs {args.shards} shards "
+          f"({detail})...")
     ok = True
     for name in names:
-        ok = check_scenario(name, args.shards, args.artifacts) and ok
+        ok = check_scenario(name, args.shards, args.artifacts,
+                            partition=args.partition,
+                            rebalance=args.rebalance) and ok
     if ok:
         print(f"sharded-equivalence OK ({len(names)} scenario(s), "
               f"--shards {args.shards} == --shards 1)")

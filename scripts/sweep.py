@@ -12,6 +12,8 @@ Run:
     PYTHONPATH=src python scripts/sweep.py density \\
         --counts 4,8,16,32,64 --wlan --jobs 4                     # crowd scale
     PYTHONPATH=src python scripts/sweep.py fragmentation --jobs 2
+    PYTHONPATH=src python scripts/sweep.py hotspot \\
+        --hot-fractions 0.0,0.3,0.6,0.9 --shards 4                # imbalance
     PYTHONPATH=src python scripts/sweep.py all --output sweeps.json
 """
 
@@ -26,7 +28,8 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.eval.sweeps import density_sweep, fragmentation_sweep  # noqa: E402
+from repro.eval.sweeps import (density_sweep, fragmentation_sweep,  # noqa: E402
+                               hotspot_sweep)
 
 #: Radius for --wlan density clusters: any two points of the disc stay
 #: within WLAN range (diameter 56 m < 60 m) while most pairs sit far
@@ -38,10 +41,16 @@ def _ints(text: str) -> tuple[int, ...]:
     return tuple(int(part) for part in text.split(",") if part)
 
 
+def _floats(text: str) -> tuple[float, ...]:
+    return tuple(float(part) for part in text.split(",") if part)
+
+
 def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(
         description="Run neighbourhood parameter sweeps.")
-    parser.add_argument("sweep", choices=("density", "fragmentation", "all"),
+    parser.add_argument("sweep",
+                        choices=("density", "fragmentation", "hotspot",
+                                 "all"),
                         help="which sweep(s) to run")
     parser.add_argument("--counts", type=_ints, default=(2, 4, 8, 12),
                         metavar="N,N,...",
@@ -54,6 +63,14 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
                         help="fragmentation crowd size (default 10)")
     parser.add_argument("--seed", type=int, default=0,
                         help="simulation seed (default 0)")
+    parser.add_argument("--hot-fractions", type=_floats,
+                        default=(0.0, 0.3, 0.6, 0.9), metavar="F,F,...",
+                        help="hotspot sweep crowd concentrations "
+                             "(default 0.0,0.3,0.6,0.9)")
+    parser.add_argument("--hotspot-count", type=int, default=256,
+                        help="hotspot sweep crowd size (default 256)")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="hotspot sweep shard count (default 4)")
     parser.add_argument("--wlan", action="store_true",
                         help="density: WLAN-sized cluster (radius "
                              f"{WLAN_CLUSTER_RADIUS_M:g} m, bluetooth+wlan) "
@@ -66,6 +83,10 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.shards < 1:
+        parser.error(f"--shards must be >= 1, got {args.shards}")
+    if any(not 0.0 <= fraction <= 1.0 for fraction in args.hot_fractions):
+        parser.error("--hot-fractions values must be in [0, 1]")
     return args
 
 
@@ -93,6 +114,19 @@ def run_sweeps(args: argparse.Namespace) -> dict:
         report["fragmentation"] = {
             "pool_sizes": list(args.pool_sizes),
             "members": args.members,
+            "points": [dataclasses.asdict(point) for point in points],
+        }
+    if args.sweep in ("hotspot", "all"):
+        # The hotspot sweep uses its own seed default (13 — the bench
+        # scenarios' "main street" draw) unless one was given.
+        points = hotspot_sweep(args.hot_fractions, args.hotspot_count,
+                               shards=args.shards,
+                               seed=args.seed if args.seed else 13,
+                               jobs=args.jobs)
+        report["hotspot"] = {
+            "hot_fractions": list(args.hot_fractions),
+            "count": args.hotspot_count,
+            "shards": args.shards,
             "points": [dataclasses.asdict(point) for point in points],
         }
     return report

@@ -40,8 +40,9 @@ from repro.eval.testbed import Testbed
 from repro.eval.workloads import crowd_bounds, populate_crowd
 from repro.net.faults import FaultConfig
 from repro.net.retry import RetryPolicy
+from repro.shard.partition import PARTITION_KINDS
 from repro.shard.runner import (ShardedResult, ShardedRunner, ShardWorkload,
-                                crowd_workload)
+                                clustered_workload, crowd_workload)
 from repro.simenv import events as _events
 
 #: Bump when the JSON layout changes; consumers refuse unknown majors.
@@ -249,6 +250,40 @@ SHARDED_SCENARIOS: dict[str, ShardWorkload] = {
     "discovery_n100k": crowd_workload(100_000, seed=11, sim_seconds=12.0),
     "city_n1M": crowd_workload(1_000_000, seed=11, sim_seconds=4.0,
                                scan_interval=2.0, window=2.0),
+    # Clustered (hotspot) variants: the adversarial case for the strip
+    # partition.  The hotspots line up along a vertical "main street"
+    # (tight horizontal spread, wide vertical spread), so one strip
+    # does nearly all the scan work while a 2D tiling can still
+    # separate the clusters by row.  The 1 s window gives the
+    # rebalancer (one window of loads + one window of adoption lag)
+    # time to level the map while most scan rounds are still ahead.
+    # ``flash_city_n1M`` adds drift: the hotspots themselves migrate
+    # across the map (a moving flash crowd), so no static assignment
+    # stays good and the rebalancer has to keep up.
+    # (Seed 13, not 11: seed 11 happens to park the main street dead
+    # on a strip boundary, halving the very imbalance these scenarios
+    # exist to exhibit.)
+    "crowd_clustered_n256": clustered_workload(256, seed=13,
+                                               sim_seconds=30.0,
+                                               clusters=4,
+                                               center_spread=0.05,
+                                               center_spread_y=0.3,
+                                               scan_interval=2.0,
+                                               window=1.0),
+    "crowd_clustered_n100k": clustered_workload(100_000, seed=13,
+                                                sim_seconds=16.0,
+                                                clusters=4,
+                                                center_spread=0.05,
+                                                center_spread_y=0.3,
+                                                scan_interval=2.0,
+                                                window=1.0),
+    "flash_city_n1M": clustered_workload(1_000_000, seed=13,
+                                         sim_seconds=4.0,
+                                         clusters=4,
+                                         center_spread=0.05,
+                                         center_spread_y=0.3,
+                                         scan_interval=2.0, window=1.0,
+                                         drift_speed=3.0),
 }
 
 
@@ -266,6 +301,9 @@ class ScenarioResult:
     rss_mb: float
     sim_seconds: float
     alloc: dict | None = None
+    #: Shard-engine metrics (partition kind, imbalance factor, tiles
+    #: migrated, critical path); ``None`` for unsharded scenarios.
+    sharded: dict | None = None
 
     def as_dict(self) -> dict:
         record = {"wall_seconds": self.wall_seconds,
@@ -275,6 +313,8 @@ class ScenarioResult:
                   "sim_seconds": self.sim_seconds}
         if self.alloc is not None:
             record["alloc"] = self.alloc
+        if self.sharded is not None:
+            record["sharded"] = self.sharded
         return record
 
 
@@ -356,6 +396,9 @@ def run_scenario(name: str, *, quick: bool = False,
 def run_sharded_scenario(name: str, *, shards: int,
                          collect_logs: bool = False,
                          processes: bool | None = None,
+                         partition: str = "strip",
+                         rebalance: bool = False,
+                         alloc: bool = False,
                          ) -> tuple[ScenarioResult, ShardedResult]:
     """Run one sharded-engine scenario and time it.
 
@@ -365,10 +408,24 @@ def run_sharded_scenario(name: str, *, shards: int,
     the full :class:`ShardedResult` for equivalence checking.  One
     repeat: the deterministic fields cannot vary, and the expensive
     scenarios are exactly the ones repeats would punish.
+
+    The record's ``sharded`` sub-dict carries the load-quality figures
+    the tile-partition work is judged by: the imbalance factor, the
+    tiles migrated by the rebalancer, and the critical path — the sum
+    over windows of the slowest shard's busy seconds, i.e. the wall
+    clock an ideal one-core-per-shard host would need.  On a host with
+    fewer cores than shards, ``critical_path_events_per_sec`` (not the
+    serialised ``events_per_sec``) is the figure that reflects the
+    partition's parallel quality.
+
+    ``alloc=True`` appends one extra pass with per-shard gc/tracemalloc
+    accounting *inside each worker* (the timed run never carries that
+    overhead) and attaches the per-shard profiles to the record.
     """
     workload = SHARDED_SCENARIOS[name]
     runner = ShardedRunner(workload, shards, processes=processes,
-                           collect_logs=collect_logs)
+                           collect_logs=collect_logs, partition=partition,
+                           rebalance=rebalance)
     gc.collect()
     gc_was_enabled = gc.isenabled()
     gc.disable()
@@ -380,11 +437,41 @@ def run_sharded_scenario(name: str, *, shards: int,
             gc.enable()
     wall = time.perf_counter() - start
     rate = outcome.events / wall if wall > 0 else 0.0
+    critical = outcome.critical_path_seconds
+    critical_rate = outcome.events / critical if critical > 0 else 0.0
+    sharded = {"shards": shards,
+               "partition": outcome.partition,
+               "tiles": outcome.tiles,
+               "rebalance": rebalance,
+               "rebalances": outcome.rebalances,
+               "tiles_migrated": outcome.tiles_migrated,
+               "imbalance_factor": round(outcome.imbalance_factor, 4),
+               "critical_path_seconds": critical,
+               "critical_path_events_per_sec": critical_rate,
+               "migrations": outcome.migrations,
+               "windows": outcome.windows,
+               "ghost_peak": outcome.ghost_peak}
+    alloc_record = None
+    if alloc:
+        probe = ShardedRunner(workload, shards, processes=processes,
+                              collect_logs=collect_logs,
+                              partition=partition, rebalance=rebalance,
+                              measure_alloc=True).run()
+        per_shard = probe.per_shard_alloc or {}
+        alloc_record = {
+            "per_shard": {str(shard): dict(profile)
+                          for shard, profile in sorted(per_shard.items())},
+            "tracemalloc_peak_kb": max(
+                (profile["tracemalloc_peak_kb"]
+                 for profile in per_shard.values()), default=0),
+            "events_processed": probe.events}
     result = ScenarioResult(scenario=name, wall_seconds=wall,
                             events_processed=outcome.events,
                             events_per_sec=rate,
                             rss_mb=max(_rss_mb(), outcome.worker_rss_mb),
-                            sim_seconds=outcome.sim_seconds)
+                            sim_seconds=outcome.sim_seconds,
+                            alloc=alloc_record,
+                            sharded=sharded)
     return result, outcome
 
 
@@ -399,6 +486,8 @@ def run_bench(*, quick: bool = False,
               repeats: int | None = None,
               jobs: int = 1,
               shards: int | None = None,
+              partition: str = "strip",
+              rebalance: bool = False,
               alloc: bool = False,
               progress: Callable[[str, ScenarioResult], None] | None = None,
               ) -> dict:
@@ -417,19 +506,28 @@ def run_bench(*, quick: bool = False,
     them, so they are trivially identical at any shard count).  The
     deterministic fields are shard-count-invariant; only wall-clock
     fields change with ``N``.  Mutually exclusive with ``jobs > 1``:
-    shard workers already use the host's cores.
+    shard workers already use the host's cores.  ``partition`` selects
+    the region geometry (``strip`` or ``tile``) and ``rebalance=True``
+    lets the coordinator reassign tiles between shards at window edges
+    — both only meaningful with ``shards``.
 
-    ``alloc=True`` adds an ``"alloc"`` sub-record to every
-    non-sharded scenario: :func:`measure_alloc` gc/tracemalloc deltas
-    from one extra instrumented pass (sharded workloads run in worker
-    processes where in-process tracing cannot see them).
+    ``alloc=True`` adds an ``"alloc"`` sub-record to every scenario:
+    :func:`measure_alloc` gc/tracemalloc deltas from one extra
+    instrumented pass.  Sharded scenarios self-instrument inside each
+    worker process and report *per-shard* profiles.
     """
+    if partition not in PARTITION_KINDS:
+        raise ValueError(f"unknown partition {partition!r}; "
+                         f"expected one of {PARTITION_KINDS}")
     if shards is not None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards!r}")
         if jobs > 1:
             raise ValueError("--shards and --jobs both multiply processes; "
                              "use one or the other")
+    elif partition != "strip" or rebalance:
+        raise ValueError("--partition/--rebalance only apply to sharded "
+                         "runs; pass --shards N")
     known = set(SCENARIOS)
     if shards is not None:
         known |= set(SHARDED_SCENARIOS)
@@ -452,9 +550,13 @@ def run_bench(*, quick: bool = False,
     }
     if shards is not None:
         report["shards"] = shards
+        report["partition"] = partition
+        report["rebalance"] = rebalance
         for name in names:
             if name in SHARDED_SCENARIOS:
-                result, _ = run_sharded_scenario(name, shards=shards)
+                result, _ = run_sharded_scenario(
+                    name, shards=shards, partition=partition,
+                    rebalance=rebalance, alloc=alloc)
             else:
                 result = run_scenario(name, quick=quick, repeats=repeats,
                                       alloc=alloc)

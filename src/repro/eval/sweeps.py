@@ -1,6 +1,6 @@
 """Parameter sweeps over neighbourhood shape.
 
-Two sweeps the thesis' analysis invites but never runs:
+Three sweeps the thesis' analysis invites but never runs:
 
 * **Density** — how does the time to a *complete* group (every
   co-interested neighbour discovered) grow with neighbourhood size?
@@ -9,11 +9,16 @@ Two sweeps the thesis' analysis invites but never runs:
 * **Interest fragmentation** — with a fixed crowd, how does the size
   of the interest vocabulary fragment the neighbourhood into many
   small groups (the §5.2.6 problem grown to population scale)?
+* **Hotspot concentration** — as a city crowd piles into venue
+  hotspots, how fast does the strip partition's shard imbalance grow,
+  and how much of it does the tile rebalancer claw back?
 
 Each sweep point is an independent seed-deterministic simulation, so
 sweeps fan out across worker processes (``jobs=N``) through
 :func:`repro.eval.parallel.parallel_map` and merge back in input
-order — byte-identical to the serial run.
+order — byte-identical to the serial run.  (The hotspot sweep records
+only simulation-derived load figures, never wall clocks, to keep that
+invariant.)
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from repro.eval.parallel import parallel_map
 from repro.eval.testbed import Testbed
 from repro.eval.workloads import (INTEREST_POOL, populate_neighborhood,
                                   random_interests)
+from repro.shard import ShardedRunner, clustered_workload
 
 
 @dataclass(frozen=True)
@@ -147,3 +153,80 @@ def fragmentation_sweep(pool_sizes: tuple[int, ...] = (2, 4, 8, 12),
     """Group fragmentation as the interest vocabulary grows."""
     tasks = [(pool_size, members, seed) for pool_size in pool_sizes]
     return parallel_map(_fragmentation_task, tasks, jobs=jobs)
+
+
+@dataclass(frozen=True)
+class HotspotPoint:
+    """One hotspot-concentration measurement.
+
+    Attributes:
+        hot_fraction: Share of the crowd packed into venue hotspots
+            (the rest is uniform background).
+        strip_imbalance: Per-shard event imbalance (max/mean over the
+            run) under the static strip partition.
+        tile_imbalance: Same figure under the tile partition with the
+            dynamic rebalancer on.
+        rebalances: Windows at which the rebalancer changed the map.
+        tiles_migrated: Total tile reassignments across the run.
+        events: Discovery events processed (identical for both
+            partitions — the geometry never changes the physics).
+    """
+
+    hot_fraction: float
+    strip_imbalance: float
+    tile_imbalance: float
+    rebalances: int
+    tiles_migrated: int
+    events: int
+
+
+def hotspot_point(hot_fraction: float, count: int = 256, *,
+                  shards: int = 4, seed: int = 13) -> HotspotPoint:
+    """Strip-vs-tile shard imbalance at one crowd concentration.
+
+    The workload is the "main street" geometry the clustered bench
+    scenarios use: four Gaussian hotspots sharing one vertical strip
+    (tight x-spread) but spread out in y — the shape a strip partition
+    cannot separate and a 2D tiling can.
+    """
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError(f"hot_fraction must be in [0, 1], "
+                         f"got {hot_fraction!r}")
+    workload = clustered_workload(count, seed=seed, sim_seconds=12.0,
+                                  clusters=4, hot_fraction=hot_fraction,
+                                  center_spread=0.05, center_spread_y=0.3,
+                                  scan_interval=2.0, window=1.0)
+    # Inline scheduler: byte-identical to spawned workers, and sweep
+    # points already fan out one process each under ``jobs=N`` (nested
+    # spawn is off-limits inside pool workers anyway).
+    strip = ShardedRunner(workload, shards, processes=False,
+                          collect_logs=False).run()
+    tile = ShardedRunner(workload, shards, processes=False,
+                         collect_logs=False, partition="tile",
+                         rebalance=True).run()
+    if tile.events != strip.events:  # pragma: no cover - equivalence gate
+        raise RuntimeError(f"partition changed the physics: strip "
+                           f"{strip.events} vs tile {tile.events} events")
+    return HotspotPoint(hot_fraction=hot_fraction,
+                        strip_imbalance=round(strip.imbalance_factor, 4),
+                        tile_imbalance=round(tile.imbalance_factor, 4),
+                        rebalances=tile.rebalances,
+                        tiles_migrated=tile.tiles_migrated,
+                        events=strip.events)
+
+
+def _hotspot_task(task: tuple) -> HotspotPoint:
+    """Picklable per-point unit for the parallel runner."""
+    hot_fraction, count, shards, seed = task
+    return hotspot_point(hot_fraction, count, shards=shards, seed=seed)
+
+
+def hotspot_sweep(hot_fractions: tuple[float, ...] = (0.0, 0.3, 0.6, 0.9),
+                  count: int = 256, *,
+                  shards: int = 4,
+                  seed: int = 13,
+                  jobs: int = 1) -> list[HotspotPoint]:
+    """Shard imbalance as the crowd concentrates into hotspots."""
+    tasks = [(hot_fraction, count, shards, seed)
+             for hot_fraction in hot_fractions]
+    return parallel_map(_hotspot_task, tasks, jobs=jobs)

@@ -1,0 +1,104 @@
+"""Load accounting and the greedy tile rebalancer.
+
+The sharded engine's partition is only as good as its match to where
+the crowd actually is.  Each exchange window every shard reports a
+per-tile load (owned devices weighted by the discovery events they
+fired since the last window); the coordinator aggregates those into
+per-shard loads and, when the max/mean imbalance crosses a threshold,
+asks :func:`rebalance_map` for a better tile→shard map.  The new map
+is broadcast inside the ``apply`` message and takes effect at the
+*next* window edge, where the ordinary migration machinery hands the
+reassigned tiles' devices to their new owners — rebalancing adds no
+second state-transfer path, so the bit-exactness argument is untouched
+(any map is correct; the map only decides *where* work happens).
+
+The rebalancer is deliberately greedy and conservative: it moves whole
+tiles from the most-loaded shard to the least-loaded one, never moves
+a tile heavier than half the load gap (every move strictly shrinks the
+donor/recipient spread, so the loop terminates), and breaks all ties
+by lowest index so every scheduler — in-process or spawned workers —
+derives the identical map from the identical loads.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+#: Rebalance when ``max(shard load) / mean(shard load)`` exceeds this.
+#: Below ~1.2 the churn of migrating tiles outweighs the balance win.
+REBALANCE_THRESHOLD = 1.2
+
+#: Hard cap on tile moves per window — a runaway-loop backstop far
+#: above what the strictly-decreasing greedy ever needs.
+MAX_MOVES_PER_WINDOW = 256
+
+
+def shard_loads(tile_map: Sequence[int], tile_loads: Mapping[int, int],
+                shards: int) -> list[int]:
+    """Per-shard load totals under one tile→shard map."""
+    loads = [0] * shards
+    for tile, load in tile_loads.items():
+        loads[tile_map[tile]] += load
+    return loads
+
+
+def imbalance(loads: Sequence[int | float]) -> float:
+    """``max / mean`` of per-shard loads; 1.0 for empty or single."""
+    if not loads:
+        return 1.0
+    total = sum(loads)
+    if total <= 0:
+        return 1.0
+    return max(loads) * len(loads) / total
+
+
+def rebalance_map(tile_map: Sequence[int], tile_loads: Mapping[int, int],
+                  shards: int, *,
+                  threshold: float = REBALANCE_THRESHOLD,
+                  max_moves: int = MAX_MOVES_PER_WINDOW,
+                  ) -> tuple[tuple[int, ...], int]:
+    """Greedily reassign tiles until the imbalance is under threshold.
+
+    Returns ``(new_map, moves)``; ``moves == 0`` means the map is
+    unchanged (already balanced, or no whole-tile move can help — a
+    single tile hotter than the rest of the world cannot be split).
+    Pure function of its arguments with deterministic tie-breaks, so
+    every scheduler derives the same map.
+    """
+    if threshold < 1.0:
+        raise ValueError(f"threshold must be >= 1.0, got {threshold!r}")
+    new_map = list(tile_map)
+    loads = shard_loads(new_map, tile_loads, shards)
+    total = sum(loads)
+    if shards < 2 or total <= 0:
+        return tuple(new_map), 0
+    mean = total / shards
+    moves = 0
+    while moves < max_moves:
+        donor = max(range(shards), key=lambda shard: (loads[shard], -shard))
+        if loads[donor] <= mean * threshold:
+            break
+        recipient = min(range(shards),
+                        key=lambda shard: (loads[shard], shard))
+        gap = loads[donor] - loads[recipient]
+        if gap <= 0:
+            break
+        # The heaviest tile that still fits in half the gap: moving
+        # weight w changes the spread by 2w, so w <= gap/2 strictly
+        # narrows it and never overshoots the recipient past the donor.
+        best_tile = -1
+        best_load = 0
+        for tile, load in sorted(tile_loads.items()):
+            if (new_map[tile] == donor and 0 < load <= gap / 2
+                    and load > best_load):
+                best_load = load
+                best_tile = tile
+        if best_tile < 0:
+            break
+        new_map[best_tile] = recipient
+        loads[donor] -= best_load
+        loads[recipient] += best_load
+        moves += 1
+    if moves == 0:
+        return tuple(tile_map), 0
+    return tuple(new_map), moves

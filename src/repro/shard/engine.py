@@ -19,11 +19,22 @@ drift).  Owned devices run discovery scans and accrue the interaction
 log; ghosts are merely visible.
 
 Between windows the coordinator calls :meth:`collect_exchange` /
-:meth:`apply_exchange`: devices that walked into another strip migrate
-(their full state moves), and the border ghost set is refreshed.  A
-persisting ghost keeps its *local* replica — by the exactness
-invariant the incoming snapshot is identical, which
+:meth:`apply_exchange`: devices that walked into another shard's
+territory migrate (their full state moves), and the border ghost set
+is refreshed.  A persisting ghost keeps its *local* replica — by the
+exactness invariant the incoming snapshot is identical, which
 ``verify_ghosts=True`` asserts in tests.
+
+Ownership geometry is pluggable (:mod:`repro.shard.partition`): the
+engine only ever asks ``owner_at(x, y)`` and ``ghost_shards(x, y,
+halo)``, so vertical strips and 2D tile grids run through identical
+machinery.  Under a tile partition each exchange also carries
+per-tile load counters (owned devices weighted by the discovery
+events they fired this window), and the coordinator may hand back a
+rebalanced tile→shard map in ``apply_exchange`` — adopted *after* the
+incoming traffic is installed, so it governs the next window's
+ownership re-evaluation and the reassigned tiles' devices migrate
+through the ordinary exchange path one window later.
 """
 
 from __future__ import annotations
@@ -34,8 +45,9 @@ from repro.mobility.geometry import Rect
 from repro.mobility.world import MovementReport, World
 from repro.radio.medium import Medium
 from repro.radio.technology import Technology
+from repro.shard.balance import REBALANCE_THRESHOLD
 from repro.shard.devices import DeviceState
-from repro.shard.partition import StripPartition
+from repro.shard.partition import PartitionSpec, TilePartition
 from repro.simenv.environment import Environment
 
 #: Technology name the shard radio registers under.
@@ -74,6 +86,17 @@ class ShardConfig:
     scan_times: tuple[float, ...]
     collect_logs: bool = True
     verify_ghosts: bool = False
+    #: Ownership geometry (strip or tile grid); see
+    #: :mod:`repro.shard.partition`.
+    partition: PartitionSpec = PartitionSpec()
+    #: Whether the coordinator may reassign tiles between shards at
+    #: window edges (tile partitions only).
+    rebalance: bool = False
+    #: ``max/mean`` shard-load ratio that triggers a rebalance.
+    rebalance_threshold: float = REBALANCE_THRESHOLD
+    #: Workers wrap their run in gc/tracemalloc accounting and attach
+    #: an ``alloc`` dict to their report (the ``--alloc`` pass).
+    measure_alloc: bool = False
 
     def boundaries(self) -> list[float]:
         """Window-edge times: multiples of ``window`` up to the end.
@@ -98,6 +121,11 @@ class ShardExchange:
     migrations: list[tuple[int, DeviceState]] = field(default_factory=list)
     #: (destination shard, device state) border exports for ghosting.
     ghosts: list[tuple[int, DeviceState]] = field(default_factory=list)
+    #: tile index -> load (owned devices weighted by the scan events
+    #: they fired this window); empty under a strip partition.
+    tile_loads: dict[int, int] = field(default_factory=dict)
+    #: Device events this shard fired during the window just ended.
+    window_events: int = 0
 
 
 class GhostDivergenceError(AssertionError):
@@ -116,7 +144,7 @@ class ShardSim:
                  ghosts: list[DeviceState]) -> None:
         self.config = config
         self.shard_id = shard_id
-        self.partition = StripPartition(config.bounds, config.shards)
+        self.partition = config.partition.build(config.bounds, config.shards)
         self.env = Environment(seed=config.seed)
         self.world = World(self.env, bounds=config.bounds, tick=config.tick,
                            cell_size=config.radio_range)
@@ -133,6 +161,12 @@ class ShardSim:
         self.device_events = 0
         self.migrations_out = 0
         self._emigrant_ids: list[str] = []
+        #: device id -> scan events fired since the last exchange;
+        #: aggregated into per-tile loads at collect time, then reset.
+        self._scan_events: dict[str, int] = {}
+        #: ``device_events`` reading at the last exchange — the delta
+        #: is the per-window event count the imbalance factor tracks.
+        self._events_at_collect = 0
         self.world.on_moves(self._count_owned_moves)
         with self.world.batch():
             for state in owned:
@@ -175,7 +209,10 @@ class ShardSim:
 
     def _scan(self, device_id: str) -> None:
         listing = self.medium.neighbors(device_id, SHARD_TECH)
-        self.device_events += 1 + len(listing)
+        fired = 1 + len(listing)
+        self.device_events += fired
+        self._scan_events[device_id] = (
+            self._scan_events.get(device_id, 0) + fired)
         if self.config.collect_logs:
             log = self.logs.get(device_id)
             if log is None:
@@ -195,38 +232,76 @@ class ShardSim:
         (the same pure float function on every shard).  The old owner
         announces both the migration and the ghost exports for a
         departing device, so a window edge costs exactly one
-        gather/scatter round through the coordinator.
+        gather/scatter round through the coordinator.  Under a tile
+        partition the exchange also carries per-tile loads — each
+        owned device contributes ``1 + scan events this window`` to
+        the tile it stands in — which feed the coordinator's
+        rebalancer.
         """
         exchange = ShardExchange()
         halo = self.config.halo
-        owner_of = self.partition.owner_of
-        shards_within = self.partition.shards_within
+        partition = self.partition
+        owner_at = partition.owner_at
+        ghost_shards = partition.ghost_shards
+        tile_index = (partition.tile_index
+                      if isinstance(partition, TilePartition) else None)
+        tile_loads = exchange.tile_loads
+        scan_events = self._scan_events
         node = self.world.node
         emigrants: list[str] = []
         for device_id, state in self.owned.items():
             position = node(device_id).position
             state.x = position.x
             state.y = position.y
-            new_owner = owner_of(state.x)
+            new_owner = owner_at(state.x, state.y)
             if new_owner != self.shard_id:
                 exchange.migrations.append((new_owner, state))
                 emigrants.append(device_id)
-            for target in shards_within(state.x, halo):
+            for target in ghost_shards(state.x, state.y, halo):
                 if target != new_owner:
                     exchange.ghosts.append((target, state))
+            if tile_index is not None:
+                tile = tile_index(state.x, state.y)
+                tile_loads[tile] = (tile_loads.get(tile, 0) + 1
+                                    + scan_events.get(device_id, 0))
         self._emigrant_ids = emigrants
         self.migrations_out += len(emigrants)
+        exchange.window_events = self.device_events - self._events_at_collect
+        self._events_at_collect = self.device_events
+        self._scan_events = {}
         return exchange
 
+    def final_window_events(self) -> int:
+        """Device events fired since the last exchange (for the last
+        window, which has no ``collect_exchange`` call)."""
+        return self.device_events - self._events_at_collect
+
+    def adopt_tile_map(self, tile_map: tuple[int, ...]) -> None:
+        """Install a rebalanced tile→shard map.
+
+        Takes effect at the *next* ownership re-evaluation
+        (``collect_exchange``), where devices standing in reassigned
+        tiles migrate through the ordinary exchange path.  Every shard
+        adopts the same map at the same window edge, so ownership
+        stays a shard-invariant pure function.
+        """
+        partition = self.partition
+        if not isinstance(partition, TilePartition):
+            raise ValueError("only tile partitions carry a tile map")
+        self.partition = partition.with_map(tile_map)
+
     def apply_exchange(self, immigrants: list[DeviceState],
-                       ghost_specs: list[DeviceState]) -> None:
+                       ghost_specs: list[DeviceState],
+                       tile_map: tuple[int, ...] | None = None) -> None:
         """Install the coordinator's routed border traffic.
 
         Removals run before additions so a device converting between
         owned and ghost (either direction) passes through a clean
         remove/insert; a *persisting* ghost keeps its live local
         replica untouched — the incoming snapshot is bit-identical by
-        the exactness invariant.
+        the exactness invariant.  A non-``None`` ``tile_map`` is
+        adopted *after* the install: the incoming traffic was routed
+        under the old map, and the new one governs the next window.
         """
         fresh_ghost_ids = {state.device_id for state in ghost_specs}
         with self.world.batch():
@@ -251,6 +326,8 @@ class ShardSim:
                             f"ghost {state.device_id!r} in shard "
                             f"{self.shard_id} at ({local.x!r}, {local.y!r}) "
                             f"but owner reports ({state.x!r}, {state.y!r})")
+        if tile_map is not None:
+            self.adopt_tile_map(tile_map)
 
     def __repr__(self) -> str:
         return (f"ShardSim(shard={self.shard_id}/{self.config.shards}, "

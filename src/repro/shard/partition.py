@@ -1,34 +1,61 @@
-"""Region partition of the world plane into vertical strips.
+"""Region partitions of the world plane: vertical strips and 2D tiles.
 
 A partition answers two questions for the sharded engine:
 
-* **Ownership** — which shard owns a device at position ``x``?  The
-  plane is cut into ``shards`` equal-width vertical strips; ownership
-  is a pure function of the x coordinate, so every shard evaluates the
-  same float expression and reaches the same verdict without any
-  coordination.
+* **Ownership** — which shard owns a device at position ``(x, y)``?
+  Ownership is a pure function of the position, so every shard
+  evaluates the same float expression and reaches the same verdict
+  without any coordination.
 * **Border coverage** — which shards need a device as a *ghost*?  Any
-  shard whose strip lies within one halo width of the device could see
-  it interact with an owned device during the next window, so the
+  shard whose territory lies within one halo width of the device could
+  see it interact with an owned device during the next window, so the
   owner exports its state there at the window edge.
 
-Strips (rather than a 2D tiling) keep the exchange pattern simple and
-the ownership function one comparison; for the crowd workloads the
-bench runs, the strip cross-section already holds thousands of devices
-before border traffic matters.
+Two geometries implement the :class:`Partition` protocol:
+
+* :class:`StripPartition` — equal-width vertical strips.  Ownership is
+  one comparison and the exchange pattern is linear, but a crowd that
+  clusters inside one strip collapses the whole run onto one shard.
+* :class:`TilePartition` — a grid of tiles with an explicit
+  tile→shard map.  Ownership is two floor-divisions and a table
+  lookup; ghost routing walks the tiles intersecting the halo box
+  (corners included).  Because the map is *data*, the coordinator can
+  reassign whole tiles between shards at a sync barrier — the dynamic
+  re-balancing that keeps clustered workloads spread across shards
+  (:mod:`repro.shard.balance`).
+
+:class:`PartitionSpec` is the picklable description that crosses to
+worker processes inside :class:`~repro.shard.engine.ShardConfig`; the
+engine materialises the live partition object from it.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.mobility.geometry import Rect
+
+#: Partition kinds a :class:`PartitionSpec` may name.
+PARTITION_KINDS = ("strip", "tile")
+
+#: Default tile granularity: tiles per shard the factory aims for.
+#: Enough spare tiles that the greedy rebalancer can shave load in
+#: small increments — a whole tile hotter than the per-shard mean can
+#: never move, so tiles must be fine enough that one urban hotspot
+#: spans several — yet few enough that the tile map stays tiny.
+TILES_PER_SHARD = 64
+
+#: Absolute tile-count cap — the map is broadcast at every rebalance,
+#: so it must stay cheap to pickle even for 1M-device worlds.
+MAX_TILES = 4096
 
 
 def halo_width(radio_range: float, max_speed: float, window: float) -> float:
     """Conservative lookahead bound for one synchronisation window.
 
     A device owned by shard S may drift up to ``max_speed * window``
-    metres past its strip edge before the next exchange, and a foreign
-    device may simultaneously approach by the same amount; they
+    metres past its territory edge before the next exchange, and a
+    foreign device may simultaneously approach by the same amount; they
     interact when within ``radio_range``.  Any pair that can come
     within radio range during the window is therefore separated by at
     most ``radio_range + 2 * max_speed * window`` at the window's
@@ -70,6 +97,10 @@ class StripPartition:
             return self.shards - 1
         return index
 
+    def owner_at(self, x: float, y: float) -> int:
+        """:class:`Partition` ownership — strips ignore ``y``."""
+        return self.owner_of(x)
+
     def strip_interval(self, shard_id: int) -> tuple[float, float]:
         """``[lo, hi]`` x-interval of one strip."""
         if not 0 <= shard_id < self.shards:
@@ -90,6 +121,250 @@ class StripPartition:
             raise ValueError(f"halo must be non-negative, got {halo!r}")
         return range(self.owner_of(x - halo), self.owner_of(x + halo) + 1)
 
+    def ghost_shards(self, x: float, y: float,
+                     halo: float) -> tuple[int, ...]:
+        """:class:`Partition` ghost routing — the strip interval set."""
+        return tuple(self.shards_within(x, halo))
+
     def __repr__(self) -> str:
         return (f"StripPartition({self.shards} strips x "
                 f"{self.strip_width:g}m)")
+
+
+class TilePartition:
+    """A grid of tiles with an explicit tile→shard assignment.
+
+    The bounds are cut into ``tiles_x`` columns by ``tiles_y`` rows of
+    equal tiles, indexed row-major (``tile = row * tiles_x + col``).
+    ``tile_map[tile]`` names the owning shard.  Ownership stays a pure
+    float function of the position (two floor-divisions, one lookup),
+    so every shard reaches the same verdict; the *map* is plain data,
+    broadcast by the coordinator whenever the rebalancer reassigns
+    tiles.
+
+    Ghost routing intersects the axis-aligned halo box ``[x-h, x+h] x
+    [y-h, y+h]`` with the tile grid and collects the owners of every
+    touched tile — including diagonal neighbours, so a device sitting
+    on a four-tile corner is exported to all four owners.  The box
+    over-approximates the halo disc, which is harmless (a spare ghost
+    is dead weight, a missing one is a lost interaction), and its edge
+    coordinates go through the *same* floor arithmetic as ownership,
+    so a device exactly on a tile edge routes consistently.
+    """
+
+    __slots__ = ("bounds", "shards", "tiles_x", "tiles_y", "tile_width",
+                 "tile_height", "tile_map")
+
+    def __init__(self, bounds: Rect, shards: int,
+                 tiles: tuple[int, int],
+                 tile_map: tuple[int, ...] | None = None) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards!r}")
+        tiles_x, tiles_y = tiles
+        if tiles_x < 1 or tiles_y < 1:
+            raise ValueError(f"tile grid must be >= 1x1, got {tiles!r}")
+        self.bounds = bounds
+        self.shards = shards
+        self.tiles_x = tiles_x
+        self.tiles_y = tiles_y
+        self.tile_width = bounds.width / tiles_x
+        self.tile_height = bounds.height / tiles_y
+        if tile_map is None:
+            tile_map = default_tile_map(tiles_x * tiles_y, shards)
+        if len(tile_map) != tiles_x * tiles_y:
+            raise ValueError(
+                f"tile_map has {len(tile_map)} entries for a "
+                f"{tiles_x}x{tiles_y} grid ({tiles_x * tiles_y} tiles)")
+        bad = [shard for shard in tile_map if not 0 <= shard < shards]
+        if bad:
+            raise ValueError(f"tile_map names shards {sorted(set(bad))} "
+                             f"outside [0, {shards})")
+        self.tile_map = tuple(tile_map)
+
+    # -- grid arithmetic ---------------------------------------------------
+
+    def _column_of(self, x: float) -> int:
+        column = int((x - self.bounds.min_x) // self.tile_width)
+        if column < 0:
+            return 0
+        if column >= self.tiles_x:
+            return self.tiles_x - 1
+        return column
+
+    def _row_of(self, y: float) -> int:
+        row = int((y - self.bounds.min_y) // self.tile_height)
+        if row < 0:
+            return 0
+        if row >= self.tiles_y:
+            return self.tiles_y - 1
+        return row
+
+    def tile_index(self, x: float, y: float) -> int:
+        """Row-major tile index holding ``(x, y)`` — total and pure."""
+        return self._row_of(y) * self.tiles_x + self._column_of(x)
+
+    def tile_bounds(self, tile: int) -> Rect:
+        """The rectangle one tile covers."""
+        self._check_tile(tile)
+        row, column = divmod(tile, self.tiles_x)
+        min_x = self.bounds.min_x + column * self.tile_width
+        min_y = self.bounds.min_y + row * self.tile_height
+        return Rect(min_x, min_y,
+                    min_x + self.tile_width, min_y + self.tile_height)
+
+    def _check_tile(self, tile: int) -> None:
+        if not 0 <= tile < len(self.tile_map):
+            raise ValueError(f"tile {tile} out of range "
+                             f"[0, {len(self.tile_map)})")
+
+    # -- Partition protocol ------------------------------------------------
+
+    def owner_at(self, x: float, y: float) -> int:
+        """Shard owning ``(x, y)`` — pure function of position + map."""
+        return self.tile_map[self.tile_index(x, y)]
+
+    def ghost_shards(self, x: float, y: float,
+                     halo: float) -> tuple[int, ...]:
+        """Sorted owners of every tile the halo box touches.
+
+        Always contains the owner; covers diagonal (corner) neighbours
+        because the box is 2D, not an interval.
+        """
+        if halo < 0.0:
+            raise ValueError(f"halo must be non-negative, got {halo!r}")
+        column_lo = self._column_of(x - halo)
+        column_hi = self._column_of(x + halo)
+        row_lo = self._row_of(y - halo)
+        row_hi = self._row_of(y + halo)
+        tile_map = self.tile_map
+        tiles_x = self.tiles_x
+        owners = {tile_map[row * tiles_x + column]
+                  for row in range(row_lo, row_hi + 1)
+                  for column in range(column_lo, column_hi + 1)}
+        return tuple(sorted(owners))
+
+    # -- introspection (rebalancer, tests, diagnostics) --------------------
+
+    def tiles_of_shard(self, shard_id: int) -> tuple[int, ...]:
+        """Tile indices currently assigned to one shard."""
+        if not 0 <= shard_id < self.shards:
+            raise ValueError(f"shard_id {shard_id} out of range "
+                             f"[0, {self.shards})")
+        return tuple(tile for tile, owner in enumerate(self.tile_map)
+                     if owner == shard_id)
+
+    def tile_neighbors(self, tile: int) -> tuple[int, ...]:
+        """The up-to-eight grid neighbours of a tile, corners included."""
+        self._check_tile(tile)
+        row, column = divmod(tile, self.tiles_x)
+        neighbors = []
+        for dr in (-1, 0, 1):
+            for dc in (-1, 0, 1):
+                if dr == 0 and dc == 0:
+                    continue
+                nr, nc = row + dr, column + dc
+                if 0 <= nr < self.tiles_y and 0 <= nc < self.tiles_x:
+                    neighbors.append(nr * self.tiles_x + nc)
+        return tuple(neighbors)
+
+    def neighbor_shards(self, shard_id: int) -> tuple[int, ...]:
+        """Shards owning any tile adjacent (incl. corners) to this
+        shard's tiles — the set a static exchange topology would use."""
+        mine = set(self.tiles_of_shard(shard_id))
+        others = {self.tile_map[neighbor]
+                  for tile in mine
+                  for neighbor in self.tile_neighbors(tile)
+                  if self.tile_map[neighbor] != shard_id}
+        return tuple(sorted(others))
+
+    def with_map(self, tile_map: tuple[int, ...]) -> TilePartition:
+        """A copy of this partition under a new tile→shard map."""
+        return TilePartition(self.bounds, self.shards,
+                             (self.tiles_x, self.tiles_y), tile_map)
+
+    def __repr__(self) -> str:
+        return (f"TilePartition({self.tiles_x}x{self.tiles_y} tiles "
+                f"x {self.tile_width:g}x{self.tile_height:g}m "
+                f"-> {self.shards} shards)")
+
+
+def default_tile_map(tiles: int, shards: int) -> tuple[int, ...]:
+    """Contiguous row-major blocks, balanced to within one tile.
+
+    Tile ``t`` goes to shard ``t * shards // tiles`` — the same
+    integer-arithmetic split everywhere, so every shard derives the
+    identical initial map without coordination.
+    """
+    if tiles < 1:
+        raise ValueError(f"tiles must be >= 1, got {tiles!r}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards!r}")
+    return tuple(tile * shards // tiles for tile in range(tiles))
+
+
+def plan_tile_grid(bounds: Rect, shards: int, halo: float, *,
+                   tiles_per_shard: int = TILES_PER_SHARD,
+                   max_tiles: int = MAX_TILES) -> tuple[int, int]:
+    """Pick a tile grid: edges >= halo, ~``tiles_per_shard`` per shard.
+
+    The halo floor keeps the ghost box within a 3x3 tile neighbourhood
+    and bounds exchange fan-out; the per-shard target leaves the
+    rebalancer enough granularity to shave load in small slices.  The
+    grid is clamped so a tiny world still yields a legal (possibly
+    1x1) tiling.
+    """
+    if halo <= 0.0:
+        raise ValueError(f"halo must be positive, got {halo!r}")
+    max_x = max(1, int(bounds.width // halo))
+    max_y = max(1, int(bounds.height // halo))
+    target = min(max_tiles, max(shards, shards * tiles_per_shard))
+    aspect = bounds.width / bounds.height
+    tiles_x = max(1, min(max_x, round((target * aspect) ** 0.5)))
+    tiles_y = max(1, min(max_y, round(target / tiles_x)))
+    return tiles_x, tiles_y
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """Picklable partition description carried by the shard config.
+
+    ``kind`` selects the geometry; ``tiles``/``tile_map`` only apply to
+    tile partitions (``tile_map=None`` means the balanced default
+    map).  :meth:`build` materialises the live partition object — the
+    engine calls it once at start-up and again whenever the
+    coordinator broadcasts a rebalanced map.
+    """
+
+    kind: str = "strip"
+    tiles: tuple[int, int] | None = None
+    tile_map: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in PARTITION_KINDS:
+            raise ValueError(f"unknown partition kind {self.kind!r}; "
+                             f"expected one of {PARTITION_KINDS}")
+        if self.kind == "tile" and self.tiles is None:
+            raise ValueError("tile partitions need an explicit tile grid")
+        if self.kind == "strip" and (self.tiles is not None
+                                     or self.tile_map is not None):
+            raise ValueError("strip partitions take no tile grid or map")
+
+    def build(self, bounds: Rect,
+              shards: int) -> StripPartition | TilePartition:
+        """The live partition object for one shard."""
+        if self.kind == "strip":
+            return StripPartition(bounds, shards)
+        assert self.tiles is not None
+        return TilePartition(bounds, shards, self.tiles, self.tile_map)
+
+
+def spec_for(kind: str, bounds: Rect, shards: int,
+             halo: float) -> PartitionSpec:
+    """The :class:`PartitionSpec` a runner starts from."""
+    if kind == "strip":
+        return PartitionSpec()
+    if kind == "tile":
+        tiles = plan_tile_grid(bounds, shards, halo)
+        return PartitionSpec(kind="tile", tiles=tiles)
+    raise ValueError(f"unknown partition kind {kind!r}; "
+                     f"expected one of {PARTITION_KINDS}")

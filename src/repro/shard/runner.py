@@ -4,7 +4,8 @@
 slices through the conservative windowed protocol:
 
 1. build the full device list once (deterministically, from the seed);
-2. split ownership by strip, export initial border ghosts;
+2. split ownership by the configured partition (vertical strips or a
+   2D tile grid), export initial border ghosts;
 3. alternate ``run_window`` with a gather/scatter exchange of
    migrations and ghost refreshes through the coordinator;
 4. merge per-shard interaction-log segments and event counts.
@@ -15,6 +16,23 @@ production path).  Both modes execute the identical ``ShardSim`` code
 and route exchanged state through a pickle round-trip, so their
 results are byte-identical — the in-process mode is not a separate
 implementation, just a different scheduler.
+
+Under a tile partition with ``rebalance=True`` the coordinator merges
+the per-tile loads every shard attaches to its exchange and, when the
+greedy rebalancer (:mod:`repro.shard.balance`) finds a better
+tile→shard map, broadcasts it inside the ``apply`` message.  The map
+is a pure function of the merged loads with deterministic tie-breaks,
+and loads are themselves deterministic, so both schedulers derive the
+identical map sequence — rebalancing never perturbs the simulation,
+only *where* it runs.
+
+Every run also accounts two load-quality figures the benchmarks
+report: the **imbalance factor** (sum over windows of the busiest
+shard's event count, over the per-shard mean — 1.0 is perfect) and the
+**critical path** (sum over windows of the slowest shard's busy
+seconds — the wall clock an ideal one-core-per-shard host would see,
+since the window barrier makes every window as slow as its slowest
+shard).
 
 :func:`reference_run` is the lockstep oracle: the same workload on a
 single world with no partitioning, no windows and no ghosts.  Its
@@ -27,16 +45,19 @@ from __future__ import annotations
 import math
 import pickle
 import sys
+import time
 from dataclasses import dataclass
 from multiprocessing import get_context
 from multiprocessing.connection import Connection
 
 from repro.mobility.geometry import Rect
 from repro.radio.medium import Medium
-from repro.shard.devices import DeviceState, build_crowd
+from repro.shard.balance import REBALANCE_THRESHOLD, rebalance_map
+from repro.shard.devices import (DeviceState, build_clustered_crowd,
+                                 build_crowd)
 from repro.shard.engine import (SHARD_TECH, LogEntry, ShardConfig, ShardSim,
                                 shard_technology)
-from repro.shard.partition import StripPartition, halo_width
+from repro.shard.partition import TilePartition, halo_width, spec_for
 from repro.simenv.environment import Environment
 from repro.mobility.world import World
 
@@ -54,6 +75,38 @@ def _rss_mb() -> float:
     if sys.platform == "darwin":  # pragma: no cover
         return peak / (1024.0 * 1024.0)
     return peak / 1024.0
+
+
+def _alloc_begin() -> list:
+    """Start gc/tracemalloc accounting (the ``--alloc`` pass).
+
+    Runs inside each worker process so the figures are genuinely
+    per-shard; the timed benchmark pass never carries this overhead.
+    """
+    import gc
+    import tracemalloc
+    gc.collect()
+    before = gc.get_stats()
+    tracemalloc.start()
+    return before
+
+
+def _alloc_end(before: list) -> dict[str, int]:
+    """Finish the accounting started by :func:`_alloc_begin`."""
+    import gc
+    import tracemalloc
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    after = gc.get_stats()
+
+    def delta(key: str) -> int:
+        return (sum(stats[key] for stats in after)
+                - sum(stats[key] for stats in before))
+
+    return {"gc_collections": delta("collections"),
+            "gc_collected": delta("collected"),
+            "gc_uncollectable": delta("uncollectable"),
+            "tracemalloc_peak_kb": peak // 1024}
 
 
 @dataclass(frozen=True)
@@ -80,6 +133,10 @@ class ShardWorkload:
                 f"sim_seconds must be positive, got {self.sim_seconds!r}")
         if self.window <= 0 or self.tick <= 0 or self.scan_interval <= 0:
             raise ValueError("window, tick and scan_interval must be positive")
+
+    def max_speed(self) -> float:
+        """Fastest any device can move — the halo's speed bound."""
+        return self.walker_speed
 
     def scan_times(self) -> tuple[float, ...]:
         """Global scan schedule: offset half a tick so scans never
@@ -115,6 +172,56 @@ def crowd_workload(count: int, *, seed: int = 11, sim_seconds: float = 30.0,
                          bounds=bounds, **overrides)
 
 
+@dataclass(frozen=True)
+class ClusteredWorkload(ShardWorkload):
+    """A crowd concentrated in Gaussian hotspots — the clumpy case.
+
+    Same machinery as :class:`ShardWorkload`, different device builder
+    (:func:`repro.shard.devices.build_clustered_crowd`).  With
+    ``drift_speed > 0`` the hotspots translate coherently across the
+    map (moving flash crowds), so the halo speed bound widens to
+    ``walker_speed + drift_speed``.
+    """
+
+    clusters: int = 3
+    cluster_weights: tuple[float, ...] = ()
+    hot_fraction: float = 0.6
+    sigma_fraction: float = 0.05
+    center_spread: float = 0.1
+    center_spread_y: float | None = None
+    drift_speed: float = 0.0
+
+    def max_speed(self) -> float:
+        """Walk and drift velocities add in the worst case."""
+        return self.walker_speed + self.drift_speed
+
+    def build_devices(self) -> list[DeviceState]:
+        return build_clustered_crowd(
+            count=self.count, bounds=self.bounds, seed=self.seed,
+            clusters=self.clusters, cluster_weights=self.cluster_weights,
+            hot_fraction=self.hot_fraction,
+            sigma_fraction=self.sigma_fraction,
+            center_spread=self.center_spread,
+            center_spread_y=self.center_spread_y,
+            drift_speed=self.drift_speed,
+            walker_fraction=self.walker_fraction,
+            walker_speed=self.walker_speed,
+            turn_interval=self.turn_interval)
+
+
+def clustered_workload(count: int, *, seed: int = 11,
+                       sim_seconds: float = 30.0,
+                       pitch: float = CROWD_PITCH_M,
+                       **overrides) -> ClusteredWorkload:
+    """Hotspot crowd at the same area/count scaling as
+    :func:`crowd_workload` — only the density distribution differs."""
+    side = pitch * max(2, math.isqrt(max(1, count - 1)) + 1)
+    bounds = Rect(0.0, 0.0, side, side)
+    return ClusteredWorkload(count=count, seed=seed,
+                             sim_seconds=sim_seconds, bounds=bounds,
+                             **overrides)
+
+
 @dataclass
 class ShardedResult:
     """Merged outcome of one sharded (or reference) run."""
@@ -137,6 +244,26 @@ class ShardedResult:
     worker_rss_mb: float
     #: shard id -> device events fired there (diagnostics).
     per_shard_events: dict[int, int]
+    #: Partition geometry the run used (``strip`` or ``tile``).
+    partition: str = "strip"
+    #: Tile count of the grid (0 under a strip partition).
+    tiles: int = 0
+    #: Window edges at which the coordinator broadcast a new tile map.
+    rebalances: int = 0
+    #: Total tile reassignments across all rebalances.
+    tiles_migrated: int = 0
+    #: Load-imbalance factor: sum over windows of the busiest shard's
+    #: event count, over the per-shard mean.  1.0 is perfectly level;
+    #: ``shards`` means one shard did all the work.
+    imbalance_factor: float = 1.0
+    #: Sum over windows of the slowest shard's busy seconds (CPU time,
+    #: so worker processes contending for cores don't pollute it) — the
+    #: wall clock an ideal one-core-per-shard host would need, since
+    #: the barrier makes each window as slow as its slowest shard.
+    critical_path_seconds: float = 0.0
+    #: shard id -> gc/tracemalloc accounting, present only when the
+    #: run was started with ``measure_alloc=True``.
+    per_shard_alloc: dict[int, dict[str, int]] | None = None
 
 
 def _clone(state: DeviceState) -> DeviceState:
@@ -147,13 +274,13 @@ def _clone(state: DeviceState) -> DeviceState:
 def _initial_split(config: ShardConfig, devices: list[DeviceState],
                    ) -> list[tuple[list[DeviceState], list[DeviceState]]]:
     """Per-shard (owned, ghosts) lists for t=0."""
-    partition = StripPartition(config.bounds, config.shards)
+    partition = config.partition.build(config.bounds, config.shards)
     split: list[tuple[list[DeviceState], list[DeviceState]]] = [
         ([], []) for _ in range(config.shards)]
     for state in devices:
-        owner = partition.owner_of(state.x)
+        owner = partition.owner_at(state.x, state.y)
         split[owner][0].append(state)
-        for target in partition.shards_within(state.x, config.halo):
+        for target in partition.ghost_shards(state.x, state.y, config.halo):
             if target != owner:
                 split[target][1].append(_clone(state))
     return split
@@ -197,12 +324,82 @@ def _merge_logs(segments: list[dict[str, list[LogEntry]]],
     return merged
 
 
+class _WindowStats:
+    """Coordinator-side per-window accounting and the rebalance driver.
+
+    Feeds on the stats dict every shard attaches to its exchange
+    (``window_events``, ``busy_seconds``, ``tile_loads``).  The
+    rebalanced map is a pure function of the merged tile loads with
+    deterministic tie-breaks, so the in-process and process schedulers
+    derive the identical map sequence; busy seconds are host CPU-time
+    measurements and feed *only* the critical-path figure, never any
+    decision that could perturb the simulation.
+    """
+
+    def __init__(self, config: ShardConfig) -> None:
+        self.shards = config.shards
+        self.threshold = config.rebalance_threshold
+        partition = config.partition.build(config.bounds, config.shards)
+        self._tile_map: tuple[int, ...] | None = None
+        self.tiles = 0
+        if isinstance(partition, TilePartition):
+            self._tile_map = partition.tile_map
+            self.tiles = len(partition.tile_map)
+        self.rebalance = config.rebalance and self._tile_map is not None
+        self.rebalances = 0
+        self.tiles_migrated = 0
+        self.critical_path = 0.0
+        self._event_max = 0
+        self._event_sum = 0
+
+    def window(self, shard_stats: list[dict],
+               ) -> tuple[int, ...] | None:
+        """Account one window; return a new tile map to broadcast, or
+        ``None`` to keep the current one."""
+        events = [stats["window_events"] for stats in shard_stats]
+        self._event_max += max(events)
+        self._event_sum += sum(events)
+        self.critical_path += max(stats["busy_seconds"]
+                                  for stats in shard_stats)
+        if not self.rebalance:
+            return None
+        merged: dict[int, int] = {}
+        for stats in shard_stats:
+            for tile, load in stats["tile_loads"].items():
+                merged[tile] = merged.get(tile, 0) + load
+        assert self._tile_map is not None
+        new_map, moves = rebalance_map(self._tile_map, merged, self.shards,
+                                       threshold=self.threshold)
+        if not moves:
+            return None
+        self._tile_map = new_map
+        self.rebalances += 1
+        self.tiles_migrated += moves
+        return new_map
+
+    def finish(self, reports: list[dict]) -> None:
+        """Account the final window (it has no exchange message)."""
+        self._event_max += max(report["final_window_events"]
+                               for report in reports)
+        self._event_sum += sum(report["final_window_events"]
+                               for report in reports)
+        self.critical_path += max(report["final_busy_seconds"]
+                                  for report in reports)
+
+    @property
+    def imbalance_factor(self) -> float:
+        if self._event_sum <= 0:
+            return 1.0
+        return self._event_max * self.shards / self._event_sum
+
+
 def _worker_report(sim: ShardSim) -> dict:
     return {"shard_id": sim.shard_id,
             "device_events": sim.device_events,
             "logs": sim.logs,
             "migrations": sim.migrations_out,
             "ghost_peak": len(sim.ghosts),
+            "final_window_events": sim.final_window_events(),
             "rss_mb": _rss_mb()}
 
 
@@ -211,23 +408,38 @@ def _shard_worker(conn: Connection, config: ShardConfig, shard_id: int,
                   ghosts: list[DeviceState]) -> None:
     """Worker-process entry point: lockstep windows over the pipe."""
     try:
+        alloc_before = _alloc_begin() if config.measure_alloc else None
         sim = ShardSim(config, shard_id, owned, ghosts)
         ghost_peak = len(sim.ghosts)
         boundaries = config.boundaries()
+        busy = 0.0
         for index, boundary in enumerate(boundaries):
+            # CPU time, not wall: on a host with fewer cores than
+            # shards the workers timeshare, and a descheduled worker's
+            # wall clock would book its neighbours' work as its own.
+            started = time.process_time()
             sim.run_window(boundary)
+            busy += time.process_time() - started
             if index == len(boundaries) - 1:
                 break
             exchange = sim.collect_exchange()
-            conn.send(("exchange", exchange.migrations, exchange.ghosts))
+            stats = {"tile_loads": exchange.tile_loads,
+                     "window_events": exchange.window_events,
+                     "busy_seconds": busy}
+            busy = 0.0
+            conn.send(("exchange", exchange.migrations, exchange.ghosts,
+                       stats))
             message = conn.recv()
             if message[0] != "apply":  # pragma: no cover - protocol guard
                 raise RuntimeError(f"unexpected message {message[0]!r}")
-            sim.apply_exchange(message[1], message[2])
+            sim.apply_exchange(message[1], message[2], message[3])
             ghost_peak = max(ghost_peak, len(sim.ghosts))
         sim.stop()
         report = _worker_report(sim)
         report["ghost_peak"] = ghost_peak
+        report["final_busy_seconds"] = busy
+        if alloc_before is not None:
+            report["alloc"] = _alloc_end(alloc_before)
         conn.send(("report", report))
     except BaseException as exc:  # noqa: B036 - forwarded to coordinator
         import traceback
@@ -242,33 +454,49 @@ class ShardedRunner:
 
     def __init__(self, workload: ShardWorkload, shards: int, *,
                  processes: bool | None = None, collect_logs: bool = True,
-                 verify_ghosts: bool = False) -> None:
+                 verify_ghosts: bool = False, partition: str = "strip",
+                 rebalance: bool = False,
+                 rebalance_threshold: float = REBALANCE_THRESHOLD,
+                 measure_alloc: bool = False) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards!r}")
         self.workload = workload
         self.shards = shards
         #: Default: worker processes once there is real fan-out.
         self.processes = (shards > 1) if processes is None else processes
+        halo = halo_width(workload.radio_range, workload.max_speed(),
+                          workload.window)
+        spec = spec_for(partition, workload.bounds, shards, halo)
+        if rebalance and spec.kind != "tile":
+            raise ValueError("rebalancing requires the tile partition "
+                             f"(got {partition!r})")
         self.config = ShardConfig(
             seed=workload.seed, bounds=workload.bounds, shards=shards,
             sim_seconds=workload.sim_seconds, tick=workload.tick,
             window=workload.window, radio_range=workload.radio_range,
-            halo=halo_width(workload.radio_range, workload.walker_speed,
-                            workload.window),
+            halo=halo,
             scan_times=workload.scan_times(), collect_logs=collect_logs,
-            verify_ghosts=verify_ghosts)
+            verify_ghosts=verify_ghosts, partition=spec,
+            rebalance=rebalance, rebalance_threshold=rebalance_threshold,
+            measure_alloc=measure_alloc)
 
     def run(self) -> ShardedResult:
         devices = self.workload.build_devices()
         split = _initial_split(self.config, devices)
+        stats = _WindowStats(self.config)
         if self.processes and self.shards > 1:
-            reports = self._run_processes(split)
+            reports = self._run_processes(split, stats)
         else:
-            reports = self._run_inline(split)
+            reports = self._run_inline(split, stats)
         reports.sort(key=lambda report: report["shard_id"])
+        stats.finish(reports)
         logs = None
         if self.config.collect_logs:
             logs = _merge_logs([report["logs"] for report in reports])
+        per_shard_alloc = None
+        if self.config.measure_alloc:
+            per_shard_alloc = {report["shard_id"]: report["alloc"]
+                               for report in reports if "alloc" in report}
         return ShardedResult(
             shards=self.shards, device_count=len(devices),
             sim_seconds=self.workload.sim_seconds,
@@ -279,23 +507,44 @@ class ShardedRunner:
             ghost_peak=max(report["ghost_peak"] for report in reports),
             worker_rss_mb=max(report["rss_mb"] for report in reports),
             per_shard_events={report["shard_id"]: report["device_events"]
-                              for report in reports})
+                              for report in reports},
+            partition=self.config.partition.kind,
+            tiles=stats.tiles,
+            rebalances=stats.rebalances,
+            tiles_migrated=stats.tiles_migrated,
+            imbalance_factor=stats.imbalance_factor,
+            critical_path_seconds=stats.critical_path,
+            per_shard_alloc=per_shard_alloc)
 
     # -- in-process scheduler ---------------------------------------------
 
-    def _run_inline(self, split) -> list[dict]:
+    def _run_inline(self, split, stats: _WindowStats) -> list[dict]:
+        # In-process shards share one interpreter, so the alloc figures
+        # are process-wide (exact for shards=1, joint otherwise); the
+        # process scheduler is the genuinely per-shard path.
+        alloc_before = (_alloc_begin() if self.config.measure_alloc
+                        else None)
         sims = [ShardSim(self.config, shard_id, owned, ghosts)
                 for shard_id, (owned, ghosts) in enumerate(split)]
         ghost_peaks = [len(sim.ghosts) for sim in sims]
+        busy = [0.0] * len(sims)
         boundaries = self.config.boundaries()
         for index, boundary in enumerate(boundaries):
             for sim in sims:
+                # Shards run back-to-back in this one process, so
+                # per-shard CPU-time deltas attribute work exactly.
+                started = time.process_time()
                 sim.run_window(boundary)
+                busy[sim.shard_id] += time.process_time() - started
             if index == len(boundaries) - 1:
                 break
             exchanges = []
+            shard_stats = []
             for sim in sims:
                 exchange = sim.collect_exchange()
+                shard_stats.append({"tile_loads": exchange.tile_loads,
+                                    "window_events": exchange.window_events,
+                                    "busy_seconds": busy[sim.shard_id]})
                 # The pickle round-trip mirrors process-mode isolation:
                 # a routed state must never share live objects with the
                 # exporting shard.
@@ -304,23 +553,29 @@ class ShardedRunner:
                       for target, state in exchange.migrations],
                      [(target, _clone(state))
                       for target, state in exchange.ghosts]))
+            busy = [0.0] * len(sims)
             bundles = _route(exchanges, self.shards)
+            new_map = stats.window(shard_stats)
             for sim, (immigrants, ghost_specs) in zip(sims, bundles,
                                                       strict=True):
-                sim.apply_exchange(immigrants, ghost_specs)
+                sim.apply_exchange(immigrants, ghost_specs, new_map)
                 ghost_peaks[sim.shard_id] = max(ghost_peaks[sim.shard_id],
                                                 len(sim.ghosts))
+        alloc = _alloc_end(alloc_before) if alloc_before is not None else None
         reports = []
         for sim in sims:
             sim.stop()
             report = _worker_report(sim)
             report["ghost_peak"] = ghost_peaks[sim.shard_id]
+            report["final_busy_seconds"] = busy[sim.shard_id]
+            if alloc is not None:
+                report["alloc"] = dict(alloc)
             reports.append(report)
         return reports
 
     # -- process scheduler ------------------------------------------------
 
-    def _run_processes(self, split) -> list[dict]:
+    def _run_processes(self, split, stats: _WindowStats) -> list[dict]:
         context = get_context("spawn")
         workers = []
         pipes: list[Connection] = []
@@ -340,9 +595,11 @@ class ShardedRunner:
                 exchanges = [self._recv(conn, "exchange") for conn in pipes]
                 bundles = _route([(message[1], message[2])
                                   for message in exchanges], self.shards)
+                new_map = stats.window([message[3]
+                                        for message in exchanges])
                 for conn, (immigrants, ghost_specs) in zip(pipes, bundles,
                                                            strict=True):
-                    conn.send(("apply", immigrants, ghost_specs))
+                    conn.send(("apply", immigrants, ghost_specs, new_map))
             return [self._recv(conn, "report")[1] for conn in pipes]
         finally:
             for conn in pipes:
@@ -408,11 +665,14 @@ def reference_run(workload: ShardWorkload, *,
             when = base + state.scan_phase
             if 0.0 < when <= workload.sim_seconds:
                 env.call_at(when, scan, state.device_id)
+    started = time.process_time()
     env.run(until=workload.sim_seconds)
+    busy = time.process_time() - started
     world.stop()
     return ShardedResult(
         shards=1, device_count=len(devices),
         sim_seconds=workload.sim_seconds, events=events,
         logs=logs if collect_logs else None, migrations=0, windows=1,
         ghost_peak=0, worker_rss_mb=_rss_mb(),
-        per_shard_events={0: events})
+        per_shard_events={0: events},
+        critical_path_seconds=busy)

@@ -21,8 +21,9 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.mobility.geometry import Point, Rect
-from repro.shard import (ShardWorkload, ShardedRunner, compare_results,
-                         crowd_workload, interaction_digests, reference_run)
+from repro.shard import (ShardWorkload, ShardedRunner, clustered_workload,
+                         compare_results, crowd_workload,
+                         interaction_digests, reference_run)
 from repro.shard.devices import DeviceState, SeededWalk
 
 #: Shard counts every oracle comparison covers: trivial, even splits
@@ -36,9 +37,11 @@ ORACLE = crowd_workload(24, seed=7, sim_seconds=20.0, walker_fraction=0.5)
 
 
 def run_sharded(workload: ShardWorkload, shards: int, *,
-                processes: bool = False) -> object:
+                processes: bool = False, partition: str = "strip",
+                rebalance: bool = False) -> object:
     return ShardedRunner(workload, shards, processes=processes,
-                         collect_logs=True, verify_ghosts=True).run()
+                         collect_logs=True, verify_ghosts=True,
+                         partition=partition, rebalance=rebalance).run()
 
 
 class TestLockstepOracle:
@@ -174,3 +177,125 @@ class TestBorderHopper:
         sharded = run_sharded(HOPPER, shards)
         assert compare_results(reference, sharded, label_a="reference",
                                label_b=f"shards{shards}") == []
+
+
+# -- tile partitions and rebalancing ----------------------------------------
+
+#: Clustered oracle: four hotspots on a "main street" so the tile
+#: rebalancer actually fires (guarded below) while staying small enough
+#: to run at several shard counts per test.  Non-zero drift exercises
+#: the flash-crowd mobility (DriftWalk) through the ghost-exactness
+#: machinery too.
+CLUSTERED = clustered_workload(48, seed=13, sim_seconds=20.0, clusters=4,
+                               center_spread=0.05, center_spread_y=0.3,
+                               scan_interval=2.0, window=1.0,
+                               drift_speed=1.0)
+
+
+class TestTileOracle:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_tile_sharded_equals_reference(self, shards):
+        reference = reference_run(ORACLE)
+        sharded = run_sharded(ORACLE, shards, partition="tile")
+        assert compare_results(reference, sharded, label_a="reference",
+                               label_b=f"tile{shards}") == []
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_rebalancing_run_equals_reference(self, shards):
+        """Live tile migrations mid-run must be invisible in the
+        results — the map only decides *where* work happens."""
+        reference = reference_run(CLUSTERED)
+        sharded = run_sharded(CLUSTERED, shards, partition="tile",
+                              rebalance=True)
+        assert compare_results(reference, sharded, label_a="reference",
+                               label_b=f"rebalance{shards}") == []
+
+    def test_rebalancer_actually_fires(self):
+        """Guard the guard: the clustered oracle must trigger real tile
+        reassignments, or the equivalence above passes vacuously."""
+        sharded = run_sharded(CLUSTERED, 4, partition="tile",
+                              rebalance=True)
+        assert sharded.rebalances > 0
+        assert sharded.tiles_migrated > 0
+        assert sharded.partition == "tile"
+        assert sharded.tiles > 4
+
+    def test_spawned_tile_workers_match_reference(self):
+        reference = reference_run(CLUSTERED)
+        sharded = ShardedRunner(CLUSTERED, 2, processes=True,
+                                collect_logs=True, partition="tile",
+                                rebalance=True).run()
+        assert compare_results(reference, sharded, label_a="reference",
+                               label_b="tile-processes") == []
+
+    def test_rebalance_requires_tile_partition(self):
+        with pytest.raises(ValueError):
+            ShardedRunner(ORACLE, 2, rebalance=True)
+
+
+class CornerHopper:
+    """Mobility model that teleports across a four-tile corner.
+
+    Alternates diagonally between ``(cx - a, cy - a)`` and
+    ``(cx + a, cy + a)`` — with the centre on a tile-grid corner every
+    tick crosses tile boundaries in *both* axes at once, the case strip
+    partitions never face and the 2D ghost box must cover.
+    """
+
+    def __init__(self, cx: float, cy: float, amplitude: float) -> None:
+        self.cx = cx
+        self.cy = cy
+        self.amplitude = amplitude
+        self._sign = 1.0
+
+    def step(self, position: Point, dt: float) -> Point:
+        self._sign = -self._sign
+        return Point(self.cx + self._sign * self.amplitude,
+                     self.cy + self._sign * self.amplitude)
+
+
+@dataclass(frozen=True)
+class CornerWorkload(ShardWorkload):
+    """Adversarial workload: a corner hopper plus quadrant observers."""
+
+    def build_devices(self) -> list[DeviceState]:
+        cx = self.bounds.min_x + self.bounds.width / 2.0
+        cy = self.bounds.min_y + self.bounds.height / 2.0
+        hopper = DeviceState(
+            device_id="hopper", x=cx - 5.0, y=cy - 5.0,
+            model=CornerHopper(cx=cx, cy=cy, amplitude=5.0))
+        observers = [
+            DeviceState(device_id="obs_sw", x=cx - 30.0, y=cy - 30.0),
+            DeviceState(device_id="obs_ne", x=cx + 30.0, y=cy + 30.0),
+            DeviceState(device_id="obs_far", x=cx + 150.0, y=cy + 150.0),
+        ]
+        walker = DeviceState(
+            device_id="walker", x=cx + 20.0, y=cy - 20.0,
+            model=SeededWalk(self.bounds, self.walker_speed, seed=99))
+        return [hopper, *observers, walker]
+
+
+#: Same speed bound as HOPPER: it must cover the diagonal teleport.
+CORNER = CornerWorkload(count=5, seed=3, sim_seconds=30.0,
+                        bounds=Rect(0.0, 0.0, 400.0, 400.0),
+                        walker_speed=12.0)
+
+
+class TestCornerHopper:
+    def test_diagonal_crossings_are_adversarial(self):
+        """The hopper must hammer tile borders diagonally and stay
+        visible from both touching quadrants — never from afar."""
+        sharded = run_sharded(CORNER, 4, partition="tile")
+        assert sharded.migrations > 0
+        assert sharded.ghost_peak > 0
+        logs = sharded.logs
+        assert any("hopper" in entry[1] for entry in logs["obs_sw"])
+        assert any("hopper" in entry[1] for entry in logs["obs_ne"])
+        assert all("hopper" not in entry[1] for entry in logs["obs_far"])
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_corner_hopper_equals_reference(self, shards):
+        reference = reference_run(CORNER)
+        sharded = run_sharded(CORNER, shards, partition="tile")
+        assert compare_results(reference, sharded, label_a="reference",
+                               label_b=f"corner{shards}") == []

@@ -1,20 +1,26 @@
-"""Strip partition and halo arithmetic — the sharded engine's geometry.
+"""Partition geometry and the rebalancer — the sharded engine's map.
 
-Ownership must be a total, pure function of x (every position maps to
-exactly one shard, out-of-bounds clamps to the edge strips) and the
+Ownership must be a total, pure function of position (every point maps
+to exactly one shard, out-of-bounds clamps to the edge regions) and the
 ghost routing set must cover every shard a device could interact with
-during one window.  These are the invariants the equivalence gate
-leans on, so they get direct unit coverage here.
+during one window — for tiles that includes diagonal corner crossings.
+These are the invariants the equivalence gate leans on, so they get
+direct unit and property coverage here, alongside the greedy
+rebalancer's contract: deterministic, terminating, load-conserving and
+never making the spread worse.
 """
 
 from __future__ import annotations
 
 import pytest
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.mobility.geometry import Rect
-from repro.shard.partition import StripPartition, halo_width
+from repro.shard.balance import imbalance, rebalance_map, shard_loads
+from repro.shard.partition import (MAX_TILES, PartitionSpec, StripPartition,
+                                   TilePartition, default_tile_map,
+                                   halo_width, plan_tile_grid, spec_for)
 
 BOUNDS = Rect(0.0, 0.0, 400.0, 400.0)
 
@@ -123,3 +129,216 @@ class TestShardsWithin:
     def test_routing_set_always_contains_the_owner(self, x, halo, shards):
         partition = StripPartition(BOUNDS, shards)
         assert partition.owner_of(x) in partition.shards_within(x, halo)
+
+
+# -- tile partitions --------------------------------------------------------
+
+grids = st.tuples(st.integers(min_value=1, max_value=6),
+                  st.integers(min_value=1, max_value=6))
+coords = st.floats(min_value=-50.0, max_value=450.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+def _random_tile_partition(tiles: tuple[int, int], shards: int,
+                           seed: int) -> TilePartition:
+    """A tile partition whose map is scrambled (but valid) — the
+    properties must hold for *any* map, not just the balanced default,
+    because the rebalancer produces arbitrary assignments."""
+    count = tiles[0] * tiles[1]
+    tile_map = tuple((tile * (seed % 7 + 1) + seed) % shards
+                     for tile in range(count))
+    return TilePartition(BOUNDS, shards, tiles, tile_map)
+
+
+class TestTileOwnership:
+    def test_row_major_indexing(self):
+        partition = TilePartition(BOUNDS, 4, (4, 4))
+        assert partition.tile_index(50.0, 50.0) == 0
+        assert partition.tile_index(150.0, 50.0) == 1
+        assert partition.tile_index(50.0, 150.0) == 4
+        assert partition.tile_index(399.0, 399.0) == 15
+
+    def test_out_of_bounds_clamps_to_edge_tiles(self):
+        partition = TilePartition(BOUNDS, 4, (4, 4))
+        assert partition.tile_index(-10.0, -10.0) == 0
+        assert partition.tile_index(1e9, 1e9) == 15
+
+    def test_tile_bounds_contains_interior_points(self):
+        partition = TilePartition(BOUNDS, 2, (4, 4))
+        for x, y in [(10.0, 10.0), (250.0, 130.0), (399.9, 399.9)]:
+            rect = partition.tile_bounds(partition.tile_index(x, y))
+            assert rect.min_x <= x <= rect.max_x
+            assert rect.min_y <= y <= rect.max_y
+
+    def test_bad_maps_rejected(self):
+        with pytest.raises(ValueError):
+            TilePartition(BOUNDS, 2, (2, 2), (0, 1, 0))  # wrong length
+        with pytest.raises(ValueError):
+            TilePartition(BOUNDS, 2, (2, 2), (0, 1, 0, 2))  # shard 2 of 2
+        with pytest.raises(ValueError):
+            TilePartition(BOUNDS, 2, (0, 2))
+
+    @given(x=coords, y=coords, tiles=grids,
+           shards=st.integers(min_value=1, max_value=8),
+           seed=st.integers(min_value=0, max_value=999))
+    def test_exactly_one_owner_everywhere(self, x, y, tiles, shards, seed):
+        partition = _random_tile_partition(tiles, shards, seed)
+        tile = partition.tile_index(x, y)
+        assert 0 <= tile < tiles[0] * tiles[1]
+        assert partition.owner_at(x, y) == partition.tile_map[tile]
+        assert 0 <= partition.owner_at(x, y) < shards
+
+
+class TestTileAdjacency:
+    def test_interior_tile_has_eight_neighbors(self):
+        partition = TilePartition(BOUNDS, 1, (4, 4))
+        assert len(partition.tile_neighbors(5)) == 8
+
+    def test_corner_tile_has_three_neighbors(self):
+        partition = TilePartition(BOUNDS, 1, (4, 4))
+        assert partition.tile_neighbors(0) == (1, 4, 5)
+
+    @given(tiles=grids)
+    def test_adjacency_is_symmetric(self, tiles):
+        partition = TilePartition(BOUNDS, 1, tiles)
+        count = tiles[0] * tiles[1]
+        for tile in range(count):
+            for neighbor in partition.tile_neighbors(tile):
+                assert tile in partition.tile_neighbors(neighbor)
+
+
+class TestTileGhosts:
+    def test_four_corner_crossing_routes_to_all_owners(self):
+        """A device on a four-tile corner must ghost to all four owning
+        shards — the diagonal case a strip partition never has."""
+        partition = TilePartition(BOUNDS, 4, (2, 2), (0, 1, 2, 3))
+        assert partition.ghost_shards(200.0, 200.0, 5.0) == (0, 1, 2, 3)
+
+    def test_interior_device_ghosts_only_to_owner(self):
+        partition = TilePartition(BOUNDS, 4, (2, 2), (0, 1, 2, 3))
+        assert partition.ghost_shards(100.0, 100.0, 5.0) == (0,)
+
+    def test_negative_halo_rejected(self):
+        partition = TilePartition(BOUNDS, 2, (2, 2))
+        with pytest.raises(ValueError):
+            partition.ghost_shards(10.0, 10.0, -1.0)
+
+    @given(x=coords, y=coords, tiles=grids,
+           halo=st.floats(min_value=0.0, max_value=150.0,
+                          allow_nan=False, allow_infinity=False),
+           shards=st.integers(min_value=1, max_value=8),
+           seed=st.integers(min_value=0, max_value=999))
+    def test_ghost_set_contains_owner_and_is_sorted(self, x, y, tiles,
+                                                    halo, shards, seed):
+        partition = _random_tile_partition(tiles, shards, seed)
+        ghosts = partition.ghost_shards(x, y, halo)
+        assert partition.owner_at(x, y) in ghosts
+        assert list(ghosts) == sorted(set(ghosts))
+
+    @given(x=coords, y=coords, tiles=grids,
+           halo=st.floats(min_value=0.0, max_value=150.0,
+                          allow_nan=False, allow_infinity=False),
+           dx=st.floats(min_value=-1.0, max_value=1.0,
+                        allow_nan=False, allow_infinity=False),
+           dy=st.floats(min_value=-1.0, max_value=1.0,
+                        allow_nan=False, allow_infinity=False),
+           shards=st.integers(min_value=1, max_value=8),
+           seed=st.integers(min_value=0, max_value=999))
+    def test_ghost_set_covers_every_reachable_owner(self, x, y, tiles, halo,
+                                                    dx, dy, shards, seed):
+        """Brute-force coverage: the owner of *any* position inside the
+        halo box (diagonals included) appears in the ghost set — the
+        invariant the window-equivalence proof leans on."""
+        partition = _random_tile_partition(tiles, shards, seed)
+        ghosts = partition.ghost_shards(x, y, halo)
+        assert partition.owner_at(x + dx * halo, y + dy * halo) in ghosts
+
+
+class TestTileMapsAndPlanning:
+    @given(tiles=st.integers(min_value=1, max_value=200),
+           shards=st.integers(min_value=1, max_value=16))
+    def test_default_map_is_balanced_and_contiguous(self, tiles, shards):
+        tile_map = default_tile_map(tiles, shards)
+        counts = [tile_map.count(shard) for shard in range(shards)]
+        busy = [count for count in counts if count]
+        assert max(busy) - min(busy) <= 1
+        assert list(tile_map) == sorted(tile_map)  # contiguous blocks
+
+    @given(shards=st.integers(min_value=1, max_value=16),
+           halo=st.floats(min_value=10.0, max_value=400.0,
+                          allow_nan=False, allow_infinity=False))
+    def test_planned_tiles_respect_the_halo_floor(self, shards, halo):
+        tiles_x, tiles_y = plan_tile_grid(BOUNDS, shards, halo)
+        assert 1 <= tiles_x * tiles_y <= MAX_TILES
+        assert BOUNDS.width / tiles_x >= min(halo, BOUNDS.width)
+        assert BOUNDS.height / tiles_y >= min(halo, BOUNDS.height)
+
+    def test_spec_roundtrip(self):
+        spec = spec_for("tile", BOUNDS, 4, 70.0)
+        partition = spec.build(BOUNDS, 4)
+        assert isinstance(partition, TilePartition)
+        assert isinstance(spec_for("strip", BOUNDS, 4, 70.0).build(BOUNDS, 4),
+                          StripPartition)
+        with pytest.raises(ValueError):
+            spec_for("hex", BOUNDS, 4, 70.0)
+        with pytest.raises(ValueError):
+            PartitionSpec(kind="tile")  # tile grid is mandatory
+        with pytest.raises(ValueError):
+            PartitionSpec(kind="strip", tiles=(2, 2))
+
+
+# -- the greedy rebalancer --------------------------------------------------
+
+load_cases = st.integers(min_value=2, max_value=60).flatmap(
+    lambda tiles: st.tuples(
+        st.just(tiles),
+        st.integers(min_value=1, max_value=8),
+        st.dictionaries(st.integers(min_value=0, max_value=tiles - 1),
+                        st.integers(min_value=0, max_value=100),
+                        max_size=tiles)))
+
+
+class TestRebalancer:
+    def test_hot_strip_is_spread_out(self):
+        # All the load on shard 0's tiles: the greedy must hand some off.
+        tile_map = default_tile_map(8, 2)
+        loads = {0: 10, 1: 10, 2: 10, 3: 10}
+        new_map, moves = rebalance_map(tile_map, loads, 2)
+        assert moves > 0
+        assert imbalance(shard_loads(new_map, loads, 2)) < \
+            imbalance(shard_loads(tile_map, loads, 2))
+
+    def test_single_hot_tile_cannot_be_split(self):
+        # One tile heavier than everything else: no whole-tile move
+        # helps, so the map must come back unchanged rather than churn.
+        tile_map = default_tile_map(4, 2)
+        new_map, moves = rebalance_map(tile_map, {0: 1000, 3: 1}, 2)
+        assert moves == 0
+        assert new_map == tile_map
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            rebalance_map((0, 1), {0: 5}, 2, threshold=0.5)
+
+    @settings(max_examples=60)
+    @given(case=load_cases)
+    def test_rebalance_is_deterministic(self, case):
+        tiles, shards, loads = case
+        tile_map = default_tile_map(tiles, shards)
+        assert rebalance_map(tile_map, loads, shards) == \
+            rebalance_map(tile_map, loads, shards)
+
+    @settings(max_examples=60)
+    @given(case=load_cases)
+    def test_rebalance_never_worsens_the_spread(self, case):
+        tiles, shards, loads = case
+        tile_map = default_tile_map(tiles, shards)
+        new_map, moves = rebalance_map(tile_map, loads, shards)
+        assert len(new_map) == tiles
+        assert all(0 <= owner < shards for owner in new_map)
+        before = shard_loads(tile_map, loads, shards)
+        after = shard_loads(new_map, loads, shards)
+        assert sum(after) == sum(before)  # load is conserved
+        assert imbalance(after) <= imbalance(before)
+        if moves == 0:
+            assert new_map == tile_map

@@ -99,6 +99,17 @@ class TestEscapeHatch:
         # Below the threshold the scalar path serves everything.
         assert medium._sweep_flat == {}
 
+    def test_auto_enables_at_threshold(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VECTOR_SWEEP", raising=False)
+        monkeypatch.setenv("REPRO_VECTOR_SWEEP_MIN", str(len(NODE_IDS)))
+        world, medium = _build({})
+        _populate(world, medium)
+        assert medium._vector
+        _listings(medium)
+        # At or above the threshold every local technology is served by
+        # whole-population sweeps, no opt-in required.
+        assert set(medium._sweep_flat) == {t.name for t in TECHNOLOGIES}
+
 
 @contextmanager
 def _media_pair():
