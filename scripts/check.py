@@ -1,20 +1,29 @@
 #!/usr/bin/env python
 """Simulation-safety static analyzer CLI.
 
-Runs the :mod:`repro.analysis` rule set (SIM001-SIM004, PROTO001,
-PROTO002) over the source tree and reports violations::
+Runs the :mod:`repro.analysis` rule set (SIM/PROTO file rules plus the
+interprocedural DET/SHARD rules) over the source tree and reports
+violations::
 
     python scripts/check.py                     # whole tree, human report
     python scripts/check.py --json              # JSON report on stdout
     python scripts/check.py --output report.json  # human + JSON artifact
-    python scripts/check.py src/repro/net/stack.py  # changed-file mode
+    python scripts/check.py --sarif report.sarif  # SARIF 2.1.0 artifact
+    python scripts/check.py --partial src/repro/net/stack.py  # changed files
     python scripts/check.py --list-rules
 
 Exit status: 0 clean, 1 findings or suppression budget exceeded,
-2 usage error.  File-scoped ``# repro: allow[RULE] -- reason``
-comments suppress a rule for one file; every allowance is counted
-against ``--max-suppressions`` (default pinned below) so suppressions
-are visible, budgeted debt.
+2 usage error.  ``# repro: allow[RULE] -- reason`` comments suppress a
+rule for one file (or, placed inside a function body, for that
+function only); every allowance is counted against
+``--max-suppressions`` (default pinned below) so suppressions are
+visible, budgeted debt.
+
+Passing an explicit file list is a *partial* run: the call-graph and
+cross-file rules see only those modules, so a clean partial run is not
+the authoritative verdict — CI's full-tree run is.  ``--partial``
+acknowledges that explicitly (pre-commit uses it); without the flag a
+file-list run still works but prints the same warning.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.analysis import all_rules, analyze_paths, analyze_tree  # noqa: E402
+from repro.analysis.sarif import to_sarif  # noqa: E402
 
 #: The committed suppression budget.  The tree currently needs zero
 #: allowances; raising this number is a reviewed change, exactly like
@@ -51,6 +61,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--output", type=Path, default=None, metavar="FILE",
                         help="also write the JSON report to FILE (CI "
                              "artifact)")
+    parser.add_argument("--sarif", type=Path, default=None, metavar="FILE",
+                        help="also write a SARIF 2.1.0 report to FILE "
+                             "(code-scanning upload)")
+    parser.add_argument("--partial", action="store_true",
+                        help="acknowledge a changed-file run: project "
+                             "rules see only the listed files and the "
+                             "verdict is not authoritative")
     parser.add_argument("--max-suppressions", type=int,
                         default=MAX_SUPPRESSIONS, metavar="N",
                         help="fail when more than N # repro: allow[...] "
@@ -74,6 +91,9 @@ def main(argv: list[str] | None = None) -> int:
                 files.append(path)
         report = analyze_paths(files, root=REPO_ROOT)
     else:
+        if args.partial:
+            parser.error("--partial needs an explicit file list; the "
+                         "default full-tree run is never partial")
         report = analyze_tree(DEFAULT_TARGET)
         report.root = str(DEFAULT_TARGET)
 
@@ -82,6 +102,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.output is not None:
         args.output.write_text(json.dumps(report.to_json(), indent=2) + "\n",
                                encoding="utf-8")
+    if args.sarif is not None:
+        args.sarif.write_text(json.dumps(to_sarif(report), indent=2) + "\n",
+                              encoding="utf-8")
+    if report.partial:
+        print("warning: partial run over an explicit file list; "
+              "call-graph and cross-file rules are not authoritative — "
+              "rely on the full-tree run for the final verdict",
+              file=sys.stderr)
     if args.json:
         print(json.dumps(report.to_json(), indent=2))
     else:

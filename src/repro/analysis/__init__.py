@@ -18,9 +18,11 @@ reports.  ``scripts/check.py`` is the CLI; CI blocks on it.
 """
 
 from repro.analysis.core import (
+    ContextRule,
     Finding,
     FileRule,
     Module,
+    ProjectContext,
     ProjectRule,
     Suppression,
     all_rules,
@@ -28,19 +30,27 @@ from repro.analysis.core import (
     register,
     rule_codes,
 )
+from repro.analysis.callgraph import CallGraph, build_call_graph
+from repro.analysis.effects import EffectAnalysis, analyze_effects
 from repro.analysis.runner import AnalysisReport, analyze_paths, analyze_tree
 from repro.analysis import rules as _rules  # noqa: F401  (registers the rule set)
 
 __all__ = [
     "AnalysisReport",
+    "CallGraph",
+    "ContextRule",
+    "EffectAnalysis",
     "FileRule",
     "Finding",
     "Module",
+    "ProjectContext",
     "ProjectRule",
     "Suppression",
     "all_rules",
+    "analyze_effects",
     "analyze_paths",
     "analyze_tree",
+    "build_call_graph",
     "parse_module",
     "register",
     "rule_codes",

@@ -1,0 +1,88 @@
+"""Shared AST helpers for the rule set."""
+
+from __future__ import annotations
+
+import ast
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the qualified import they denote.
+
+    ``import time`` binds ``time -> time``; ``import datetime as dt``
+    binds ``dt -> datetime``; ``from time import perf_counter as pc``
+    binds ``pc -> time.perf_counter``.  Only import-introduced names
+    appear, so rules resolving through this map never mistake a local
+    variable for a module.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                if name.asname is not None:
+                    aliases[name.asname] = name.name
+                else:
+                    # ``import a.b`` binds only the top package ``a``.
+                    top = name.name.split(".", 1)[0]
+                    aliases[top] = top
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 \
+                and node.module is not None:
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                local = name.asname or name.name
+                aliases[local] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def qualified_name(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """Resolve an attribute chain rooted at an imported name.
+
+    ``dt.datetime.now`` with ``dt -> datetime`` resolves to
+    ``datetime.datetime.now``; chains rooted at anything but an
+    imported name resolve to ``None``.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = aliases.get(node.id)
+    if base is None:
+        return None
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+def string_value(node: ast.AST) -> str | None:
+    """The literal string a node spells, if it is one."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def in_packages(display_path: str, packages: frozenset[str]) -> bool:
+    """Whether a file lives under one of the named package directories."""
+    return any(part in packages for part in display_path.split("/")[:-1])
+
+
+_SET_METHODS = frozenset({"intersection", "union", "difference",
+                          "symmetric_difference"})
+
+
+def statically_a_set(node: ast.AST) -> bool:
+    """Whether an expression is provably a set at this syntax level."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS \
+                and statically_a_set(func.value):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)):
+        return statically_a_set(node.left) or statically_a_set(node.right)
+    return False

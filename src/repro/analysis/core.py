@@ -14,11 +14,18 @@ Rules self-register via the :func:`register` decorator so the runner,
 the CLI, and the tests all agree on the active rule set without a
 hand-maintained list.
 
-Suppressions are **file-scoped and explicit**: a ``# repro:
-allow[SIM001]`` comment anywhere in a file silences that rule for the
-whole file.  Every suppression is parsed into a :class:`Suppression`
-record so the runner can count them, report them, and gate their
-number — an allowance is visible debt, never a silent one.
+Suppressions are **scoped and explicit**: a ``# repro: allow[SIM001]``
+comment at module level silences that rule for the whole file, while
+the same comment *inside a function body* silences it only for
+findings within that function's line span — the preferred, surgical
+form.  Every suppression is parsed into a :class:`Suppression` record
+so the runner can count the findings each one absorbs, report them,
+and gate their number — an allowance is visible debt, never a silent
+one.
+
+Interprocedural rules (DET/SHARD) run through a :class:`ProjectContext`
+that builds the call graph and effect fixpoint once per analysis run
+and shares them across every :class:`ContextRule`.
 """
 
 from __future__ import annotations
@@ -59,16 +66,29 @@ class Finding:
 
 @dataclass(frozen=True, order=True)
 class Suppression:
-    """One ``# repro: allow[RULE]`` comment."""
+    """One ``# repro: allow[RULE]`` comment.
+
+    ``scope`` is ``"file"`` for module-level comments; for a comment
+    inside a function body it is that function's dotted qualname and
+    ``span`` holds the function's (first, last) line — only findings
+    inside the span are absorbed.
+    """
 
     path: str
     line: int
     rule: str
     reason: str
+    scope: str = "file"
+    span: tuple[int, int] | None = field(default=None, compare=False,
+                                         repr=False)
+
+    def covers(self, line: int) -> bool:
+        return self.span is None or self.span[0] <= line <= self.span[1]
 
     def render(self) -> str:
         reason = f" ({self.reason})" if self.reason else ""
-        return f"{self.path}:{self.line}: allow[{self.rule}]{reason}"
+        where = "" if self.scope == "file" else f" in {self.scope}"
+        return f"{self.path}:{self.line}: allow[{self.rule}]{where}{reason}"
 
     def to_json(self) -> dict[str, object]:
         return {
@@ -76,6 +96,7 @@ class Suppression:
             "line": self.line,
             "rule": self.rule,
             "reason": self.reason,
+            "scope": self.scope,
         }
 
 
@@ -111,7 +132,7 @@ def parse_module(path: Path, root: Path | None = None) -> Module:
     source = path.read_text(encoding="utf-8")
     tree = ast.parse(source, filename=str(path))
     display = _display_path(path, root)
-    suppressions = _parse_suppressions(source, display)
+    suppressions = _parse_suppressions(source, display, tree)
     return Module(path=path, display_path=display, source=source,
                   tree=tree, suppressions=suppressions)
 
@@ -123,16 +144,22 @@ def _display_path(path: Path, root: Path | None) -> str:
     return path.as_posix()
 
 
-def _parse_suppressions(source: str, display_path: str) -> list[Suppression]:
+def _parse_suppressions(source: str, display_path: str,
+                        tree: ast.Module) -> list[Suppression]:
     """Collect allow-comments from real COMMENT tokens only, so the
     marker can be *mentioned* in strings and docstrings without
-    registering a suppression."""
+    registering a suppression.
+
+    A comment whose line falls inside a function body is scoped to the
+    innermost such function; anywhere else it is file-scoped.
+    """
     suppressions: list[Suppression] = []
     lines = io.StringIO(source)
     try:
         tokens = list(tokenize.generate_tokens(lines.readline))
     except tokenize.TokenError:
         return suppressions
+    spans = _function_spans(tree)
     for token in tokens:
         if token.type != tokenize.COMMENT:
             continue
@@ -140,13 +167,45 @@ def _parse_suppressions(source: str, display_path: str) -> list[Suppression]:
         if match is None:
             continue
         reason = (match.group("reason") or "").strip()
+        scope, span = _innermost_span(spans, token.start[0])
         for rule in match.group("rules").split(","):
             rule = rule.strip()
             if rule:
                 suppressions.append(Suppression(
                     path=display_path, line=token.start[0],
-                    rule=rule, reason=reason))
+                    rule=rule, reason=reason, scope=scope, span=span))
     return suppressions
+
+
+def _function_spans(tree: ast.Module) -> list[tuple[int, int, str]]:
+    """(first line, last line, qualname) for every function in the file."""
+    spans: list[tuple[int, int, str]] = []
+
+    def walk(body: list[ast.stmt], prefix: str) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{node.name}"
+                spans.append((node.lineno, node.end_lineno or node.lineno,
+                              qualname))
+                walk(node.body, f"{qualname}.")
+            elif isinstance(node, ast.ClassDef):
+                walk(node.body, f"{prefix}{node.name}.")
+
+    walk(tree.body, "")
+    return spans
+
+
+def _innermost_span(spans: list[tuple[int, int, str]],
+                    line: int) -> tuple[str, tuple[int, int] | None]:
+    """The tightest function span containing ``line`` (or file scope)."""
+    best: tuple[int, int, str] | None = None
+    for start, end, qualname in spans:
+        if start <= line <= end and \
+                (best is None or end - start < best[1] - best[0]):
+            best = (start, end, qualname)
+    if best is None:
+        return "file", None
+    return best[2], (best[0], best[1])
 
 
 class Rule:
@@ -179,6 +238,42 @@ class ProjectRule(Rule):
     """A rule that inspects the whole module set for consistency."""
 
     def check_project(self, modules: Iterable[Module]) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class ProjectContext:
+    """Shared interprocedural state for one analysis run.
+
+    The call graph and the effect fixpoint are built lazily, once, and
+    shared by every :class:`ContextRule` — three rules asking for
+    effects cost one fixpoint.  Imports are deferred because the graph
+    modules import this one.
+    """
+
+    def __init__(self, modules: list[Module]) -> None:
+        self.modules = modules
+        self._graph = None
+        self._effects = None
+
+    @property
+    def graph(self):  # -> repro.analysis.callgraph.CallGraph
+        if self._graph is None:
+            from repro.analysis.callgraph import build_call_graph
+            self._graph = build_call_graph(self.modules)
+        return self._graph
+
+    @property
+    def effects(self):  # -> repro.analysis.effects.EffectAnalysis
+        if self._effects is None:
+            from repro.analysis.effects import analyze_effects
+            self._effects = analyze_effects(self.modules, graph=self.graph)
+        return self._effects
+
+
+class ContextRule(Rule):
+    """A project rule that reads the shared interprocedural context."""
+
+    def check_context(self, context: ProjectContext) -> Iterator[Finding]:
         raise NotImplementedError
 
 

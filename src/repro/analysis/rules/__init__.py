@@ -6,7 +6,12 @@ of truth afterwards.
 """
 
 from repro.analysis.core import Rule, register
-from repro.analysis.rules import proto, sim  # noqa: F401  (registration side effect)
+from repro.analysis.rules import (  # noqa: F401  (registration side effect)
+    det,
+    proto,
+    shard,
+    sim,
+)
 
 
 @register

@@ -1,0 +1,249 @@
+"""Interprocedural determinism rules (DET001, DET002).
+
+The file-local SIM rules police *direct* reads: ``time.time()`` spelled
+inside a sim-path module, a global ``random.random()`` anywhere.  A
+one-line helper defeats them — move the read into ``eval/util.py`` and
+call it from ``simenv``.  DET001 closes that hole with the effect
+fixpoint (:mod:`repro.analysis.effects`): a function in the determinism
+scope (``simenv``, ``shard``, ``radio``) that *transitively* reaches a
+wall-clock read or an ambient entropy draw is a finding, with the call
+chain spelled out.  Direct sites that a file-local rule already flags
+(SIM001/SIM002/SHARD002) are not re-reported — DET001 fires exactly
+where they are blind.
+
+DET002 guards the ordering stability of what crosses shard and wire
+boundaries: an expression whose order derives from an unordered set —
+syntactically, or via a call to a function the effect engine marks
+``unordered-return`` — must not reach a ``ShardExchange`` payload or a
+serialized frame (``serialize``/``serialize_into``/``make_request``).
+``sorted(...)`` is the sanctioned fix and launders the taint.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import (
+    ContextRule,
+    Finding,
+    ProjectContext,
+    register,
+)
+from repro.analysis.effects import (
+    AMBIENT_RANDOM,
+    CPU_TIME,
+    GLOBAL_RANDOM_CALLS,
+    UNORDERED_RETURN,
+    WALL_CLOCK,
+    EffectAnalysis,
+    EffectOrigin,
+    expression_is_set_ordered,
+)
+from repro.analysis.callgraph import CallGraph, CallSite, FunctionInfo
+from repro.analysis.rules.sim import SIM_PATH_PACKAGES
+
+#: Packages whose functions must stay transitively deterministic: the
+#: event engine, the sharded world, and the radio medium are exactly
+#: the code the bit-exactness gates referee.
+DET_SCOPE_PACKAGES = frozenset({"simenv", "shard", "radio"})
+
+#: Where direct wall-clock reads are already a file-local finding
+#: (SIM001 on the sim path, SHARD002 in the shard package).
+_CLOCK_POLICED = SIM_PATH_PACKAGES | {"shard"}
+
+#: Entropy sources SIM002's name tables flag directly, everywhere.
+_SIM002_COVERED = GLOBAL_RANDOM_CALLS | {"random.Random()",
+                                         "random.SystemRandom"}
+
+
+@register
+class TransitiveNondeterminismRule(ContextRule):
+    code = "DET001"
+    summary = ("no wall-clock or ambient-randomness reach into "
+               "simenv/shard/radio code, even through helpers in other "
+               "modules (interprocedural SIM001/SIM002)")
+
+    def check_context(self, context: ProjectContext) -> Iterator[Finding]:
+        graph = context.graph
+        effects = context.effects
+        for function_id in sorted(graph.functions):
+            info = graph.functions[function_id]
+            parts = info.package_parts
+            if not any(part in DET_SCOPE_PACKAGES for part in parts):
+                continue
+            for effect in (WALL_CLOCK, CPU_TIME, AMBIENT_RANDOM):
+                if effect == CPU_TIME and "shard" in parts:
+                    # The shard coordinator's busy accounting is the
+                    # sanctioned process_time user; SHARD002 governs it.
+                    continue
+                for origin in effects.origins_of(function_id, effect):
+                    finding = self._judge(graph, effects, info, origin)
+                    if finding is not None:
+                        yield finding
+
+    def _judge(self, graph: CallGraph, effects: EffectAnalysis,
+               info: FunctionInfo,
+               origin: EffectOrigin) -> Finding | None:
+        holder = graph.functions.get(origin.holder)
+        if holder is None:
+            return None
+        direct = origin.holder == info.function_id
+        if origin.effect in (WALL_CLOCK, CPU_TIME):
+            if any(part in _CLOCK_POLICED for part in holder.package_parts):
+                # The direct read sits where SIM001/SHARD002 already
+                # flag it; one finding at the root is enough.
+                return None
+        else:  # ambient randomness
+            if origin.source in _SIM002_COVERED:
+                # SIM002 applies to the whole tree: the direct draw is
+                # flagged wherever it lives.
+                return None
+        chain = effects.chain(info.function_id, origin)
+        if not direct:
+            # Report only on the innermost in-scope function of the
+            # chain: callers further out inherit the same origin and
+            # would repeat the finding verbatim.
+            for callee_id, _line in chain:
+                callee = graph.functions.get(callee_id)
+                if callee is not None and any(
+                        part in DET_SCOPE_PACKAGES
+                        for part in callee.package_parts):
+                    return None
+        line = origin.line if direct else chain[0][1]
+        hops = [info.qualname]
+        for callee_id, _line in chain:
+            callee = graph.functions.get(callee_id)
+            hops.append(callee.qualname if callee is not None else callee_id)
+        route = " -> ".join([*hops, origin.source])
+        kind = {WALL_CLOCK: "wall-clock read",
+                CPU_TIME: "CPU-time read",
+                AMBIENT_RANDOM: "ambient randomness"}[origin.effect]
+        where = (f"{holder.module.display_path}:{origin.line}"
+                 if not direct else f"line {origin.line}")
+        return Finding(
+            path=info.module.display_path, line=line,
+            col=info.node.col_offset, rule=self.code,
+            message=(f"{kind} reaches {info.qualname} via {route} "
+                     f"(direct site {where}); derive time from env.now "
+                     f"and entropy from a named env.random.stream(...), "
+                     f"or hoist the read off the simulated path"))
+
+
+#: Call targets whose arguments become exchange payloads or wire bytes.
+_WIRE_SINKS = frozenset({"serialize", "serialize_into", "make_request"})
+_EXCHANGE_TYPES = frozenset({"ShardExchange"})
+
+
+@register
+class UnorderedPayloadRule(ContextRule):
+    code = "DET002"
+    summary = ("no set-iteration-ordered data in ShardExchange payloads "
+               "or serialized wire frames; sort before it escapes")
+
+    def check_context(self, context: ProjectContext) -> Iterator[Finding]:
+        graph = context.graph
+        effects = context.effects
+        for function_id in sorted(graph.functions):
+            info = graph.functions[function_id]
+            sites = {id(site.node): site
+                     for site in graph.calls.get(function_id, ())}
+            tainted = _call_tainted_names(info, sites, effects)
+            yield from self._check_function(info, sites, tainted, effects)
+
+    def _check_function(self, info: FunctionInfo,
+                        sites: dict[int, CallSite], tainted: set[str],
+                        effects: EffectAnalysis) -> Iterator[Finding]:
+        exchange_names = _exchange_locals(info.node)
+        for node in ast.walk(info.node):
+            payloads: list[tuple[ast.expr, str]] = []
+            if isinstance(node, ast.Call):
+                sink = _sink_name(node)
+                if sink in _EXCHANGE_TYPES:
+                    payloads = [(arg, f"{sink}(...) payload")
+                                for arg in _payload_args(node)]
+                elif sink in _WIRE_SINKS:
+                    payloads = [(arg, f"{sink}(...) wire payload")
+                                for arg in _payload_args(node)]
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute) and \
+                            isinstance(target.value, ast.Name) and \
+                            target.value.id in exchange_names:
+                        payloads.append(
+                            (node.value,
+                             f"{target.value.id}.{target.attr} exchange "
+                             f"field"))
+            for expr, what in payloads:
+                if _payload_tainted(expr, tainted, sites, effects):
+                    yield Finding(
+                        path=info.module.display_path, line=expr.lineno,
+                        col=expr.col_offset, rule=self.code,
+                        message=(f"set-iteration order can reach the "
+                                 f"{what} in {info.qualname}; shard "
+                                 f"exchanges and wire frames must be "
+                                 f"ordering-stable — wrap the data in "
+                                 f"sorted(...) before it escapes"))
+
+
+def _sink_name(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _payload_args(call: ast.Call) -> list[ast.expr]:
+    return [*call.args, *[kw.value for kw in call.keywords]]
+
+
+def _exchange_locals(function: ast.AST) -> set[str]:
+    """Names bound to a freshly constructed exchange in this body."""
+    names: set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Assign) and \
+                isinstance(node.value, ast.Call) and \
+                _sink_name(node.value) in _EXCHANGE_TYPES:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _call_tainted_names(info: FunctionInfo, sites: dict[int, CallSite],
+                        effects: EffectAnalysis) -> set[str]:
+    """Locals assigned from calls to unordered-return functions."""
+    tainted: set[str] = set()
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Assign) and \
+                isinstance(node.value, ast.Call) and \
+                _call_is_unordered(node.value, sites, effects):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    tainted.add(target.id)
+    return tainted
+
+
+def _call_is_unordered(call: ast.Call, sites: dict[int, CallSite],
+                       effects: EffectAnalysis) -> bool:
+    site = sites.get(id(call))
+    if site is None:
+        return False
+    return any(UNORDERED_RETURN in effects.effects_of(callee)
+               for callee in site.callees)
+
+
+def _payload_tainted(expr: ast.expr, tainted: set[str],
+                     sites: dict[int, CallSite],
+                     effects: EffectAnalysis) -> bool:
+    if isinstance(expr, ast.Call):
+        name = _sink_name(expr)
+        if name == "sorted":
+            return False
+        if _call_is_unordered(expr, sites, effects):
+            return True
+        if name in {"list", "tuple"} and expr.args:
+            return _payload_tainted(expr.args[0], tainted, sites, effects)
+    return expression_is_set_ordered(expr, tainted)

@@ -1,66 +1,23 @@
-"""Shared AST helpers for the rule set."""
+"""Shared AST helpers for the rule set.
 
-from __future__ import annotations
+The implementations live in :mod:`repro.analysis.astutil` (imported by
+the call-graph/effect engine too, which must not trigger this package's
+rule-registration side effects); this module re-exports them for the
+rules' convenience.
+"""
 
-import ast
+from repro.analysis.astutil import (
+    import_aliases,
+    in_packages,
+    qualified_name,
+    statically_a_set,
+    string_value,
+)
 
-
-def import_aliases(tree: ast.Module) -> dict[str, str]:
-    """Map local names to the qualified import they denote.
-
-    ``import time`` binds ``time -> time``; ``import datetime as dt``
-    binds ``dt -> datetime``; ``from time import perf_counter as pc``
-    binds ``pc -> time.perf_counter``.  Only import-introduced names
-    appear, so rules resolving through this map never mistake a local
-    variable for a module.
-    """
-    aliases: dict[str, str] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for name in node.names:
-                if name.asname is not None:
-                    aliases[name.asname] = name.name
-                else:
-                    # ``import a.b`` binds only the top package ``a``.
-                    top = name.name.split(".", 1)[0]
-                    aliases[top] = top
-        elif isinstance(node, ast.ImportFrom) and node.level == 0 \
-                and node.module is not None:
-            for name in node.names:
-                if name.name == "*":
-                    continue
-                local = name.asname or name.name
-                aliases[local] = f"{node.module}.{name.name}"
-    return aliases
-
-
-def qualified_name(node: ast.AST, aliases: dict[str, str]) -> str | None:
-    """Resolve an attribute chain rooted at an imported name.
-
-    ``dt.datetime.now`` with ``dt -> datetime`` resolves to
-    ``datetime.datetime.now``; chains rooted at anything but an
-    imported name resolve to ``None``.
-    """
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if not isinstance(node, ast.Name):
-        return None
-    base = aliases.get(node.id)
-    if base is None:
-        return None
-    parts.append(base)
-    return ".".join(reversed(parts))
-
-
-def string_value(node: ast.AST) -> str | None:
-    """The literal string a node spells, if it is one."""
-    if isinstance(node, ast.Constant) and isinstance(node.value, str):
-        return node.value
-    return None
-
-
-def in_packages(display_path: str, packages: frozenset[str]) -> bool:
-    """Whether a file lives under one of the named package directories."""
-    return any(part in packages for part in display_path.split("/")[:-1])
+__all__ = [
+    "import_aliases",
+    "in_packages",
+    "qualified_name",
+    "statically_a_set",
+    "string_value",
+]

@@ -13,7 +13,19 @@ import ast
 from collections.abc import Iterator
 
 from repro.analysis.core import FileRule, Finding, Module, ScopeTracker, register
-from repro.analysis.rules.helpers import import_aliases, in_packages, qualified_name
+from repro.analysis.effects import (
+    BLOCKING_CALLS,
+    BLOCKING_PREFIXES,
+    CPU_TIME_READS,
+    GLOBAL_RANDOM_CALLS,
+    WALL_CLOCK_READS,
+)
+from repro.analysis.rules.helpers import (
+    import_aliases,
+    in_packages,
+    qualified_name,
+    statically_a_set,
+)
 
 #: Packages whose code runs on the simulated path.  ``eval`` and
 #: ``msc`` are deliberately absent: the harness measures wall clocks
@@ -23,38 +35,22 @@ SIM_PATH_PACKAGES = frozenset(
 )
 
 #: Wall-clock reads.  Any of these on the simulated path couples event
-#: outcomes to host speed.
-_WALL_CLOCK = frozenset({
-    "time.time", "time.time_ns",
-    "time.monotonic", "time.monotonic_ns",
-    "time.perf_counter", "time.perf_counter_ns",
-    "time.process_time", "time.process_time_ns",
-    "time.clock_gettime", "time.clock_gettime_ns",
-    "datetime.datetime.now", "datetime.datetime.utcnow",
-    "datetime.datetime.today", "datetime.date.today",
-})
+#: outcomes to host speed.  The call tables live in
+#: :mod:`repro.analysis.effects` — the effect engine and the file-local
+#: rules must never disagree about what counts as a clock.  SIM001
+#: also bans CPU-time reads here: on the simulated path even
+#: ``process_time`` is a host-dependent input (the shard coordinator's
+#: accounting is governed separately by SHARD002).
+_WALL_CLOCK = WALL_CLOCK_READS | CPU_TIME_READS
 
 #: Module-level functions of :mod:`random` — the shared, process-global
 #: generator no named stream controls.
-_GLOBAL_RANDOM = frozenset({
-    "random.random", "random.uniform", "random.randint", "random.randrange",
-    "random.choice", "random.choices", "random.sample", "random.shuffle",
-    "random.getrandbits", "random.randbytes", "random.seed",
-    "random.getstate", "random.setstate", "random.gauss",
-    "random.normalvariate", "random.lognormvariate", "random.expovariate",
-    "random.betavariate", "random.gammavariate", "random.paretovariate",
-    "random.triangular", "random.vonmisesvariate", "random.weibullvariate",
-    "random.binomialvariate",
-})
+_GLOBAL_RANDOM = GLOBAL_RANDOM_CALLS
 
 #: Blocking or I/O-bound calls that must never run inside a simenv
 #: process coroutine — they stall every simulated device at once.
-_BLOCKING_PREFIXES = ("socket.", "subprocess.", "urllib.", "http.client.",
-                     "requests.", "select.")
-_BLOCKING_CALLS = frozenset({
-    "time.sleep", "os.open", "os.read", "os.write", "os.system",
-    "io.open",
-})
+_BLOCKING_PREFIXES = BLOCKING_PREFIXES
+_BLOCKING_CALLS = BLOCKING_CALLS
 
 
 class _SimPathRule(FileRule):
@@ -176,7 +172,7 @@ class UnorderedIterationRule(_SimPathRule):
             else:
                 continue
             for target in targets:
-                if _statically_a_set(target):
+                if statically_a_set(target):
                     yield self.finding(
                         module, target,
                         "iteration over an unordered set; the order feeds "
@@ -250,23 +246,3 @@ def _hot_loop_call_message(node: ast.Call,
     return None
 
 
-_SET_METHODS = frozenset({"intersection", "union", "difference",
-                          "symmetric_difference"})
-
-
-def _statically_a_set(node: ast.AST) -> bool:
-    """Whether an expression is provably a set at this syntax level."""
-    if isinstance(node, (ast.Set, ast.SetComp)):
-        return True
-    if isinstance(node, ast.Call):
-        func = node.func
-        if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
-            return True
-        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS \
-                and _statically_a_set(func.value):
-            return True
-        return False
-    if isinstance(node, ast.BinOp) and isinstance(
-            node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)):
-        return _statically_a_set(node.left) or _statically_a_set(node.right)
-    return False

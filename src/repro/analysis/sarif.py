@@ -1,0 +1,79 @@
+"""SARIF 2.1.0 rendering of an analysis report.
+
+SARIF (Static Analysis Results Interchange Format) is the lingua
+franca code-scanning UIs ingest — one ``run`` per tool invocation,
+one ``result`` per finding, rule metadata under the tool's driver.
+This module emits the minimal conforming subset: enough for GitHub's
+code-scanning upload and for any SARIF viewer to show findings with
+file/line/rule, nothing speculative.
+
+Suppressed findings are *not* emitted: an in-force ``# repro:
+allow[RULE]`` is reviewed, budgeted debt, and re-surfacing it in every
+scan would train people to ignore the viewer.  The suppression count
+lives in the run's ``properties`` bag instead, next to the ``partial``
+flag for changed-file runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.core import all_rules
+from repro.analysis.runner import AnalysisReport
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+TOOL_NAME = "repro-analysis"
+
+
+def to_sarif(report: AnalysisReport) -> dict[str, Any]:
+    """Render ``report`` as a SARIF 2.1.0 log object."""
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [_run(report)],
+    }
+
+
+def _run(report: AnalysisReport) -> dict[str, Any]:
+    return {
+        "tool": {
+            "driver": {
+                "name": TOOL_NAME,
+                "rules": [_rule_descriptor(rule) for rule in all_rules()],
+            },
+        },
+        "results": [_result(finding) for finding in report.findings],
+        "properties": {
+            "filesScanned": len(report.files),
+            "partial": report.partial,
+            "suppressionsInForce": len(report.suppressions),
+        },
+    }
+
+
+def _rule_descriptor(rule: Any) -> dict[str, Any]:
+    return {
+        "id": rule.code,
+        "shortDescription": {"text": rule.summary},
+    }
+
+
+def _result(finding: Any) -> dict[str, Any]:
+    return {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path},
+                "region": {
+                    "startLine": finding.line,
+                    # SARIF columns are 1-based; ast's are 0-based.
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+    }

@@ -1,0 +1,5 @@
+"""Deliberately unparsable: PARSE001 must quote the offending line."""
+
+
+def broken(:
+    return None

@@ -1,0 +1,16 @@
+"""Sim-path code laundering nondeterminism through helpers.
+
+Neither read is spelled here, so the file-local SIM001/SIM002 stay
+quiet; only the interprocedural DET001 sees through the call chain.
+"""
+
+from util.clock import now_seconds
+from util.ids import fresh_token
+
+
+def next_deadline(env):
+    return now_seconds() + 5.0
+
+
+def tag_event(env):
+    return fresh_token()

@@ -1,0 +1,7 @@
+"""Off-sim-path helper holding the direct wall-clock read."""
+
+import time
+
+
+def now_seconds():
+    return time.time()

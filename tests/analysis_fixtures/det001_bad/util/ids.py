@@ -1,0 +1,7 @@
+"""Ambient entropy SIM002's name tables never covered (uuid4)."""
+
+import uuid
+
+
+def fresh_token():
+    return uuid.uuid4().hex

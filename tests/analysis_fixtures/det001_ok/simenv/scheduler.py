@@ -1,0 +1,7 @@
+"""Sim-path code whose helpers derive everything from env state."""
+
+from util.timebase import horizon
+
+
+def next_deadline(env):
+    return horizon(env.now)

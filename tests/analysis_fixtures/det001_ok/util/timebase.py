@@ -1,0 +1,5 @@
+"""Pure helper: simulated time in, simulated time out."""
+
+
+def horizon(now):
+    return now + 5.0

@@ -1,0 +1,27 @@
+"""Set-iteration order escaping into exchange payloads and wire frames.
+
+The sets never appear in the payload expressions themselves — they
+arrive through helper calls the effect engine marks unordered-return.
+"""
+
+
+class ShardExchange:
+    def __init__(self, departures, ghosts):
+        self.departures = departures
+        self.ghosts = ghosts
+
+
+def _dirty_ids(devices):
+    return {device.key for device in devices}
+
+
+def _neighbor_keys(device):
+    return {n.key for n in device.neighbors}
+
+
+def collect(devices):
+    return ShardExchange(departures=(), ghosts=list(_dirty_ids(devices)))
+
+
+def advertise(transport, device):
+    transport.make_request("PS_ADVERT", _neighbor_keys(device))

@@ -1,0 +1,19 @@
+"""The sanctioned fix: sorted(...) imposes a total order first."""
+
+
+class ShardExchange:
+    def __init__(self, departures, ghosts):
+        self.departures = departures
+        self.ghosts = ghosts
+
+
+def _dirty_ids(devices):
+    return {device.key for device in devices}
+
+
+def collect(devices):
+    return ShardExchange(departures=(), ghosts=sorted(_dirty_ids(devices)))
+
+
+def advertise(transport, device):
+    transport.make_request("PS_ADVERT", sorted(n.key for n in device.neighbors))

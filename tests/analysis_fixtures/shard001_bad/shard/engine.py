@@ -1,0 +1,24 @@
+"""Ghost state mutated outside the exchange apply path."""
+
+
+def _touch(state, stamp):
+    state.last_seen = stamp
+
+
+class ShardSim:
+    def __init__(self):
+        self.ghosts = {}
+
+    def apply_exchange(self, exchange):
+        for key, state in exchange.items():
+            self.ghosts[key] = state
+
+    def tick(self, key):
+        ghost = self.ghosts[key]
+        ghost.last_seen = 0.0  # direct write to a ghost replica
+        for state in self.ghosts.values():
+            state.update(owner=key)  # in-place mutator on a ghost
+
+    def refresh(self, key, stamp):
+        ghost = self.ghosts.get(key)
+        _touch(ghost, stamp)  # helper mutates its parameter

@@ -1,0 +1,21 @@
+"""Ghost writes routed through the exchange apply path; reads are free."""
+
+
+class ShardSim:
+    def __init__(self):
+        self.ghosts = {}
+
+    def apply_exchange(self, exchange):
+        for key, state in exchange.items():
+            ghost = self.ghosts.get(key)
+            if ghost is None:
+                self._install(key, state)
+            else:
+                ghost.last_seen = state.last_seen
+
+    def _install(self, key, state):
+        self.ghosts[key] = state
+
+    def neighbor_count(self, key):
+        ghost = self.ghosts[key]
+        return len(ghost.neighbors)

@@ -1,0 +1,11 @@
+"""Host clocks misused in shard code outside the coordinator."""
+
+import time
+
+
+def frame_budget(started):
+    return time.time() - started  # wall clock in shard code
+
+
+def busy_fraction():
+    return time.process_time()  # CPU time outside shard/runner.py

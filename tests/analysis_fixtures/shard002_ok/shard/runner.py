@@ -1,0 +1,7 @@
+"""The coordinator's sanctioned busy accounting: process_time only."""
+
+import time
+
+
+def busy_window():
+    return time.process_time()

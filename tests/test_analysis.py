@@ -106,6 +106,80 @@ def test_sim005_scoped_to_hot_loop_filenames() -> None:
     assert "SIM005" not in fired_codes(report)
 
 
+# -- interprocedural rules (DET001/DET002/SHARD001/SHARD002) ----------------
+
+def project_fixture(name: str):
+    """Analyze a whole fixture directory (the call-graph rules need
+    every module of the little project, not one file)."""
+    paths = sorted((FIXTURES / name).rglob("*.py"))
+    return analyze_paths(paths, root=FIXTURES)
+
+
+PROJECT_RULE_FIXTURES = [
+    ("DET001", "det001_bad", "det001_ok"),
+    ("DET002", "det002_bad", "det002_ok"),
+    ("SHARD001", "shard001_bad", "shard001_ok"),
+    ("SHARD002", "shard002_bad", "shard002_ok"),
+]
+
+
+@pytest.mark.parametrize("code,bad,good", PROJECT_RULE_FIXTURES)
+def test_project_rule_fires_on_bad_fixture(code, bad, good) -> None:
+    report = project_fixture(bad)
+    assert code in fired_codes(report), \
+        f"{code} should fire on {bad}: {report.findings}"
+
+
+@pytest.mark.parametrize("code,bad,good", PROJECT_RULE_FIXTURES)
+def test_project_rule_passes_on_good_fixture(code, bad, good) -> None:
+    report = project_fixture(good)
+    assert fired_codes(report) == set(), \
+        f"{good} must be fully clean: {report.findings}"
+
+
+def test_det001_catches_what_file_local_rules_provably_miss() -> None:
+    # The tentpole acceptance case: the wall-clock read and the entropy
+    # draw both live in helpers outside the sim path, so SIM001/SIM002
+    # stay silent — only the interprocedural rule sees the chain.
+    report = project_fixture("det001_bad")
+    assert "SIM001" not in fired_codes(report)
+    assert "SIM002" not in fired_codes(report)
+    det = [f for f in report.findings if f.rule == "DET001"]
+    assert len(det) == 2  # one wall-clock chain, one uuid4 chain
+    assert all(f.path == "det001_bad/simenv/scheduler.py" for f in det)
+    messages = " ".join(f.message for f in det)
+    assert "now_seconds -> time.time" in messages
+    assert "fresh_token -> uuid.uuid4" in messages
+    # The witness chain names the module holding the direct site.
+    assert "det001_bad/util/clock.py" in messages
+
+
+def test_det002_taints_through_unordered_return_helpers() -> None:
+    report = project_fixture("det002_bad")
+    det = [f for f in report.findings if f.rule == "DET002"]
+    messages = " ".join(f.message for f in det)
+    assert "ShardExchange(...) payload" in messages
+    assert "make_request(...) wire payload" in messages
+
+
+def test_shard001_reports_direct_mutator_and_helper_writes() -> None:
+    report = project_fixture("shard001_bad")
+    messages = [f.message for f in report.findings if f.rule == "SHARD001"]
+    assert len(messages) == 3
+    assert any("assigns to ghost-owned state" in m for m in messages)
+    assert any(".update(...)" in m for m in messages)
+    assert any("passes ghost-owned state to _touch" in m for m in messages)
+
+
+def test_shard002_allows_process_time_only_in_runner() -> None:
+    report = project_fixture("shard002_bad")
+    messages = [f.message for f in report.findings if f.rule == "SHARD002"]
+    assert any("wall-clock read time.time" in m for m in messages)
+    assert any("outside the coordinator" in m for m in messages)
+    # The coordinator itself is the sanctioned process_time user.
+    assert project_fixture("shard002_ok").ok
+
+
 # -- suppressions -----------------------------------------------------------
 
 def test_file_scoped_suppression_moves_finding_aside() -> None:
@@ -123,6 +197,33 @@ def test_stale_suppression_is_itself_a_finding() -> None:
     assert not report.ok
     assert fired_codes(report) == {"SUP001"}
     assert "suppresses nothing" in report.findings[0].message
+
+
+def test_function_scoped_suppression_covers_only_its_function() -> None:
+    report = analyze_fixture("simenv/func_scoped_allow.py")
+    # calibrate()'s read is waived; schedule()'s identical read is not.
+    assert [f.rule for f in report.findings] == ["SIM001"]
+    assert [f.rule for f in report.suppressed] == ["SIM001"]
+    suppression = report.suppressions[0]
+    assert suppression.scope == "calibrate"
+    assert report.absorbed[suppression] == 1
+
+
+def test_stale_function_scoped_suppression_fires_sup001() -> None:
+    # The file has a real SIM001 finding, but outside the waived span:
+    # the function-scoped allowance still absorbed nothing.
+    report = analyze_fixture("simenv/stale_func_allow.py")
+    assert fired_codes(report) == {"SIM001", "SUP001"}
+    sup = [f for f in report.findings if f.rule == "SUP001"]
+    assert "(scoped to quiet)" in sup[0].message
+
+
+def test_suppression_reports_absorbed_counts() -> None:
+    report = analyze_fixture("simenv/suppressed_sim001.py")
+    payload = report.to_json()
+    assert payload["suppressions"][0]["absorbed"] == 1
+    assert payload["suppressions"][0]["scope"] == "file"
+    assert "absorbed 1 finding(s)" in report.render_human()
 
 
 # -- PROTO001 ---------------------------------------------------------------
@@ -206,6 +307,17 @@ def test_proto002_live_tree_covers_every_operation() -> None:
         assert op in exchanges, f"{op} missing from conformance exchanges"
 
 
+# -- PARSE001 ---------------------------------------------------------------
+
+def test_parse_failure_quotes_the_offending_line() -> None:
+    report = analyze_fixture("broken/unparsable.py")
+    assert fired_codes(report) == {"PARSE001"}
+    finding = report.findings[0]
+    assert finding.path == "broken/unparsable.py"
+    assert "def broken(:" in finding.message  # the offending source line
+    assert finding.line == 4
+
+
 # -- report plumbing --------------------------------------------------------
 
 def test_json_report_shape() -> None:
@@ -232,7 +344,38 @@ def test_findings_are_sorted_and_deterministic() -> None:
 def test_rule_registry_is_complete() -> None:
     assert set(rule_codes()) >= {"SIM001", "SIM002", "SIM003", "SIM004",
                                  "PROTO001", "PROTO002", "SUP001",
-                                 "PARSE001"}
+                                 "PARSE001", "DET001", "DET002",
+                                 "SHARD001", "SHARD002"}
+
+
+def test_partial_flag_distinguishes_file_lists_from_full_tree() -> None:
+    partial = analyze_fixture("simenv/good_sim001.py")
+    assert partial.partial is True
+    assert partial.to_json()["partial"] is True
+    assert "partial run" in partial.render_human()
+    full = analyze_tree(SRC_TREE)
+    assert full.partial is False
+    assert "partial run" not in full.render_human()
+
+
+def test_sarif_rendering() -> None:
+    from repro.analysis.sarif import to_sarif
+
+    report = analyze_fixture("simenv/bad_sim001.py")
+    sarif = to_sarif(report)
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-analysis"
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {"SIM001", "DET001", "SHARD001"} <= rule_ids
+    results = run["results"]
+    assert len(results) == len(report.findings)
+    first = results[0]
+    assert first["ruleId"] == "SIM001"
+    region = first["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == report.findings[0].line
+    assert region["startColumn"] == report.findings[0].col + 1
+    assert run["properties"]["partial"] is True
 
 
 # -- the live tree ----------------------------------------------------------
@@ -244,6 +387,16 @@ def test_live_tree_is_clean() -> None:
     assert report.suppressions == [], \
         "suppressions must stay within the committed budget (0)"
     assert len(report.files) > 90  # the whole package, not a subset
+
+
+def test_full_tree_fixpoint_is_fast_enough() -> None:
+    # The acceptance budget for the interprocedural pass: the whole
+    # tree — call graph, effect fixpoint, every rule — in under 10 s.
+    import time as _time
+
+    started = _time.perf_counter()
+    analyze_tree(SRC_TREE)
+    assert _time.perf_counter() - started < 10.0
 
 
 # -- the CLI ----------------------------------------------------------------
@@ -283,3 +436,35 @@ def test_cli_json_mode() -> None:
     assert result.returncode == 1
     payload = json.loads(result.stdout)
     assert payload["counts"]["SIM002"] >= 2
+
+
+def test_cli_sarif_artifact(tmp_path: Path) -> None:
+    artifact = tmp_path / "report.sarif"
+    result = run_cli(str(FIXTURES / "simenv" / "bad_sim001.py"),
+                     "--sarif", str(artifact))
+    assert result.returncode == 1
+    sarif = json.loads(artifact.read_text())
+    assert sarif["version"] == "2.1.0"
+    assert {r["ruleId"] for r in sarif["runs"][0]["results"]} == {"SIM001"}
+
+
+def test_cli_partial_run_warns_on_stderr() -> None:
+    result = run_cli("--partial",
+                     str(FIXTURES / "simenv" / "good_sim001.py"))
+    assert result.returncode == 0
+    assert "partial run" in result.stderr
+    assert "not authoritative" in result.stderr
+
+
+def test_cli_partial_without_paths_is_a_usage_error() -> None:
+    result = run_cli("--partial")
+    assert result.returncode == 2
+    assert "explicit file list" in result.stderr
+
+
+def test_cli_full_tree_is_not_partial(tmp_path: Path) -> None:
+    artifact = tmp_path / "report.json"
+    result = run_cli("--output", str(artifact))
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "partial run" not in result.stderr
+    assert json.loads(artifact.read_text())["partial"] is False
